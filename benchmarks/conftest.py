@@ -1,0 +1,13 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artifact: it runs the experiment
+under ``pytest-benchmark`` (wall-clock of the simulation is incidental;
+the *simulated cycle counts* are the result), prints the paper-style
+table, asserts the paper's qualitative shape, and stores the rows in
+``benchmark.extra_info`` for machine consumption.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))

@@ -1,0 +1,11 @@
+"""Make ``src/`` importable when the package is not installed.
+
+Allows ``pytest tests/`` and ``pytest benchmarks/`` to run straight
+from a checkout (including fully offline environments where
+``pip install -e .`` cannot build an editable wheel).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

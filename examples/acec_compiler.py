@@ -1,0 +1,76 @@
+"""The Ace compiler end to end (§4.2, Figures 5 and 6).
+
+Compiles an AceC program (C with the `shared` qualifier) at each of
+Table 4's optimization levels, shows the annotated IR the compiler
+produced, and runs every level on the simulated machine to demonstrate
+that the optimizations preserve semantics while shaving cycles.
+
+    python examples/acec_compiler.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.compiler import (  # noqa: E402
+    OPT_BASE,
+    OPT_DIRECT,
+    OPT_LI,
+    OPT_LI_MC,
+    compile_source,
+    run_compiled,
+)
+
+SOURCE = """
+void main() {
+    int s = ace_new_space("SC");
+    ace_change_protocol(s, "StaticUpdate");
+    shared double *p;
+    p = ace_gmalloc(s, 32);
+
+    // seed
+    for (int i = 0; i < 32; i++) { p[i] = i; }
+    ace_barrier(s);
+
+    // hot kernel: the compiler wraps every p[i] in MAP/START/END
+    double total = 0;
+    for (int it = 0; it < 20; it++) {
+        for (int i = 0; i < 32; i++) { total += p[i]; }
+    }
+    print(total);
+}
+"""
+
+
+def count_annotations(program):
+    return sum(
+        1
+        for fn in program.ir.funcs.values()
+        for ins in fn.all_instrs()
+        if ins.op in ("map", "start_read", "end_read", "start_write", "end_write")
+    )
+
+
+def main():
+    print("=== annotated IR at base level (Figure 5 shapes) ===")
+    base = compile_source(SOURCE, opt=OPT_BASE)
+    listing = base.dump().splitlines()
+    for line in listing[:18]:
+        print(line)
+    print(f"   ... ({len(listing)} lines total)\n")
+
+    print(f"{'level':10s} {'annotations':>12s} {'pass effects':>30s} {'cycles':>10s}  output")
+    for level in (OPT_BASE, OPT_LI, OPT_LI_MC, OPT_DIRECT):
+        prog = compile_source(SOURCE, opt=level)
+        run = run_compiled(prog, n_procs=1)
+        effects = ", ".join(f"{k}={v}" for k, v in prog.pass_stats.items()) or "-"
+        print(
+            f"{level.name:10s} {count_annotations(prog):>12d} {effects:>30s} "
+            f"{run.time:>10d}  {run.prints[0][1]}"
+        )
+    print("\nSame answer at every level; fewer annotations and cycles each step.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""The paper's running example (§3.3): customizing EM3D's protocols.
+
+Develop with the default sequentially-consistent protocol, then plug
+in a dynamic update library, then the Falsafi-style static update
+library — two `Ace_ChangeProtocol` calls each — and watch the
+simulated execution time drop.
+
+    python examples/em3d_protocols.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.apps import em3d  # noqa: E402
+from repro.facade import run_spmd  # noqa: E402
+
+
+def main():
+    workload = em3d.EM3DWorkload(n_e=96, n_h=96, degree=5, pct_remote=0.25, n_iters=6)
+    n_procs = 8
+    reference_e, reference_h = em3d.reference(workload, n_procs)
+
+    print(f"EM3D: {workload.n_e}+{workload.n_h} nodes, degree {workload.degree}, "
+          f"{workload.n_iters} iterations, {n_procs} simulated processors\n")
+
+    baseline = None
+    for label, plan in (
+        ("SC (default invalidate)", em3d.SC_PLAN),
+        ("DynamicUpdate", em3d.DYNAMIC_PLAN),
+        ("StaticUpdate (Falsafi)", em3d.STATIC_PLAN),
+    ):
+        result = run_spmd(em3d.em3d_program(workload, plan), backend="ace", n_procs=n_procs)
+        e, h = em3d.collect_results(result, workload)
+        assert np.allclose(e, reference_e) and np.allclose(h, reference_h), label
+        baseline = baseline or result.time
+        print(f"  {label:26s} {result.time:>9d} cycles   "
+              f"speedup {baseline / result.time:.2f}x   "
+              f"messages {result.stats.get('msg.total')}")
+
+    print("\nAll three protocols computed identical values "
+          "(checked against a sequential NumPy reference).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Data-race checking as a plug-in protocol (§2.1's LCM use case).
+
+Runs the same buggy SPMD program twice: under the default SC protocol
+it silently computes *something*; under the ``RaceDetect`` protocol —
+selected with one ``Ace_NewSpace`` argument — every barrier epoch's
+readers and writers are crossed at the home nodes and the race is
+reported with the region and the offending processors.
+
+    python examples/race_detection.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.facade import run_spmd  # noqa: E402
+
+
+def make_program(protocol):
+    boxes = {}
+
+    def program(ctx):
+        space = yield from ctx.new_space(protocol)
+        if ctx.nid == 0:
+            boxes["shared_sum"] = yield from ctx.gmalloc(space, 1)
+        yield from ctx.barrier(space)
+        h = yield from ctx.map(boxes["shared_sum"])
+
+        # BUG: every node writes the same region in the same epoch,
+        # read-modify-write without a lock.
+        yield from ctx.start_write(h)
+        h.data[0] += ctx.nid + 1
+        yield from ctx.end_write(h)
+
+        yield from ctx.barrier(space)
+        yield from ctx.start_read(h)
+        out = h.data[0]
+        yield from ctx.end_read(h)
+        yield from ctx.barrier(space)
+        return out
+
+    return program
+
+
+def main():
+    expected = sum(range(1, 5))  # 1+2+3+4 if the updates composed
+    for protocol in ("SC", "RaceDetect"):
+        res = run_spmd(make_program(protocol), backend="ace", n_procs=4)
+        print(f"[{protocol}] results per node: {[float(r) for r in res.results]} "
+              f"(intended answer: {expected}.0)")
+        if protocol == "RaceDetect":
+            proto = res.backend.runtime.spaces[0].protocol
+            for epoch, rid, readers, writers in proto.races:
+                print(f"  RACE: epoch {epoch}, region {rid}: "
+                      f"writers={list(writers)} readers={list(readers)}")
+            if not proto.races:
+                print("  no races detected")
+    print()
+    print("SC happened to serialize the increments through exclusive "
+          "ownership, but four unsynchronized writers in one barrier epoch "
+          "is still a (latent) race — the detector names them; porting the "
+          "program to any update protocol would silently drop updates, as "
+          "the RaceDetect run's own last-writer data semantics show.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""The paper's five benchmarks (Table 3), written once against the facade.
+
+Every application follows the same pattern:
+
+* a ``*Workload`` dataclass with the paper's canonical inputs available
+  as a classmethod (``.paper()``) and scaled-down defaults for tests
+  and benches (the substrate is a pure-Python simulator; DESIGN.md
+  documents the scaling substitution);
+* a deterministic workload generator (NumPy, seeded);
+* ``<app>_program(workload, plan)`` returning an SPMD program for
+  :func:`repro.facade.run_spmd`, where ``plan`` selects the protocol(s)
+  — ``SC_PLAN`` reproduces the baseline rows, ``CUSTOM_PLAN`` the
+  application-specific-protocol rows of Figure 7b;
+* a NumPy reference implementation used by the tests to check that
+  every backend × plan combination computes the same answer.
+"""
+
+from repro.apps import barnes_hut, bsc, em3d, tsp, water
+
+__all__ = ["barnes_hut", "bsc", "em3d", "tsp", "water"]

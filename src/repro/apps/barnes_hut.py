@@ -1,0 +1,241 @@
+"""Barnes-Hut: hierarchical O(N log N) N-body (Table 3: 16,384 bodies).
+
+The sharing pattern that matters for the paper: every body is a region
+owned (homed) by one processor; each step every processor needs *all*
+body positions (to build its octree replica) and writes only its own
+bodies.  Under the SC default each remote body read is a blocking miss
+after the owner's write invalidated it — N×(P−1) round trips per step.
+The custom plan (Figure 7b) runs bodies under ``DynamicUpdate``:
+owners' writes are pushed to all sharers, so the read sweep is
+entirely local.
+
+Tree build is replicated (each processor builds a local octree from
+the shared positions — local memory, charged as compute), the standard
+structure for DSM N-body codes with update protocols.
+
+Each body is one region: ``[x, y, z, vx, vy, vz, mass]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+BODY_WORDS = 7
+POS, VEL, MASS = slice(0, 3), slice(3, 6), 6
+
+
+@dataclass(frozen=True)
+class BHWorkload:
+    """Inputs matching Table 3's Barnes-Hut row (scaled by default)."""
+
+    n_bodies: int = 64
+    n_steps: int = 2
+    theta: float = 1.0  # opening angle (paper: tolerance = 1.0)
+    dt: float = 0.05
+    eps: float = 0.5    # softening (paper: eps = 0.5)
+    seed: int = 99
+
+    @classmethod
+    def paper(cls) -> "BHWorkload":
+        """Table 3: 16,384 bodies, 4 time-steps, tol=1.0, eps=0.5."""
+        return cls(n_bodies=16384, n_steps=4)
+
+
+SC_PLAN = {"bodies": "SC"}
+CUSTOM_PLAN = {"bodies": "DynamicUpdate"}
+
+COST_PER_INTERACTION = 30   # one body-cell or body-body force evaluation
+COST_TREE_PER_BODY = 50     # tree insertion per body (replicated build)
+
+
+def init_bodies(workload: BHWorkload) -> np.ndarray:
+    """Deterministic Plummer-ish cluster, shape (n, BODY_WORDS)."""
+    rng = np.random.default_rng(workload.seed)
+    n = workload.n_bodies
+    bodies = np.zeros((n, BODY_WORDS))
+    bodies[:, POS] = rng.normal(0.0, 1.0, size=(n, 3))
+    bodies[:, VEL] = rng.normal(0.0, 0.05, size=(n, 3))
+    bodies[:, MASS] = rng.uniform(0.5, 1.5, size=n)
+    return bodies
+
+
+# ----------------------------------------------------------------- octree
+class _Cell:
+    """Internal octree cell: center of mass, total mass, children."""
+
+    __slots__ = ("center", "half", "com", "mass", "children", "body")
+
+    def __init__(self, center, half):
+        self.center = center
+        self.half = half
+        self.com = np.zeros(3)
+        self.mass = 0.0
+        self.children: list | None = None
+        self.body: int | None = None  # leaf body index
+
+
+def build_tree(pos: np.ndarray, mass: np.ndarray) -> _Cell:
+    """Build an octree over all bodies (positions (n,3), masses (n,))."""
+    lo = pos.min(axis=0)
+    hi = pos.max(axis=0)
+    center = (lo + hi) / 2.0
+    half = float(max((hi - lo).max() / 2.0, 1e-9)) * 1.0001
+    root = _Cell(center, half)
+    for i in range(pos.shape[0]):
+        _insert(root, i, pos, mass)
+    _summarize(root, pos, mass)
+    return root
+
+
+def _child_index(cell: _Cell, p) -> int:
+    return int(p[0] > cell.center[0]) | (int(p[1] > cell.center[1]) << 1) | (
+        int(p[2] > cell.center[2]) << 2
+    )
+
+
+def _insert(cell: _Cell, i: int, pos, mass, depth: int = 0) -> None:
+    if cell.children is None and cell.body is None:
+        cell.body = i
+        return
+    if cell.children is None:
+        old = cell.body
+        cell.body = None
+        cell.children = [None] * 8
+        _insert_into_child(cell, old, pos, mass, depth)
+    _insert_into_child(cell, i, pos, mass, depth)
+
+
+def _insert_into_child(cell: _Cell, i: int, pos, mass, depth: int) -> None:
+    if depth > 64:  # coincident points: merge into this leaf chain
+        idx = 0
+    else:
+        idx = _child_index(cell, pos[i])
+    child = cell.children[idx]
+    if child is None:
+        q = cell.half / 2.0
+        offs = np.array([q if (idx >> b) & 1 else -q for b in range(3)])
+        child = _Cell(cell.center + offs, q)
+        cell.children[idx] = child
+    _insert(child, i, pos, mass, depth + 1)
+
+
+def _summarize(cell: _Cell, pos, mass) -> None:
+    if cell.body is not None:
+        cell.mass = float(mass[cell.body])
+        cell.com = pos[cell.body].copy()
+        return
+    total = 0.0
+    com = np.zeros(3)
+    for child in cell.children or ():
+        if child is None:
+            continue
+        _summarize(child, pos, mass)
+        total += child.mass
+        com += child.mass * child.com
+    cell.mass = total
+    cell.com = com / total if total > 0 else cell.center.copy()
+
+
+def compute_force(root: _Cell, i: int, pos, theta: float, eps: float):
+    """Barnes-Hut force on body i; returns (force_vec, n_interactions)."""
+    p = pos[i]
+    force = np.zeros(3)
+    count = 0
+    stack = [root]
+    while stack:
+        cell = stack.pop()
+        if cell.mass == 0.0:
+            continue
+        if cell.body == i:
+            continue
+        d = cell.com - p
+        r2 = float(d @ d) + eps * eps
+        if cell.body is not None or (2.0 * cell.half) ** 2 < theta * theta * r2:
+            count += 1
+            force += cell.mass * d / (r2 * np.sqrt(r2))
+        else:
+            stack.extend(c for c in cell.children if c is not None)
+    return force, count
+
+
+def reference(workload: BHWorkload) -> np.ndarray:
+    """Sequential reference: final body states after n_steps."""
+    bodies = init_bodies(workload)
+    n = workload.n_bodies
+    for _ in range(workload.n_steps):
+        pos = bodies[:, POS].copy()
+        mass = bodies[:, MASS].copy()
+        root = build_tree(pos, mass)
+        forces = np.zeros((n, 3))
+        for i in range(n):
+            forces[i], _ = compute_force(root, i, pos, workload.theta, workload.eps)
+        bodies[:, VEL] += workload.dt * forces
+        bodies[:, POS] += workload.dt * bodies[:, VEL]
+    return bodies
+
+
+def bh_program(workload: BHWorkload, plan: dict):
+    """Build the SPMD program.  Each node returns {body_index: state_row}."""
+    shared = {"rids": {}}
+    init = init_bodies(workload)
+    n = workload.n_bodies
+
+    def program(ctx):
+        nid, n_procs = ctx.nid, ctx.n_procs
+        body_space = yield from ctx.new_space("SC")
+        my_bodies = [i for i in range(n) if i % n_procs == nid]
+        for i in my_bodies:
+            rid = yield from ctx.gmalloc(body_space, BODY_WORDS)
+            shared["rids"][i] = rid
+        yield from ctx.barrier()
+        yield from ctx.change_protocol(body_space, plan["bodies"])
+
+        handles = {}
+        for i in range(n):
+            handles[i] = yield from ctx.map(shared["rids"][i])
+        for i in my_bodies:
+            yield from ctx.write_region(handles[i], init[i])
+        yield from ctx.barrier(body_space)
+
+        for _ in range(workload.n_steps):
+            # read the entire body set (tree build input)
+            pos = np.zeros((n, 3))
+            mass = np.zeros(n)
+            for i in range(n):
+                h = handles[i]
+                yield from ctx.start_read(h)
+                pos[i] = h.data[POS]
+                mass[i] = h.data[MASS]
+                yield from ctx.end_read(h)
+            # replicated local tree build
+            yield from ctx.compute(COST_TREE_PER_BODY * n)
+            root = build_tree(pos, mass)
+            # forces + integration for own bodies
+            for i in my_bodies:
+                force, cnt = compute_force(root, i, pos, workload.theta, workload.eps)
+                yield from ctx.compute(COST_PER_INTERACTION * cnt)
+                h = handles[i]
+                yield from ctx.start_write(h)
+                h.data[VEL] += workload.dt * force
+                h.data[POS] += workload.dt * h.data[VEL]
+                yield from ctx.end_write(h)
+            yield from ctx.barrier(body_space)
+
+        out = {}
+        for i in my_bodies:
+            data = yield from ctx.read_region(handles[i])
+            out[i] = np.array(data)
+        return out
+
+    return program
+
+
+def collect_results(run_result, workload: BHWorkload) -> np.ndarray:
+    """Merge per-node returns into the (n, BODY_WORDS) state array."""
+    state = np.zeros((workload.n_bodies, BODY_WORDS))
+    for part in run_result.results:
+        for i, row in part.items():
+            state[i] = row
+    return state

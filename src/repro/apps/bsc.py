@@ -1,0 +1,189 @@
+"""BSC: blocked sparse Cholesky factorization (Table 3: matrix Tk15.O).
+
+A left-looking, owner-computes blocked Cholesky over a banded SPD
+matrix (the synthetic stand-in for the paper's Tk15 — the band plays
+the role of the sparsity structure: blocks outside it are zero and
+never allocated).  Each *block* is one region of B×B words, giving the
+coarse-grained, bulk-transfer-heavy sharing the paper highlights:
+"in BSC, the most important optimization is the use of bulk transfer
+... since the Ace runtime system supports user-specified granularity,
+the default protocol uses bulk transfer automatically" (§5.2).
+
+Column dependencies are enforced with region locks: every owner holds
+the lock of each of its columns' flag regions from startup and
+releases it when the column is fully factored; a consumer
+acquires/releases the flag before reading (FIFO home locks make this
+deadlock-free because dependencies only point to smaller columns).
+
+Custom plan: blocks are written only by the processor that created
+them and are immutable once their column's lock is released, so the
+custom protocol needs **no coherence actions at all** beyond the
+fetch-on-map — the ``Null`` protocol (the degenerate, and optimal,
+form of the paper's "data are written only by the processors that
+created them" protocol).  As in the paper, the improvement over SC is
+marginal: both plans move the same blocks in bulk; only per-access
+software overhead differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BSCWorkload:
+    """Banded SPD factorization problem (scaled stand-in for Tk15.O)."""
+
+    n_block_cols: int = 8
+    block: int = 4
+    band: int = 3  # block bandwidth: L[i][j] exists iff 0 <= i-j <= band
+    seed: int = 31
+
+    @classmethod
+    def paper(cls) -> "BSCWorkload":
+        """Paper-shaped: larger blocked system (Tk15.O itself is proprietary
+        to the original study; see DESIGN.md substitutions)."""
+        return cls(n_block_cols=24, block=8, band=6)
+
+    @property
+    def n(self) -> int:
+        return self.n_block_cols * self.block
+
+
+SC_PLAN = {"blocks": "SC"}
+CUSTOM_PLAN = {"blocks": "Null"}
+
+FLOP_COST = 2  # cycles per floating-point multiply-add in block kernels
+
+
+def make_matrix(workload: BSCWorkload) -> np.ndarray:
+    """Deterministic banded SPD matrix (diagonally dominant)."""
+    rng = np.random.default_rng(workload.seed)
+    n = workload.n
+    half_band = workload.band * workload.block
+    a = np.zeros((n, n))
+    for i in range(n):
+        lo = max(0, i - half_band)
+        a[i, lo : i + 1] = rng.uniform(-1.0, 1.0, size=i - lo + 1)
+    a = a + a.T
+    a += np.diag(np.abs(a).sum(axis=1) + 1.0)
+    return a
+
+
+def reference(workload: BSCWorkload) -> np.ndarray:
+    """Dense lower-triangular Cholesky factor of the banded matrix."""
+    return np.linalg.cholesky(make_matrix(workload))
+
+
+def _blocks_in_column(workload: BSCWorkload, j: int):
+    """Row-block indices i with an allocated block in column j."""
+    return range(j, min(workload.n_block_cols, j + workload.band + 1))
+
+
+def bsc_program(workload: BSCWorkload, plan: dict):
+    """Build the SPMD program.  Each node returns {(i, j): block_array}."""
+    shared = {"blk": {}, "flag": {}}
+    a = make_matrix(workload)
+    B = workload.block
+    nb = workload.n_block_cols
+
+    def block_of(i, j):
+        return a[i * B : (i + 1) * B, j * B : (j + 1) * B]
+
+    def program(ctx):
+        nid, n_procs = ctx.nid, ctx.n_procs
+        blk_space = yield from ctx.new_space("SC")
+        flag_space = yield from ctx.new_space("SC")
+        my_cols = [j for j in range(nb) if j % n_procs == nid]
+
+        # Allocate own blocks + flag, seed blocks with A's values.
+        for j in my_cols:
+            shared["flag"][j] = yield from ctx.gmalloc(flag_space, 1)
+            for i in _blocks_in_column(workload, j):
+                rid = yield from ctx.gmalloc(blk_space, B * B)
+                shared["blk"][(i, j)] = rid
+        # Owners hold their column locks until the column is factored.
+        for j in my_cols:
+            yield from ctx.lock(shared["flag"][j])
+        yield from ctx.barrier()
+        yield from ctx.change_protocol(blk_space, plan["blocks"])
+
+        handles = {}
+
+        def get_handle(i, j):
+            if (i, j) not in handles:
+                handles[(i, j)] = yield from ctx.map(shared["blk"][(i, j)])
+            return handles[(i, j)]
+
+        # Seed own blocks.
+        for j in my_cols:
+            for i in _blocks_in_column(workload, j):
+                h = yield from get_handle(i, j)
+                yield from ctx.write_region(h, block_of(i, j).ravel())
+        yield from ctx.barrier()
+
+        out = {}
+        for j in my_cols:
+            # Accumulate the column in local scratch.
+            col = {i: None for i in _blocks_in_column(workload, j)}
+            for i in col:
+                h = yield from get_handle(i, j)
+                yield from ctx.start_read(h)
+                col[i] = h.data.reshape(B, B).copy()
+                yield from ctx.end_read(h)
+
+            # Left-looking updates from finished columns k < j.
+            for k in range(max(0, j - workload.band), j):
+                yield from ctx.lock(shared["flag"][k])    # wait: column k done
+                yield from ctx.unlock(shared["flag"][k])
+                hjk = yield from get_handle(j, k)
+                yield from ctx.start_read(hjk)
+                ljk = hjk.data.reshape(B, B).copy()
+                yield from ctx.end_read(hjk)
+                for i in col:
+                    if i - k > workload.band:
+                        continue
+                    hik = yield from get_handle(i, k)
+                    yield from ctx.start_read(hik)
+                    lik = hik.data.reshape(B, B).copy()
+                    yield from ctx.end_read(hik)
+                    col[i] -= lik @ ljk.T
+                    yield from ctx.compute(FLOP_COST * 2 * B * B * B)
+
+            # Factor the diagonal block, solve the sub-diagonal blocks.
+            ljj = np.linalg.cholesky(col[j])
+            yield from ctx.compute(FLOP_COST * B * B * B // 3)
+            col[j] = ljj
+            inv_t = np.linalg.inv(ljj).T
+            for i in col:
+                if i == j:
+                    continue
+                col[i] = col[i] @ inv_t
+                yield from ctx.compute(FLOP_COST * B * B * B)
+
+            # Publish the factored column, then release its lock.
+            for i in col:
+                h = yield from get_handle(i, j)
+                yield from ctx.start_write(h)
+                h.data[:] = col[i].ravel()
+                yield from ctx.end_write(h)
+                out[(i, j)] = col[i]
+            yield from ctx.unlock(shared["flag"][j])
+
+        yield from ctx.barrier()
+        return out
+
+    return program
+
+
+def collect_results(run_result, workload: BSCWorkload) -> np.ndarray:
+    """Assemble the distributed factor into a dense lower-triangular L."""
+    B = workload.block
+    n = workload.n
+    L = np.zeros((n, n))
+    for part in run_result.results:
+        for (i, j), blk in part.items():
+            L[i * B : (i + 1) * B, j * B : (j + 1) * B] = blk
+    return np.tril(L)

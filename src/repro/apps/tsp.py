@@ -1,0 +1,171 @@
+"""TSP: branch-and-bound traveling salesman (Table 3: 12 cities).
+
+Work distribution follows the classic CRL/SPLASH shape: tours start at
+city 0; a *job* fixes the next ``prefix_depth`` cities; a shared
+counter assigns job indices to processors; a shared ``best`` region
+holds the incumbent tour length used for pruning.
+
+Figure 7b's TSP row comes from "better management of accesses to a
+counter that is used to assign jobs" (§5.2): the custom plan puts the
+counter's space under the :class:`~repro.protocols.counter.CounterProtocol`
+(one round trip per fetch-and-increment, no ownership migration),
+while the SC plan pays a full exclusive-ownership transfer per job
+grab.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import permutations
+
+import numpy as np
+
+INF = 1e18
+
+
+@dataclass(frozen=True)
+class TSPWorkload:
+    """Inputs matching Table 3's TSP row (scaled by default)."""
+
+    n_cities: int = 8
+    prefix_depth: int = 2
+    seed: int = 42
+    bound_refresh: int = 16  # expansions between incumbent refreshes
+
+    @classmethod
+    def paper(cls) -> "TSPWorkload":
+        """Table 3: 12 cities."""
+        return cls(n_cities=12, prefix_depth=3)
+
+    @property
+    def n_jobs(self) -> int:
+        n = self.n_cities - 1
+        return math.perm(n, self.prefix_depth)
+
+
+SC_PLAN = {"counter": "SC", "best": "SC"}
+CUSTOM_PLAN = {"counter": "Counter", "best": "SC"}
+
+#: cycles charged per search-tree node expansion
+COST_PER_EXPANSION = 40
+
+
+def make_distances(workload: TSPWorkload) -> np.ndarray:
+    """Deterministic symmetric distance matrix with zero diagonal."""
+    rng = np.random.default_rng(workload.seed)
+    n = workload.n_cities
+    d = rng.integers(1, 100, size=(n, n)).astype(np.float64)
+    d = (d + d.T) / 2.0
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+def decode_job(workload: TSPWorkload, job: int) -> list[int]:
+    """Unrank job index → the cities visited after city 0 (prefix)."""
+    avail = list(range(1, workload.n_cities))
+    prefix = []
+    for level in range(workload.prefix_depth):
+        block = math.perm(len(avail) - 1, workload.prefix_depth - level - 1)
+        idx, job = divmod(job, block)
+        prefix.append(avail.pop(idx))
+    return prefix
+
+
+def reference(workload: TSPWorkload) -> float:
+    """Exact optimum by brute force (feasible for the scaled inputs)."""
+    d = make_distances(workload)
+    n = workload.n_cities
+    best = INF
+    for perm in permutations(range(1, n)):
+        tour = (0, *perm, 0)
+        length = sum(d[tour[i], tour[i + 1]] for i in range(n))
+        best = min(best, length)
+    return best
+
+
+def _solve_job(d: np.ndarray, prefix: list[int], bound: float):
+    """Sequential DFS under ``bound``; returns (best_len, best_tour, expansions)."""
+    n = d.shape[0]
+    best_len = bound
+    best_tour = None
+    expansions = 0
+    prefix_cost = d[0, prefix[0]] + sum(d[prefix[i], prefix[i + 1]] for i in range(len(prefix) - 1))
+    remaining0 = [c for c in range(1, n) if c not in prefix]
+
+    stack = [(prefix[-1], prefix_cost, list(prefix), remaining0)]
+    while stack:
+        city, cost, path, remaining = stack.pop()
+        expansions += 1
+        if cost >= best_len:
+            continue
+        if not remaining:
+            total = cost + d[city, 0]
+            if total < best_len:
+                best_len = total
+                best_tour = [0, *path]
+            continue
+        # visit nearest-first so good tours are found early
+        order = sorted(remaining, key=lambda c: d[city, c], reverse=True)
+        for nxt in order:
+            nxt_cost = cost + d[city, nxt]
+            if nxt_cost < best_len:
+                stack.append((nxt, nxt_cost, path + [nxt], [c for c in remaining if c != nxt]))
+    return best_len, best_tour, expansions
+
+
+def tsp_program(workload: TSPWorkload, plan: dict):
+    """Build the SPMD program.  Each node returns (best_seen, jobs_done)."""
+    shared = {}
+    d = make_distances(workload)
+
+    def program(ctx):
+        nid = ctx.nid
+        counter_space = yield from ctx.new_space("SC")
+        best_space = yield from ctx.new_space("SC")
+        if nid == 0:
+            shared["counter"] = yield from ctx.gmalloc(counter_space, 1)
+            shared["best"] = yield from ctx.gmalloc(best_space, 1)
+            h = yield from ctx.map(shared["best"])
+            yield from ctx.write_region(h, [INF])
+        yield from ctx.barrier()
+        yield from ctx.change_protocol(counter_space, plan["counter"])
+        yield from ctx.change_protocol(best_space, plan["best"])
+
+        counter_h = yield from ctx.map(shared["counter"])
+        best_h = yield from ctx.map(shared["best"])
+        jobs_done = 0
+        local_best = INF
+
+        while True:
+            # fetch-and-increment the job counter
+            yield from ctx.start_write(counter_h)
+            job = int(counter_h.data[0])
+            counter_h.data[0] = job + 1
+            yield from ctx.end_write(counter_h)
+            if job >= workload.n_jobs:
+                break
+            jobs_done += 1
+
+            # refresh the incumbent
+            yield from ctx.start_read(best_h)
+            incumbent = best_h.data[0]
+            yield from ctx.end_read(best_h)
+
+            prefix = decode_job(workload, job)
+            best_len, tour, expansions = _solve_job(d, prefix, incumbent)
+            yield from ctx.compute(COST_PER_EXPANSION * expansions)
+
+            if tour is not None and best_len < incumbent:
+                # publish the improvement (double-check under exclusivity)
+                yield from ctx.start_write(best_h)
+                if best_len < best_h.data[0]:
+                    best_h.data[0] = best_len
+                yield from ctx.end_write(best_h)
+                local_best = min(local_best, best_len)
+
+        yield from ctx.barrier()
+        data = yield from ctx.read_region(best_h)
+        return (data[0], jobs_done)
+
+    return program

@@ -1,0 +1,191 @@
+"""Water: two-phase molecular dynamics (Table 3: 512 molecules, 3 steps).
+
+A simplified SPLASH Water with the access pattern that matters to the
+paper: every time step alternates between
+
+* an **intra-molecular** phase where each processor updates only the
+  molecules it owns (integrating velocities/positions), and
+* an **inter-molecular** phase where pairwise forces are *accumulated*
+  into both molecules of each interacting pair — including remote ones.
+
+§2.2/§5.2: the custom plan switches the molecule space to the
+``Null`` protocol for the intra phase (no coherence actions at all)
+and to ``PipelinedWrite`` for the inter phase (delta writes pipelined
+to each molecule's home, drained at the phase barrier) — the paper
+reports ~2x over running SC for everything, and notes that *neither*
+protocol could be used alone for the whole application.
+
+Each molecule is one region: ``[x, y, z, vx, vy, vz, fx, fy, fz]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+MOL_WORDS = 9  # pos(3) + vel(3) + force(3)
+POS, VEL, FRC = slice(0, 3), slice(3, 6), slice(6, 9)
+
+
+@dataclass(frozen=True)
+class WaterWorkload:
+    """Inputs matching Table 3's Water row (scaled by default)."""
+
+    n_molecules: int = 16
+    n_steps: int = 2
+    cutoff: float = 0.75  # fraction of box size
+    dt: float = 0.01
+    box: float = 4.0
+    seed: int = 2026
+
+    @classmethod
+    def paper(cls) -> "WaterWorkload":
+        """Table 3: 512 molecules, 3 steps."""
+        return cls(n_molecules=512, n_steps=3)
+
+
+SC_PLAN = {"intra": "SC", "inter": "SC"}
+CUSTOM_PLAN = {"intra": "Null", "inter": "PipelinedWrite"}
+
+COST_PER_PAIR = 60      # force evaluation for one molecule pair
+COST_PER_INTRA = 90     # per-molecule intra-molecular work
+
+
+def init_molecules(workload: WaterWorkload) -> np.ndarray:
+    """Deterministic initial state, shape (n, MOL_WORDS)."""
+    rng = np.random.default_rng(workload.seed)
+    state = np.zeros((workload.n_molecules, MOL_WORDS))
+    state[:, POS] = rng.uniform(0.0, workload.box, size=(workload.n_molecules, 3))
+    state[:, VEL] = rng.normal(0.0, 0.1, size=(workload.n_molecules, 3))
+    return state
+
+
+def _pair_force(pi: np.ndarray, pj: np.ndarray, cutoff: float) -> np.ndarray | None:
+    """Soft repulsive pair force on molecule i from j (None beyond cutoff)."""
+    dvec = pi - pj
+    r2 = float(dvec @ dvec)
+    if r2 >= cutoff * cutoff or r2 == 0.0:
+        return None
+    return dvec / (r2 * r2 + 0.1)
+
+
+def reference(workload: WaterWorkload) -> np.ndarray:
+    """Sequential NumPy reference: final molecule states."""
+    state = init_molecules(workload)
+    cutoff = workload.cutoff * workload.box
+    n = workload.n_molecules
+    for _ in range(workload.n_steps):
+        # intra: half-kick + drift using current forces
+        state[:, VEL] += 0.5 * workload.dt * state[:, FRC]
+        state[:, POS] += workload.dt * state[:, VEL]
+        state[:, FRC] = 0.0
+        # inter: accumulate pair forces
+        for i in range(n):
+            for j in range(i + 1, n):
+                f = _pair_force(state[i, POS], state[j, POS], cutoff)
+                if f is not None:
+                    state[i, FRC] += f
+                    state[j, FRC] -= f
+        # second half-kick
+        state[:, VEL] += 0.5 * workload.dt * state[:, FRC]
+    return state
+
+
+def water_program(workload: WaterWorkload, plan: dict):
+    """Build the SPMD program.  Each node returns {mol_index: state_row}."""
+    shared = {"rids": {}}
+    init = init_molecules(workload)
+    cutoff = workload.cutoff * workload.box
+    n = workload.n_molecules
+
+    def program(ctx):
+        nid, n_procs = ctx.nid, ctx.n_procs
+        mol_space = yield from ctx.new_space("SC")
+        my_mols = [i for i in range(n) if i % n_procs == nid]
+        for i in my_mols:
+            rid = yield from ctx.gmalloc(mol_space, MOL_WORDS)
+            shared["rids"][i] = rid
+        yield from ctx.barrier()
+
+        # write initial states (owners)
+        handles = {}
+        for i in my_mols:
+            handles[i] = yield from ctx.map(shared["rids"][i])
+            yield from ctx.write_region(handles[i], init[i])
+        yield from ctx.barrier()
+
+        def remap_all():
+            """(Re)map every molecule after a protocol change."""
+            for i in range(n):
+                handles[i] = yield from ctx.map(shared["rids"][i])
+
+        # pair ownership: proc owning i handles pairs (i, j>i)
+        for step in range(workload.n_steps):
+            # ---- intra phase: own molecules only --------------------
+            yield from ctx.change_protocol(mol_space, plan["intra"])
+            yield from remap_all()
+            for i in my_mols:
+                h = handles[i]
+                yield from ctx.start_write(h)
+                h.data[VEL] += 0.5 * workload.dt * h.data[FRC]
+                h.data[POS] += workload.dt * h.data[VEL]
+                h.data[FRC] = 0.0
+                yield from ctx.end_write(h)
+                yield from ctx.compute(COST_PER_INTRA)
+            yield from ctx.barrier(mol_space)
+
+            # ---- inter phase: accumulate pair forces ----------------
+            yield from ctx.change_protocol(mol_space, plan["inter"])
+            yield from remap_all()
+            for i in my_mols:
+                hi = handles[i]
+                yield from ctx.start_read(hi)
+                pi = hi.data[POS].copy()
+                yield from ctx.end_read(hi)
+                for j in range(i + 1, n):
+                    hj = handles[j]
+                    yield from ctx.start_read(hj)
+                    pj = hj.data[POS].copy()
+                    yield from ctx.end_read(hj)
+                    f = _pair_force(pi, pj, cutoff)
+                    yield from ctx.compute(COST_PER_PAIR)
+                    if f is None:
+                        continue
+                    yield from ctx.start_write(hi)
+                    hi.data[FRC] += f
+                    yield from ctx.end_write(hi)
+                    yield from ctx.start_write(hj)
+                    hj.data[FRC] -= f
+                    yield from ctx.end_write(hj)
+            yield from ctx.barrier(mol_space)
+
+            # ---- second half-kick on own molecules ------------------
+            yield from ctx.change_protocol(mol_space, plan["intra"])
+            yield from remap_all()
+            for i in my_mols:
+                h = handles[i]
+                yield from ctx.start_write(h)
+                h.data[VEL] += 0.5 * workload.dt * h.data[FRC]
+                yield from ctx.end_write(h)
+            yield from ctx.barrier(mol_space)
+
+        # collect own final states (fresh from home)
+        yield from ctx.change_protocol(mol_space, "SC")
+        out = {}
+        for i in my_mols:
+            h = yield from ctx.map(shared["rids"][i])
+            data = yield from ctx.read_region(h)
+            out[i] = np.array(data)
+        return out
+
+    return program
+
+
+def collect_results(run_result, workload: WaterWorkload) -> np.ndarray:
+    """Merge per-node returns into the (n, MOL_WORDS) state array."""
+    state = np.zeros((workload.n_molecules, MOL_WORDS))
+    for part in run_result.results:
+        for i, row in part.items():
+            state[i] = row
+    return state

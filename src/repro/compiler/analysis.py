@@ -1,0 +1,345 @@
+"""§4.2's dataflow analyses: spaces for accesses, protocols for spaces.
+
+Two cooperating analyses, exactly as the paper sketches:
+
+1. **Origin analysis** (flow-insensitive, interprocedural): every
+   value is mapped to the set of ``ace_gmalloc`` sites (for region
+   ids / handles) and ``ace_new_space`` sites (for spaces) it may
+   originate from.  Implemented as a worklist over an assignment
+   graph spanning variables, local-array cells, function
+   parameters/returns, and bulletin-board keys (the id-broadcast
+   channel every SPMD program needs).
+
+2. **Protocol-state analysis** (flow-sensitive within functions,
+   summarized across calls): ``ace_new_space`` and
+   ``ace_change_protocol`` act as strong updates on a space site's
+   protocol set when the target site and protocol name are unique;
+   otherwise weak updates.  Function entry states are the union over
+   call sites; a call to a function that may (transitively) change a
+   site's protocol widens that site to all protocols it is ever
+   associated with.  Iterated to fixpoint over the call graph, so
+   recursion is handled.
+
+The product — ``instr.protocols`` on every annotation op — drives all
+three optimization passes: a pass may touch an access only if *every*
+possible protocol is registered optimizable, and direct dispatch fires
+only when the set is a singleton.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+from repro.compiler.ir import Const, ProgramIR
+
+
+@dataclass(frozen=True)
+class SpaceSite:
+    """An ace_new_space call site."""
+
+    func: str
+    index: int  # position in the function's instruction order
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"space@{self.func}:{self.index}"
+
+
+@dataclass(frozen=True)
+class RegionSite:
+    """An ace_gmalloc call site."""
+
+    func: str
+    index: int
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"region@{self.func}:{self.index}"
+
+
+class AnalysisResult:
+    """What the optimizer consumes."""
+
+    def __init__(self, all_protocol_names):
+        self.all_protocols = frozenset(all_protocol_names)
+        # filled in by analyze():
+        self.initial_protocol: dict = {}   # SpaceSite -> str | None
+        self.ever_protocols: dict = {}     # SpaceSite -> frozenset[str]
+        self.region_spaces: dict = {}      # RegionSite -> frozenset[SpaceSite]
+
+
+def _node(func: str, var: str) -> str:
+    return f"{func}::{var}"
+
+
+def analyze(program: ProgramIR, registry) -> AnalysisResult:
+    """Run both analyses; stamps ``protocols`` on every annotation op."""
+    result = AnalysisResult(registry.names())
+    origins = _origin_analysis(program, result)
+    _protocol_state_analysis(program, result, origins)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# origin analysis
+# ---------------------------------------------------------------------------
+def _origin_analysis(program: ProgramIR, result: AnalysisResult) -> dict:
+    """Returns node -> set of sites; fills result.region_spaces partially."""
+    edges: dict[str, set] = defaultdict(set)   # src node -> dst nodes
+    seeds: dict[str, set] = defaultdict(set)   # node -> initial origin set
+    gmalloc_space_operands: list = []          # (RegionSite, operand node | None)
+
+    def operand_node(func, arg):
+        return _node(func, arg) if isinstance(arg, str) else None
+
+    def add_edge(src_node, dst_node):
+        if src_node and dst_node:
+            edges[src_node].add(dst_node)
+
+    for fname, fn in program.funcs.items():
+        for index, ins in enumerate(fn.all_instrs()):
+            dst = operand_node(fname, ins.dst)
+            if ins.op == "mov":
+                add_edge(operand_node(fname, ins.args[0]), dst)
+            elif ins.op == "idx_load":
+                add_edge(_node(fname, f"arr:{ins.args[0]}"), dst)
+            elif ins.op == "idx_store":
+                add_edge(operand_node(fname, ins.args[2]), _node(fname, f"arr:{ins.args[0]}"))
+            elif ins.op == "map":
+                add_edge(operand_node(fname, ins.args[0]), dst)
+            elif ins.op == "call":
+                callee = ins.args[0].value
+                callee_fn = program.funcs[callee]
+                for param, arg in zip(callee_fn.params, ins.args[1:]):
+                    add_edge(operand_node(fname, arg), _node(callee, param))
+                add_edge(_node(callee, "<ret>"), dst)
+            elif ins.op == "ret":
+                add_edge(operand_node(fname, ins.args[0]), _node(fname, "<ret>"))
+            elif ins.op == "builtin":
+                bname = ins.args[0].value
+                if bname == "ace_new_space":
+                    site = SpaceSite(fname, index)
+                    seeds[dst].add(site) if dst else None
+                    proto = ins.args[1]
+                    result.initial_protocol[site] = (
+                        proto.value if isinstance(proto, Const) and isinstance(proto.value, str)
+                        else None
+                    )
+                elif bname == "ace_gmalloc":
+                    site = RegionSite(fname, index)
+                    if dst:
+                        seeds[dst].add(site)
+                    gmalloc_space_operands.append((site, operand_node(fname, ins.args[1])))
+                elif bname == "bb_put":
+                    key = ins.args[1]
+                    keyname = key.value if isinstance(key, Const) else "<any>"
+                    add_edge(operand_node(fname, ins.args[3]), f"bb::{keyname}")
+                elif bname == "bb_get":
+                    key = ins.args[1]
+                    keyname = key.value if isinstance(key, Const) else "<any>"
+                    add_edge(f"bb::{keyname}", dst)
+
+    # worklist propagation
+    origins: dict[str, set] = defaultdict(set)
+    work = deque()
+    for node, sites in seeds.items():
+        origins[node] |= sites
+        work.append(node)
+    while work:
+        node = work.popleft()
+        for dst in edges.get(node, ()):
+            before = len(origins[dst])
+            origins[dst] |= origins[node]
+            if len(origins[dst]) != before:
+                work.append(dst)
+
+    # region site -> space sites
+    for site, space_node in gmalloc_space_operands:
+        spaces = origins.get(space_node, set()) if space_node else set()
+        result.region_spaces[site] = frozenset(s for s in spaces if isinstance(s, SpaceSite))
+    return origins
+
+
+# ---------------------------------------------------------------------------
+# protocol-state analysis
+# ---------------------------------------------------------------------------
+def _protocol_state_analysis(program: ProgramIR, result: AnalysisResult, origins) -> None:
+    funcs = program.funcs
+
+    # 1. gather: which sites does each change_protocol possibly target,
+    #    and the set of protocols ever associated with each site.
+    ever: dict[SpaceSite, set] = defaultdict(set)
+    for site, initial in result.initial_protocol.items():
+        ever[site].add(initial) if initial else ever[site].update(result.all_protocols)
+    changes_in: dict[str, list] = defaultdict(list)  # func -> [(targets, names)]
+    for fname, fn in funcs.items():
+        for ins in fn.all_instrs():
+            if ins.op == "builtin" and ins.args[0].value == "ace_change_protocol":
+                node = _node(fname, ins.args[1]) if isinstance(ins.args[1], str) else None
+                targets = frozenset(
+                    s for s in origins.get(node, set()) if isinstance(s, SpaceSite)
+                ) if node else frozenset()
+                name_arg = ins.args[2]
+                name = (
+                    name_arg.value
+                    if isinstance(name_arg, Const) and isinstance(name_arg.value, str)
+                    else None
+                )
+                if not targets:
+                    targets = frozenset(result.initial_protocol)  # unknown: all sites
+                for site in targets:
+                    ever[site].update([name] if name else result.all_protocols)
+                changes_in[fname].append((targets, name))
+    result.ever_protocols = {s: frozenset(p) for s, p in ever.items()}
+
+    # 2. transitive "may change protocols" summary per function
+    may_change: dict[str, set] = {f: set() for f in funcs}
+    for fname, items in changes_in.items():
+        for targets, _ in items:
+            may_change[fname] |= set(targets)
+    changed = True
+    while changed:
+        changed = False
+        for fname, fn in funcs.items():
+            for ins in fn.all_instrs():
+                if ins.op == "call":
+                    callee = ins.args[0].value
+                    new = may_change[callee] - may_change[fname]
+                    if new:
+                        may_change[fname] |= new
+                        changed = True
+
+    all_sites = list(result.initial_protocol)
+
+    def widen(site):
+        return result.ever_protocols.get(site, result.all_protocols)
+
+    # 3. interprocedural forward dataflow: state = {site: frozenset(protos)}
+    entry_state: dict[str, dict] = {f: {} for f in funcs}
+    entry_state["main"] = {s: widen(s) for s in all_sites}
+    # per (func, block) in-state; recompute until call-graph fixpoint
+    access_protocols: dict[int, frozenset] = {}
+
+    def transfer_block(fname, state, block, record):
+        state = dict(state)
+        calls_out = []
+        for ins in block.instrs:
+            if ins.op in ("map", "start_read", "end_read", "start_write", "end_write", "unmap"):
+                if record:
+                    node = _node(fname, ins.args[0]) if isinstance(ins.args[0], str) else None
+                    region_sites = [
+                        s for s in origins.get(node, set()) if isinstance(s, RegionSite)
+                    ]
+                    protos: set = set()
+                    if not region_sites:
+                        protos = set(result.all_protocols)
+                    for rsite in region_sites:
+                        spaces = result.region_spaces.get(rsite, frozenset())
+                        if not spaces:
+                            protos |= set(result.all_protocols)
+                        for ssite in spaces:
+                            protos |= set(state.get(ssite, widen(ssite)))
+                    access_protocols[id(ins)] = frozenset(protos)
+            elif ins.op == "builtin":
+                bname = ins.args[0].value
+                if bname == "ace_new_space":
+                    idx = _instr_index(program.funcs[fname], ins)
+                    site = SpaceSite(fname, idx)
+                    initial = result.initial_protocol.get(site)
+                    state[site] = frozenset([initial]) if initial else widen(site)
+                elif bname == "ace_change_protocol":
+                    node = _node(fname, ins.args[1]) if isinstance(ins.args[1], str) else None
+                    targets = [
+                        s for s in origins.get(node, set()) if isinstance(s, SpaceSite)
+                    ] or all_sites
+                    name_arg = ins.args[2]
+                    name = (
+                        name_arg.value
+                        if isinstance(name_arg, Const) and isinstance(name_arg.value, str)
+                        else None
+                    )
+                    if len(targets) == 1 and name:
+                        state[targets[0]] = frozenset([name])  # strong update
+                    else:
+                        for site in targets:
+                            cur = set(state.get(site, widen(site)))
+                            cur.update([name] if name else result.all_protocols)
+                            state[site] = frozenset(cur)
+            elif ins.op == "call":
+                callee = ins.args[0].value
+                calls_out.append((callee, dict(state)))
+                for site in may_change[callee]:
+                    state[site] = widen(site)
+        return state, calls_out
+
+    def run_function(fname, record):
+        """Forward dataflow over fname's CFG; returns call-out states."""
+        fn = funcs[fname]
+        in_states: dict[str, dict] = {fn.entry: dict(entry_state[fname])}
+        work = deque([fn.entry])
+        call_outs: list = []
+        visited_budget = 0
+        while work:
+            bname = work.popleft()
+            visited_budget += 1
+            if visited_budget > 20_000:  # pragma: no cover - safety valve
+                break
+            state = in_states.get(bname, {})
+            out_state, calls = transfer_block(fname, state, fn.blocks[bname], record)
+            call_outs.extend(calls)
+            for succ in fn.blocks[bname].successors():
+                merged = _merge_states(in_states.get(succ), out_state, widen)
+                if merged is not None:
+                    in_states[succ] = merged
+                    work.append(succ)
+        return call_outs
+
+    # call-graph fixpoint on entry states
+    for _ in range(len(funcs) + 2):
+        new_entries: dict[str, dict] = {f: {} for f in funcs}
+        new_entries["main"] = entry_state["main"]
+        for fname in funcs:
+            for callee, state in run_function(fname, record=False):
+                merged = _merge_states(new_entries.get(callee) or None, state, widen)
+                if merged is not None:
+                    new_entries[callee] = merged
+                elif not new_entries[callee]:
+                    new_entries[callee] = dict(state)
+        if new_entries == entry_state:
+            break
+        entry_state = new_entries
+
+    # final recording pass
+    for fname in funcs:
+        run_function(fname, record=True)
+
+    # stamp instructions
+    for fname, fn in funcs.items():
+        for ins in fn.all_instrs():
+            if id(ins) in access_protocols:
+                ins.protocols = access_protocols[id(ins)]
+            elif ins.op in ("map", "start_read", "end_read", "start_write", "end_write",
+                            "unmap", "deref_load", "deref_store"):
+                if ins.protocols is None:
+                    ins.protocols = result.all_protocols
+
+
+def _merge_states(current, incoming, widen):
+    """Union-merge; returns the new state if it changed, else None."""
+    if current is None:
+        return dict(incoming)
+    merged = dict(current)
+    changed = False
+    for site, protos in incoming.items():
+        old = merged.get(site)
+        new = frozenset(protos) if old is None else frozenset(old | protos)
+        if new != old:
+            merged[site] = new
+            changed = True
+    return merged if changed else None
+
+
+def _instr_index(fn, target) -> int:
+    for index, ins in enumerate(fn.all_instrs()):
+        if ins is target:
+            return index
+    return -1  # pragma: no cover

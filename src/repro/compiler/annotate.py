@@ -1,0 +1,60 @@
+"""Annotation insertion: the Figure 5 translation.
+
+Every ``shared_load dst, rid, idx`` becomes::
+
+    map        %h, rid        (ACE_MAP on the base address)
+    start_read %h             (ACE_START_READ on the temporary)
+    deref_load dst, %h, idx   (the actual load)
+    end_read   %h             (ACE_END_READ)
+
+and symmetrically for stores.  Runtime-level (hand-annotated) code
+contains no ``shared_load``/``shared_store`` ops, so this pass is the
+identity on it.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.compiler.ir import FuncIR, Instr, ProgramIR
+
+
+def _next_temp_counter(fn: FuncIR) -> int:
+    best = 0
+    for block in fn.blocks.values():
+        for ins in block.instrs:
+            for name in [ins.dst, *ins.uses()]:
+                if name and name.startswith("%t"):
+                    m = re.match(r"%t(\d+)$", name)
+                    if m:
+                        best = max(best, int(m.group(1)))
+    return best
+
+
+def insert_annotations(program: ProgramIR) -> ProgramIR:
+    """Rewrite shared accesses into annotated form, in place."""
+    for fn in program.funcs.values():
+        counter = _next_temp_counter(fn)
+        for block in fn.blocks.values():
+            out = []
+            for ins in block.instrs:
+                if ins.op == "shared_load":
+                    rid, idx = ins.args
+                    counter += 1
+                    h = f"%t{counter}"
+                    out.append(Instr("map", dst=h, args=[rid], line=ins.line))
+                    out.append(Instr("start_read", args=[h], line=ins.line))
+                    out.append(Instr("deref_load", dst=ins.dst, args=[h, idx], line=ins.line))
+                    out.append(Instr("end_read", args=[h], line=ins.line))
+                elif ins.op == "shared_store":
+                    rid, idx, src = ins.args
+                    counter += 1
+                    h = f"%t{counter}"
+                    out.append(Instr("map", dst=h, args=[rid], line=ins.line))
+                    out.append(Instr("start_write", args=[h], line=ins.line))
+                    out.append(Instr("deref_store", args=[h, idx, src], line=ins.line))
+                    out.append(Instr("end_write", args=[h], line=ins.line))
+                else:
+                    out.append(ins)
+            block.instrs = out
+    return program

@@ -1,0 +1,152 @@
+"""AST node definitions for AceC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TypeSpec:
+    """Declared type: base in {'int','double','void'}; shared/mapped
+    pointers hold region ids / mapped handles; arrays are local."""
+
+    base: str
+    is_shared_ptr: bool = False
+    is_mapped_ptr: bool = False
+    array_size: int | None = None
+
+    @property
+    def is_handle(self) -> bool:
+        return self.is_shared_ptr or self.is_mapped_ptr
+
+
+# ---------------------------------------------------------------- expressions
+@dataclass
+class Num:
+    value: float
+    line: int = 0
+
+
+@dataclass
+class Str:
+    value: str
+    line: int = 0
+
+
+@dataclass
+class Var:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Index:
+    base: Var
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Call:
+    name: str
+    args: list
+    line: int = 0
+
+
+@dataclass
+class Unary:
+    op: str
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+Expr = Num | Str | Var | Index | Call | Unary | Binary
+
+
+# ---------------------------------------------------------------- statements
+@dataclass
+class Decl:
+    typ: TypeSpec
+    name: str
+    init: Expr | None
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    target: Var | Index
+    op: str  # '=', '+=', '-=', '*=', '/='
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: Expr
+    then: list
+    els: list
+    line: int = 0
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: list
+    line: int = 0
+
+
+@dataclass
+class For:
+    init: "Stmt | None"
+    cond: Expr | None
+    step: "Stmt | None"
+    body: list
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: Expr | None
+    line: int = 0
+
+
+@dataclass
+class Break:
+    line: int = 0
+
+
+@dataclass
+class Continue:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+    line: int = 0
+
+
+Stmt = Decl | Assign | If | While | For | Return | Break | Continue | ExprStmt
+
+
+# ---------------------------------------------------------------- top level
+@dataclass
+class Func:
+    ret: TypeSpec
+    name: str
+    params: list  # [(TypeSpec, name)]
+    body: list = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ProgramAST:
+    funcs: dict  # name -> Func

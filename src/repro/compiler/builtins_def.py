@@ -1,0 +1,50 @@
+"""The AceC builtin/library surface shared by lowering and the interpreter.
+
+``ace_map`` / ``ace_unmap`` / ``ace_start_read`` / ... are listed here
+for reference but are *not* dispatched as builtins: lowering turns
+them directly into the corresponding annotation IR ops, so hand-
+annotated (Figure 4 style) and compiler-annotated code meet in the
+same IR vocabulary.
+"""
+
+#: name -> (n_args, has_result)
+BUILTINS = {
+    # Table 2 library routines
+    "ace_new_space": (1, True),
+    "ace_gmalloc": (2, True),
+    "ace_change_protocol": (2, False),
+    "ace_barrier": (1, False),
+    "ace_lock": (1, False),
+    "ace_unlock": (1, False),
+    # SPMD identity
+    "my_proc": (0, True),
+    "num_procs": (0, True),
+    # math
+    "sqrt": (1, True),
+    "fabs": (1, True),
+    "floor": (1, True),
+    "idiv": (2, True),
+    "imod": (2, True),
+    "min": (2, True),
+    "max": (2, True),
+    "inf": (0, True),
+    # modeled computation cost (cycles) for the numeric kernel itself
+    "work": (1, False),
+    # host interface: input data and the id bulletin board (models the
+    # setup-time broadcast of region ids every DSM benchmark performs)
+    "host_data": (2, True),
+    "bb_put": (3, False),
+    "bb_get": (2, True),
+    # debugging
+    "print": (1, False),
+}
+
+#: explicit annotation calls -> IR op
+ANNOTATION_CALLS = {
+    "ace_map": "map",
+    "ace_unmap": "unmap",
+    "ace_start_read": "start_read",
+    "ace_end_read": "end_read",
+    "ace_start_write": "start_write",
+    "ace_end_write": "end_write",
+}

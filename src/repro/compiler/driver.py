@@ -1,0 +1,112 @@
+"""Compilation driver: source → optimized IR → simulated execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.analysis import analyze
+from repro.compiler.annotate import insert_annotations
+from repro.compiler.interp import Interp
+from repro.compiler.ir import ProgramIR
+from repro.compiler.lowering import lower_program
+from repro.compiler.opt_direct import direct_dispatch
+from repro.compiler.opt_loops import hoist_loop_invariant
+from repro.compiler.opt_merge import merge_calls
+from repro.compiler.parser_ import parse
+from repro.facade import run_spmd
+from repro.machine import MachineConfig
+from repro.protocols.registry import ProtocolRegistry, default_registry
+
+
+@dataclass(frozen=True)
+class OptConfig:
+    """Which of the §4.2 passes run (Table 4's rows)."""
+
+    li: bool
+    mc: bool
+    dc: bool
+    name: str
+
+
+OPT_BASE = OptConfig(False, False, False, "base")
+OPT_LI = OptConfig(True, False, False, "LI")
+OPT_LI_MC = OptConfig(True, True, False, "LI+MC")
+OPT_DIRECT = OptConfig(True, True, True, "LI+MC+DC")
+
+
+@dataclass
+class CompiledProgram:
+    """Compiled AceC: IR plus what the passes did."""
+
+    ir: ProgramIR
+    opt: OptConfig
+    registry: ProtocolRegistry
+    pass_stats: dict = field(default_factory=dict)
+
+    def dump(self) -> str:
+        return self.ir.dump()
+
+
+@dataclass
+class CompiledRun:
+    """Outcome of running a compiled program."""
+
+    time: int
+    results: list          # main()'s return value per node
+    prints: list           # (nid, value) from print()
+    bb: dict               # bulletin board contents
+    run_result: object     # the underlying facade RunResult
+
+    @property
+    def stats(self):
+        return self.run_result.stats
+
+    def region_data(self, rid: int):
+        """Canonical (home) contents of a region, for validation."""
+        return self.run_result.backend.runtime.regions.get(int(rid)).home_data
+
+
+def compile_source(
+    source: str,
+    opt: OptConfig = OPT_DIRECT,
+    registry: ProtocolRegistry | None = None,
+) -> CompiledProgram:
+    """Compile AceC source at the given optimization level."""
+    registry = registry or default_registry
+    ast = parse(source)
+    ir = lower_program(ast)
+    insert_annotations(ir)
+    analyze(ir, registry)
+    stats = {}
+    if opt.li:
+        stats["hoisted"] = hoist_loop_invariant(ir, registry)
+    if opt.mc:
+        stats["merged"] = merge_calls(ir, registry)
+    if opt.dc:
+        devirt, deleted = direct_dispatch(ir, registry)
+        stats["devirtualized"] = devirt
+        stats["deleted"] = deleted
+    return CompiledProgram(ir=ir, opt=opt, registry=registry, pass_stats=stats)
+
+
+def run_compiled(
+    program: CompiledProgram,
+    n_procs: int = 4,
+    host_data: dict | None = None,
+    machine_config: MachineConfig | None = None,
+) -> CompiledRun:
+    """Execute a compiled program SPMD on a fresh simulated machine."""
+    bb: dict = {}
+    prints: list = []
+
+    def spmd(ctx):
+        return Interp(program.ir, ctx, bb, prints, host_data).run()
+
+    res = run_spmd(
+        spmd,
+        backend="ace",
+        n_procs=n_procs,
+        machine_config=machine_config,
+        registry=program.registry,
+    )
+    return CompiledRun(time=res.time, results=res.results, prints=prints, bb=bb, run_result=res)

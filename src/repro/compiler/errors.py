@@ -1,0 +1,18 @@
+"""Compiler and interpreter error types."""
+
+
+class AceCompileError(Exception):
+    """Any error raised while compiling an AceC program."""
+
+
+class AceSyntaxError(AceCompileError):
+    """Lexical or syntactic error, with source position."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"line {line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class AceRuntimeErr(Exception):
+    """Error raised while interpreting compiled AceC code."""

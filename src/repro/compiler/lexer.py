@@ -1,0 +1,153 @@
+"""Tokenizer for AceC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.errors import AceSyntaxError
+
+KEYWORDS = {
+    "int",
+    "double",
+    "void",
+    "shared",
+    "mapped",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+}
+
+# Multi-char operators first so maximal munch works.
+OPERATORS = [
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num', 'str', 'ident', 'kw', 'op', 'eof'
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}:{self.value!r}@{self.line}:{self.col}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn AceC source into a token list (comments stripped)."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg):
+        raise AceSyntaxError(msg, line, col)
+
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            col = 1 if "\n" in skipped else col + len(skipped)
+            i = end + 2
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n and (
+                source[j].isdigit()
+                or (source[j] == "." and not seen_dot and not seen_exp)
+                or (source[j] in "eE" and not seen_exp and j > i)
+                or (source[j] in "+-" and j > i and source[j - 1] in "eE")
+            ):
+                if source[j] == ".":
+                    seen_dot = True
+                if source[j] in "eE":
+                    seen_exp = True
+                j += 1
+            tokens.append(Token("num", source[i:j], line, col))
+            col += j - i
+            i = j
+            continue
+        if c == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    error("unterminated string literal")
+                j += 1
+            if j >= n:
+                error("unterminated string literal")
+            tokens.append(Token("str", source[i + 1 : j], line, col))
+            col += j - i + 1
+            i = j + 1
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            tokens.append(Token("kw" if word in KEYWORDS else "ident", word, line, col))
+            col += j - i
+            i = j
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                col += len(op)
+                i += len(op)
+                break
+        else:
+            error(f"unexpected character {c!r}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,49 @@
+"""Direct dispatch (§4.2, third optimization).
+
+"If the compiler can determine that there is a unique protocol
+associated with an access, it replaces calls to Ace protocol dispatch
+routines with direct calls to the appropriate protocol routine ...
+In addition, if a protocol defines certain actions to be null, then
+calls to that protocol action can be removed."
+
+Concretely: an annotation op whose protocol set is a singleton gets
+``direct = True`` (the interpreter skips the space-lookup dispatch
+charge); if the unique protocol registers that hook null, the op is
+deleted outright.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import ProgramIR
+
+_HOOK_OF = {
+    "start_read": "start_read",
+    "end_read": "end_read",
+    "start_write": "start_write",
+    "end_write": "end_write",
+}
+
+
+def direct_dispatch(program: ProgramIR, registry) -> tuple[int, int]:
+    """Run the pass; returns (n_devirtualized, n_deleted)."""
+    devirt = 0
+    deleted = 0
+    for fn in program.funcs.values():
+        for block in fn.blocks.values():
+            keep = []
+            for ins in block.instrs:
+                if (
+                    ins.op in ("map", "unmap", "start_read", "end_read", "start_write", "end_write")
+                    and ins.protocols is not None
+                    and len(ins.protocols) == 1
+                ):
+                    (proto,) = ins.protocols
+                    hook = _HOOK_OF.get(ins.op)
+                    if hook is not None and registry.spec(proto).is_null(hook):
+                        deleted += 1
+                        continue  # null handler: remove the call entirely
+                    ins.direct = True
+                    devirt += 1
+                keep.append(ins)
+            block.instrs = keep
+    return devirt, deleted

@@ -1,0 +1,312 @@
+"""Recursive-descent parser for AceC."""
+
+from __future__ import annotations
+
+from repro.compiler.ast_nodes import (
+    Assign,
+    Binary,
+    Break,
+    Call,
+    Continue,
+    Decl,
+    ExprStmt,
+    For,
+    Func,
+    If,
+    Index,
+    Num,
+    ProgramAST,
+    Return,
+    Str,
+    TypeSpec,
+    Unary,
+    Var,
+    While,
+)
+from repro.compiler.errors import AceSyntaxError
+from repro.compiler.lexer import Token, tokenize
+
+# precedence climbing table: op -> (precedence, right_assoc)
+_BINOPS = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    ">": 4,
+    "<=": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.toks = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        return self.toks[min(self.pos + ahead, len(self.toks) - 1)]
+
+    def next(self) -> Token:
+        tok = self.toks[self.pos]
+        self.pos += 1
+        return tok
+
+    def error(self, msg: str) -> None:
+        tok = self.peek()
+        raise AceSyntaxError(f"{msg} (found {tok.value!r})", tok.line, tok.col)
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            self.error(f"expected {value or kind}")
+        return self.next()
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self.next()
+        return None
+
+    # -- grammar --------------------------------------------------------
+    def parse_program(self) -> ProgramAST:
+        funcs: dict[str, Func] = {}
+        while self.peek().kind != "eof":
+            fn = self.parse_func()
+            if fn.name in funcs:
+                self.error(f"function {fn.name!r} defined twice")
+            funcs[fn.name] = fn
+        if "main" not in funcs:
+            tok = self.peek()
+            raise AceSyntaxError("program has no main()", tok.line, tok.col)
+        return ProgramAST(funcs)
+
+    def _at_type(self) -> bool:
+        tok = self.peek()
+        return tok.kind == "kw" and tok.value in ("int", "double", "void", "shared", "mapped")
+
+    def parse_type(self) -> TypeSpec:
+        shared = bool(self.accept("kw", "shared"))
+        mapped = bool(self.accept("kw", "mapped"))
+        tok = self.peek()
+        if tok.kind != "kw" or tok.value not in ("int", "double", "void"):
+            self.error("expected type name")
+        base = self.next().value
+        is_ptr = False
+        if self.accept("op", "*"):
+            is_ptr = True
+        if (shared or mapped) and not is_ptr:
+            self.error("shared/mapped declarations must be pointers (e.g. 'shared double *p')")
+        if is_ptr and not (shared or mapped):
+            self.error("raw pointers are not supported; use 'shared' or 'mapped'")
+        return TypeSpec(base, is_shared_ptr=shared and is_ptr, is_mapped_ptr=mapped and is_ptr)
+
+    def parse_func(self) -> Func:
+        line = self.peek().line
+        ret = self.parse_type()
+        name = self.expect("ident").value
+        self.expect("op", "(")
+        params = []
+        if not self.accept("op", ")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect("ident").value
+                params.append((ptype, pname))
+                if self.accept("op", ")"):
+                    break
+                self.expect("op", ",")
+        self.expect("op", "{")
+        body = self.parse_block_body()
+        return Func(ret, name, params, body, line=line)
+
+    def parse_block_body(self) -> list:
+        stmts = []
+        while not self.accept("op", "}"):
+            if self.peek().kind == "eof":
+                self.error("unexpected end of input (missing '}')")
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self):
+        tok = self.peek()
+        if self._at_type():
+            return self.parse_decl()
+        if tok.kind == "kw" and tok.value == "if":
+            return self.parse_if()
+        if tok.kind == "kw" and tok.value == "while":
+            return self.parse_while()
+        if tok.kind == "kw" and tok.value == "for":
+            return self.parse_for()
+        if tok.kind == "kw" and tok.value == "return":
+            self.next()
+            value = None if self.peek().value == ";" else self.parse_expr()
+            self.expect("op", ";")
+            return Return(value, line=tok.line)
+        if tok.kind == "kw" and tok.value == "break":
+            self.next()
+            self.expect("op", ";")
+            return Break(line=tok.line)
+        if tok.kind == "kw" and tok.value == "continue":
+            self.next()
+            self.expect("op", ";")
+            return Continue(line=tok.line)
+        if tok.kind == "op" and tok.value == "{":
+            # flatten nested blocks into an If(1){...} is ugly; just inline
+            self.next()
+            body = self.parse_block_body()
+            return If(Num(1.0, line=tok.line), body, [], line=tok.line)
+        stmt = self.parse_simple_stmt()
+        self.expect("op", ";")
+        return stmt
+
+    def parse_decl(self) -> Decl:
+        line = self.peek().line
+        typ = self.parse_type()
+        name = self.expect("ident").value
+        if self.accept("op", "["):
+            size_tok = self.expect("num")
+            size = int(float(size_tok.value))
+            self.expect("op", "]")
+            typ = TypeSpec(typ.base, typ.is_shared_ptr, typ.is_mapped_ptr, array_size=size)
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        return Decl(typ, name, init, line=line)
+
+    def parse_if(self) -> If:
+        line = self.next().line  # 'if'
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_stmt_or_block()
+        els = []
+        if self.accept("kw", "else"):
+            els = self.parse_stmt_or_block()
+        return If(cond, then, els, line=line)
+
+    def parse_while(self) -> While:
+        line = self.next().line
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_stmt_or_block()
+        return While(cond, body, line=line)
+
+    def parse_for(self) -> For:
+        line = self.next().line
+        self.expect("op", "(")
+        init = None
+        if not self.accept("op", ";"):
+            init = self.parse_decl() if self._at_type() else self._semi(self.parse_simple_stmt())
+        cond = None
+        if not self.accept("op", ";"):
+            cond = self.parse_expr()
+            self.expect("op", ";")
+        step = None
+        if self.peek().value != ")":
+            step = self.parse_simple_stmt()
+        self.expect("op", ")")
+        body = self.parse_stmt_or_block()
+        return For(init, cond, step, body, line=line)
+
+    def _semi(self, stmt):
+        self.expect("op", ";")
+        return stmt
+
+    def parse_stmt_or_block(self) -> list:
+        if self.accept("op", "{"):
+            return self.parse_block_body()
+        return [self.parse_stmt()]
+
+    def parse_simple_stmt(self):
+        """Assignment, ++/--, or expression statement (no trailing ';')."""
+        line = self.peek().line
+        expr = self.parse_expr()
+        tok = self.peek()
+        if tok.kind == "op" and tok.value in ("=", "+=", "-=", "*=", "/="):
+            if not isinstance(expr, (Var, Index)):
+                self.error("assignment target must be a variable or element")
+            op = self.next().value
+            value = self.parse_expr()
+            return Assign(expr, op, value, line=line)
+        if tok.kind == "op" and tok.value in ("++", "--"):
+            if not isinstance(expr, (Var, Index)):
+                self.error("++/-- target must be a variable or element")
+            self.next()
+            delta = Num(1.0, line=line)
+            return Assign(expr, "+=" if tok.value == "++" else "-=", delta, line=line)
+        return ExprStmt(expr, line=line)
+
+    # -- expressions ------------------------------------------------------
+    def parse_expr(self, min_prec: int = 1):
+        left = self.parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.kind != "op" or tok.value not in _BINOPS:
+                return left
+            prec = _BINOPS[tok.value]
+            if prec < min_prec:
+                return left
+            op = self.next().value
+            right = self.parse_expr(prec + 1)
+            left = Binary(op, left, right, line=tok.line)
+
+    def parse_unary(self):
+        tok = self.peek()
+        if tok.kind == "op" and tok.value in ("-", "!"):
+            self.next()
+            return Unary(tok.value, self.parse_unary(), line=tok.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        atom = self.parse_atom()
+        while True:
+            tok = self.peek()
+            if tok.kind == "op" and tok.value == "[":
+                if not isinstance(atom, Var):
+                    self.error("only simple names can be indexed")
+                self.next()
+                idx = self.parse_expr()
+                self.expect("op", "]")
+                atom = Index(atom, idx, line=tok.line)
+            else:
+                return atom
+
+    def parse_atom(self):
+        tok = self.peek()
+        if tok.kind == "num":
+            self.next()
+            return Num(float(tok.value), line=tok.line)
+        if tok.kind == "str":
+            self.next()
+            return Str(tok.value, line=tok.line)
+        if tok.kind == "op" and tok.value == "(":
+            self.next()
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        if tok.kind == "ident":
+            name = self.next().value
+            if self.accept("op", "("):
+                args = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if self.accept("op", ")"):
+                            break
+                        self.expect("op", ",")
+                return Call(name, args, line=tok.line)
+            return Var(name, line=tok.line)
+        self.error("expected expression")
+
+
+def parse(source: str) -> ProgramAST:
+    """Parse AceC source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

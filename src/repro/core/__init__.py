@@ -1,0 +1,17 @@
+"""The Ace runtime system (§3, §4.1 of the paper).
+
+The runtime implements the Table 2 library — ``Ace_NewSpace``,
+``Ace_GMalloc``, ``Ace_ChangeProtocol``, ``Ace_Barrier``, ``Ace_Lock``,
+``Ace_UnLock`` — and the Figure 3 annotation primitives — ``ACE_MAP``,
+``ACE_UNMAP``, ``ACE_START_READ``, ``ACE_END_READ``, ``ACE_START_WRITE``,
+``ACE_END_WRITE``.  Every primitive first resolves the region's *space*
+through a hash table and dispatches through the space's protocol
+pointers (§4.1), charging the dispatch-indirection cost the paper
+identifies as Ace's overhead relative to CRL on coarse-grained codes.
+"""
+
+from repro.core.config import AceConfig
+from repro.core.runtime import AceRuntime
+from repro.core.space import Space
+
+__all__ = ["AceConfig", "AceRuntime", "Space"]

@@ -1,0 +1,24 @@
+"""Cycle costs specific to the Ace runtime layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class AceConfig:
+    """Costs of the space/protocol indirection (§4.1).
+
+    ``dispatch_cost`` is charged on every runtime primitive: look up the
+    region's space in a hash table, follow the space's protocol function
+    pointer.  The compiler's direct-dispatch optimization eliminates it
+    (and the whole call, for null hooks).
+    """
+
+    dispatch_cost: int = 10
+    space_create: int = 90
+    gmalloc_extra: int = 25     # space bookkeeping on top of the protocol's create
+    change_protocol: int = 70   # per-node swap bookkeeping (excl. flush + barriers)
+
+    def with_(self, **kw) -> "AceConfig":
+        return replace(self, **kw)

@@ -1,0 +1,227 @@
+"""The Ace runtime: Table 2 library routines + Figure 3 primitives.
+
+Every data primitive performs the §4.1 dispatch: resolve the region's
+space via the region→space hash table, then call through the space's
+protocol pointers.  ``direct=True`` on a primitive skips the dispatch
+charge — that is exactly what the compiler's direct-dispatch
+optimization emits when dataflow analysis proves the protocol unique.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AceConfig
+from repro.core.space import Space
+from repro.dsm import ACE_SC_COSTS, BarrierService, DirectoryEngine, LockService
+from repro.machine import Machine
+from repro.memory import RegionDirectory
+from repro.protocols.base import ProtocolMisuse
+from repro.protocols.registry import ProtocolRegistry, default_registry
+from repro.sim import Delay
+
+
+class AceRuntime:
+    """One Ace runtime instance spanning all nodes of a machine.
+
+    Parameters
+    ----------
+    machine:
+        The simulated multicomputer.
+    registry:
+        Protocol registry (defaults to the library's
+        :data:`~repro.protocols.registry.default_registry`).
+    config:
+        Runtime-layer costs.
+    barrier_algorithm:
+        ``"hw"`` (CM-5 control network) or ``"dissemination"``.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        registry: ProtocolRegistry | None = None,
+        config: AceConfig | None = None,
+        barrier_algorithm: str = "hw",
+    ):
+        self.machine = machine
+        self.registry = registry or default_registry
+        self.config = config or AceConfig()
+        self.regions = RegionDirectory()
+        self.spaces: list[Space] = []
+        self.region_space: dict[int, Space] = {}
+        # Shared services protocols delegate to.
+        self.sc_engine = DirectoryEngine(machine, self.regions, ACE_SC_COSTS, stats_prefix="ace.sc")
+        self.locks = LockService(machine, self.regions, stats_prefix="ace.lock")
+        self._barrier = BarrierService(machine, algorithm=barrier_algorithm)
+        self._space_ctr = [0] * machine.n_procs
+
+    # ------------------------------------------------------------------
+    # Table 2 library routines
+    # ------------------------------------------------------------------
+    def new_space(self, nid: int, protocol_name: str):
+        """Generator (collective): ``Ace_NewSpace(protocol)`` → space id.
+
+        All nodes execute the same SPMD allocation sequence; the first
+        arrival instantiates the space, later arrivals attach to it.
+        """
+        yield Delay(self.config.space_create)
+        idx = self._space_ctr[nid]
+        self._space_ctr[nid] += 1
+        if idx == len(self.spaces):
+            space = Space(sid=idx)
+            space.protocol = self.registry.create(protocol_name, self, space)
+            self.spaces.append(space)
+        space = self.spaces[idx]
+        if space.protocol.name != protocol_name:
+            raise ProtocolMisuse(
+                f"SPMD divergence: node {nid} created space {idx} with protocol "
+                f"{protocol_name!r} but it already runs {space.protocol.name!r}"
+            )
+        self.machine.stats.count("ace.new_space")
+        yield from space.protocol.init_space(nid)
+        return space.sid
+
+    def gmalloc(self, nid: int, sid: int, size: int):
+        """Generator: ``Ace_GMalloc(space, size)`` → region id (homed at ``nid``)."""
+        space = self._space(sid)
+        yield Delay(self.config.gmalloc_extra)
+        rid = yield from space.protocol.create(nid, size)
+        space.regions.append(rid)
+        self.region_space[rid] = space
+        self.machine.stats.count("ace.gmalloc")
+        return rid
+
+    def change_protocol(self, nid: int, sid: int, protocol_name: str):
+        """Generator (collective): ``Ace_ChangeProtocol(space, protocol)``.
+
+        Semantics per §3.1: the *old* protocol defines the transition —
+        each node flushes its cached state to the base state, everyone
+        synchronizes, the protocol object is swapped exactly once, and
+        the new protocol initializes per node.  All previously mapped
+        handles for the space become stale.
+        """
+        space = self._space(sid)
+        if space.protocol.name == protocol_name:
+            # No-op change; still a legal (cheap) collective call.
+            yield Delay(self.config.change_protocol)
+            return
+        yield Delay(self.config.change_protocol)
+        yield from space.protocol.flush_node(nid)
+        yield from self.rendezvous(nid)
+        if nid == 0:
+            space.pdata = {}
+            space.protocol = self.registry.create(protocol_name, self, space)
+            space.generation += 1
+            self.machine.stats.count("ace.change_protocol")
+        yield from self.rendezvous(nid)
+        yield from space.protocol.init_space(nid)
+
+    def barrier(self, nid: int, sid: int):
+        """Generator: ``Ace_Barrier(space)`` — the space's protocol barrier."""
+        space = self._space(sid)
+        yield Delay(self.config.dispatch_cost)
+        self.machine.stats.count("ace.barrier")
+        yield from space.protocol.barrier(nid)
+
+    def lock(self, nid: int, rid: int, direct: bool = False):
+        """Generator: ``Ace_Lock(region)`` via the region's protocol."""
+        space = self._space_of_rid(rid)
+        if not direct and not space.protocol.spec.hardware:
+            yield Delay(self.config.dispatch_cost)
+        self.machine.stats.count("ace.lock")
+        yield from space.protocol.lock(nid, rid)
+
+    def unlock(self, nid: int, rid: int, direct: bool = False):
+        """Generator: ``Ace_UnLock(region)``."""
+        space = self._space_of_rid(rid)
+        if not direct and not space.protocol.spec.hardware:
+            yield Delay(self.config.dispatch_cost)
+        self.machine.stats.count("ace.unlock")
+        yield from space.protocol.unlock(nid, rid)
+
+    # ------------------------------------------------------------------
+    # Figure 3 primitives (what the compiler inserts)
+    # ------------------------------------------------------------------
+    def map(self, nid: int, rid: int, direct: bool = False):
+        """Generator: ``ACE_MAP`` — region id → local handle."""
+        space = self._space_of_rid(rid)
+        if not direct and not space.protocol.spec.hardware:
+            yield Delay(self.config.dispatch_cost)
+        self.machine.stats.count("ace.map")
+        handle = yield from space.protocol.map(nid, rid)
+        handle.meta["ace_gen"] = space.generation
+        return handle
+
+    def unmap(self, nid: int, handle, direct: bool = False):
+        """Generator: ``ACE_UNMAP``."""
+        space = self._space_of_handle(handle)
+        if not direct and not space.protocol.spec.hardware:
+            yield Delay(self.config.dispatch_cost)
+        self.machine.stats.count("ace.unmap")
+        yield from space.protocol.unmap(nid, handle)
+
+    def start_read(self, nid: int, handle, direct: bool = False):
+        """Generator: ``ACE_START_READ``."""
+        space = self._dispatch(handle, direct, "ace.start_read")
+        if not direct and not space.protocol.spec.hardware:
+            yield Delay(self.config.dispatch_cost)
+        yield from space.protocol.start_read(nid, handle)
+
+    def end_read(self, nid: int, handle, direct: bool = False):
+        """Generator: ``ACE_END_READ``."""
+        space = self._dispatch(handle, direct, "ace.end_read")
+        if not direct and not space.protocol.spec.hardware:
+            yield Delay(self.config.dispatch_cost)
+        yield from space.protocol.end_read(nid, handle)
+
+    def start_write(self, nid: int, handle, direct: bool = False):
+        """Generator: ``ACE_START_WRITE``."""
+        space = self._dispatch(handle, direct, "ace.start_write")
+        if not direct and not space.protocol.spec.hardware:
+            yield Delay(self.config.dispatch_cost)
+        yield from space.protocol.start_write(nid, handle)
+
+    def end_write(self, nid: int, handle, direct: bool = False):
+        """Generator: ``ACE_END_WRITE``."""
+        space = self._dispatch(handle, direct, "ace.end_write")
+        if not direct and not space.protocol.spec.hardware:
+            yield Delay(self.config.dispatch_cost)
+        yield from space.protocol.end_write(nid, handle)
+
+    # ------------------------------------------------------------------
+    # services used by protocols
+    # ------------------------------------------------------------------
+    def rendezvous(self, nid: int):
+        """Generator: the bare global barrier (no protocol actions)."""
+        yield from self._barrier.wait(nid)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def _space(self, sid: int) -> Space:
+        try:
+            return self.spaces[sid]
+        except IndexError:
+            raise ProtocolMisuse(f"unknown space id {sid}") from None
+
+    def _space_of_rid(self, rid: int) -> Space:
+        space = self.region_space.get(rid)
+        if space is None:
+            raise ProtocolMisuse(f"region {rid} was not allocated with Ace_GMalloc")
+        return space
+
+    def _space_of_handle(self, handle) -> Space:
+        return self._space_of_rid(handle.region.rid)
+
+    def _dispatch(self, handle, direct: bool, stat: str) -> Space:
+        space = self._space_of_handle(handle)
+        if handle.meta.get("ace_gen") != space.generation:
+            raise ProtocolMisuse(
+                f"stale handle for region {handle.region.rid}: space {space.sid} "
+                "changed protocol since it was mapped — re-map after Ace_ChangeProtocol"
+            )
+        self.machine.stats.count(stat)
+        return space
+
+    def space_protocol(self, sid: int) -> str:
+        """Name of the protocol currently bound to ``sid`` (for tests/tools)."""
+        return self._space(sid).protocol.name

@@ -1,0 +1,32 @@
+"""Spaces: the indirection that binds data structures to protocols (§2.2).
+
+A space "manages a subset of the address space and handles all
+allocations, accesses and synchronization to data within it".  In the
+runtime it is a structure holding the protocol instance (function
+pointers, in the paper), the list of member regions, and a private
+slot protocols use to associate per-data-structure state (e.g. a
+static-update protocol's sharer lists) — §4.1.
+"""
+
+from __future__ import annotations
+
+
+class Space:
+    """One space.  ``generation`` increments on every protocol change so
+    stale handles (mapped under the old protocol) can be rejected."""
+
+    __slots__ = ("sid", "protocol", "regions", "pdata", "generation")
+
+    def __init__(self, sid: int):
+        self.sid = sid
+        self.protocol = None  # set by AceRuntime.new_space / change_protocol
+        self.regions: list[int] = []
+        # Protocol-private data, keyed however the protocol likes; reset
+        # on protocol change ("a pointer by which protocols may associate
+        # data with a space", §4.1).
+        self.pdata: dict = {}
+        self.generation = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        proto = self.protocol.name if self.protocol else None
+        return f"<Space {self.sid} protocol={proto} regions={len(self.regions)}>"

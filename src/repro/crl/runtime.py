@@ -1,0 +1,62 @@
+"""The CRL-like runtime: rgn_* API over the shared directory engine."""
+
+from __future__ import annotations
+
+from repro.dsm import BarrierService, CRL_COSTS, DirectoryEngine, LockService
+from repro.machine import Machine
+from repro.memory import RegionDirectory
+
+
+class CRLRuntime:
+    """Fixed-protocol region DSM (the paper's baseline system).
+
+    The API mirrors CRL's: ``rgn_create``, ``rgn_map``, ``rgn_unmap``,
+    ``rgn_start_read``/``rgn_end_read``, ``rgn_start_write``/
+    ``rgn_end_write``, plus global barriers (CM-5 control network, as
+    in CRL) and region locks so ported Ace programs keep their
+    synchronization structure (§5.1's porting methodology).
+    """
+
+    def __init__(self, machine: Machine, barrier_algorithm: str = "hw"):
+        self.machine = machine
+        self.regions = RegionDirectory()
+        self.engine = DirectoryEngine(machine, self.regions, CRL_COSTS, stats_prefix="crl")
+        self.locks = LockService(machine, self.regions, stats_prefix="crl.lock")
+        self._barrier = BarrierService(machine, algorithm=barrier_algorithm)
+
+    def rgn_create(self, nid: int, size: int):
+        """Generator: allocate a region homed at ``nid``; returns rid."""
+        rid = yield from self.engine.create(nid, size)
+        return rid
+
+    def rgn_map(self, nid: int, rid: int):
+        """Generator: map a region into the node's local address space."""
+        handle = yield from self.engine.map(nid, rid)
+        return handle
+
+    def rgn_unmap(self, nid: int, handle):
+        yield from self.engine.unmap(nid, handle)
+
+    def rgn_start_read(self, nid: int, handle):
+        yield from self.engine.start_read(nid, handle)
+
+    def rgn_end_read(self, nid: int, handle):
+        yield from self.engine.end_read(nid, handle)
+
+    def rgn_start_write(self, nid: int, handle):
+        yield from self.engine.start_write(nid, handle)
+
+    def rgn_end_write(self, nid: int, handle):
+        yield from self.engine.end_write(nid, handle)
+
+    def rgn_flush(self, nid: int, rid: int):
+        yield from self.engine.flush(nid, rid)
+
+    def barrier(self, nid: int):
+        yield from self._barrier.wait(nid)
+
+    def lock(self, nid: int, rid: int):
+        yield from self.locks.acquire(nid, rid)
+
+    def unlock(self, nid: int, rid: int):
+        yield from self.locks.release(nid, rid)

@@ -1,0 +1,28 @@
+"""Region-based software-DSM machinery shared by CRL and Ace.
+
+The paper's two systems — the CRL baseline and Ace's default
+sequentially-consistent protocol — run the *same family* of home-based
+MSI invalidation protocols; they differ in per-operation software costs
+(mapping technique, dispatch path) and engineering detail (§5.1: "a
+careful redesign of the sequential consistency protocol and a more
+efficient mapping technique").  This package provides the protocol
+engine once, parameterized by a :class:`~repro.dsm.costs.DSMCosts`
+table, so both systems exercise identical coherence logic and their
+measured difference is exactly the modeled software overhead — the
+paper's own explanation of Figure 7a.
+"""
+
+from repro.dsm.costs import DSMCosts, ACE_SC_COSTS, CRL_COSTS
+from repro.dsm.engine import DirectoryEngine, ProtocolError
+from repro.dsm.locks import LockService
+from repro.dsm.barrier import BarrierService
+
+__all__ = [
+    "ACE_SC_COSTS",
+    "BarrierService",
+    "CRL_COSTS",
+    "DSMCosts",
+    "DirectoryEngine",
+    "LockService",
+    "ProtocolError",
+]

@@ -1,0 +1,61 @@
+"""Barrier algorithms for the simulated machine.
+
+The default barrier rides the CM-5 control network
+(:meth:`~repro.machine.machine.Machine.hw_barrier`), as CRL's does.  A
+message-based dissemination barrier is also provided for machines
+without a control network and for the barrier-algorithm ablation
+bench.  Ace protocols run their ``barrier`` hooks *around* one of
+these rendezvous primitives.
+"""
+
+from __future__ import annotations
+
+from repro.machine import Machine
+from repro.sim import Future
+
+
+class BarrierService:
+    """Global barriers: ``hw`` (control network) or ``dissemination`` (messages)."""
+
+    def __init__(self, machine: Machine, algorithm: str = "hw"):
+        if algorithm not in ("hw", "dissemination"):
+            raise ValueError(f"unknown barrier algorithm {algorithm!r}")
+        self.machine = machine
+        self.algorithm = algorithm
+        n = machine.n_procs
+        self._rounds = max(1, (n - 1).bit_length())
+        # dissemination state: per round, per node, count of notifies seen
+        self._flags = [[0] * n for _ in range(self._rounds)]
+        self._waiting: list[list[Future | None]] = [[None] * n for _ in range(self._rounds)]
+
+    def wait(self, nid: int):
+        """Generator: block until all ``n_procs`` nodes have arrived."""
+        self.machine.stats.count("barrier.arrive")
+        if self.algorithm == "hw" or self.machine.n_procs == 1:
+            yield from self.machine.hw_barrier(nid)
+            return
+        yield from self._dissemination(nid)
+
+    def _dissemination(self, nid: int):
+        n = self.machine.n_procs
+        for r in range(self._rounds):
+            peer = (nid + (1 << r)) % n
+            yield from self.machine.am_request(
+                nid, peer, self._on_notify, r, payload_words=1, category="barrier.notify"
+            )
+            if self._flags[r][nid] > 0:
+                self._flags[r][nid] -= 1
+            else:
+                fut = Future(name=f"barrier:r{r}@{nid}")
+                self._waiting[r][nid] = fut
+                yield fut
+                self._waiting[r][nid] = None
+
+    def _on_notify(self, node, src, r):
+        nid = node.nid
+        fut = self._waiting[r][nid]
+        if fut is not None:
+            self._waiting[r][nid] = None
+            fut.resolve(None)
+        else:
+            self._flags[r][nid] += 1

@@ -1,0 +1,488 @@
+"""Home-based MSI directory protocol engine.
+
+This is the coherence core of the reproduction: a sequentially
+consistent, invalidation-based, region-granularity protocol of the
+family CRL 1.0 implements, structured as atomic active-message
+handlers plus per-region directory state at the home node — the
+classical software-DSM organization.
+
+State model
+-----------
+Per region, the home node holds a :class:`DirEntry`:
+
+* ``owner`` — the remote node holding a dirty exclusive copy (home
+  data is stale while set), or ``None``;
+* ``sharers`` — remote nodes holding clean shared copies;
+* ``home_readers`` / ``home_writing`` — the home task's own open
+  accesses (a node runs one task, so these never count foreign work);
+* ``busy`` + ``pending`` — an in-flight recall/invalidation fan-out;
+* ``queue`` — FIFO of requests that arrived while the entry was busy,
+  guaranteeing per-region request ordering and no starvation.
+
+Node-side, each cached :class:`~repro.memory.region.RegionCopy` is
+``invalid``/``shared``/``excl`` (``home`` for the home's alias of the
+canonical array).  Exclusive copies stay dirty after ``end_write``
+(lazy write-back, as in CRL); the next conflicting access recalls
+them.  Invalidations that arrive while a copy is in use are deferred
+until the matching ``end_read``/``end_write`` — required for
+sequential consistency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.dsm.costs import DSMCosts
+from repro.machine import Machine
+from repro.memory import Region, RegionCopy, RegionDirectory
+from repro.sim import Delay, Future
+from repro.sim.errors import SimulationError
+
+
+class ProtocolError(SimulationError):
+    """Raised for protocol misuse (unmatched start/end, bad unmap, ...)."""
+
+
+class DirEntry:
+    """Home-side directory state for one region."""
+
+    __slots__ = ("owner", "sharers", "home_readers", "home_writing", "busy", "queue", "pending")
+
+    def __init__(self):
+        self.owner: int | None = None
+        self.sharers: set[int] = set()
+        self.home_readers = 0
+        self.home_writing = False
+        self.busy = False
+        self.queue: deque = deque()
+        self.pending: dict | None = None
+
+
+class DirectoryEngine:
+    """One instance per (machine, cost table); used by CRL and by Ace's SC protocol.
+
+    All public operations are generators to be driven by a node's task
+    (``yield from engine.start_read(nid, copy)``); they charge the cost
+    table's cycles and perform whatever communication the directory
+    state requires.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        regions: RegionDirectory,
+        costs: DSMCosts,
+        stats_prefix: str = "dsm",
+    ):
+        self.machine = machine
+        self.regions = regions
+        self.costs = costs
+        self.prefix = stats_prefix
+        self._key = f"dir:{stats_prefix}"
+        # per-node cache of copies: node id -> {rid: RegionCopy}
+        self._copies: list[dict[int, RegionCopy]] = [dict() for _ in range(machine.n_procs)]
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _ent(self, region: Region) -> DirEntry:
+        ent = region.meta.get(self._key)
+        if ent is None:
+            ent = DirEntry()
+            region.meta[self._key] = ent
+        return ent
+
+    def _count(self, event: str, n: int = 1) -> None:
+        self.machine.stats.count(f"{self.prefix}.{event}", n)
+
+    def copy_of(self, nid: int, rid: int) -> RegionCopy | None:
+        """The node's cached copy of ``rid``, if any (None otherwise)."""
+        return self._copies[nid].get(rid)
+
+    # ------------------------------------------------------------------
+    # allocation and mapping
+    # ------------------------------------------------------------------
+    def create(self, nid: int, size: int):
+        """Generator: allocate a region homed at ``nid``; returns the rid."""
+        yield Delay(self.costs.create)
+        region = self.regions.alloc(home=nid, size=size)
+        self._ent(region)
+        copy = RegionCopy(region, nid)
+        copy.data = region.home_data  # the home's copy aliases canonical storage
+        copy.state = "home"
+        copy.meta["read_count"] = 0
+        copy.meta["write_count"] = 0
+        copy.meta["map_count"] = 0
+        copy.meta["deferred"] = []
+        self._copies[nid][region.rid] = copy
+        self._count("create")
+        return region.rid
+
+    def map(self, nid: int, rid: int):
+        """Generator: map ``rid`` on node ``nid``; returns the RegionCopy."""
+        copy = self._copies[nid].get(rid)
+        if copy is not None:
+            yield Delay(self.costs.map_hit)
+            self._count("map_hit")
+        else:
+            yield Delay(self.costs.map_cold)
+            region = self.regions.get(rid)
+            if region.home != nid and self.costs.map_needs_lookup:
+                # CRL-style: learn the region's metadata from its home.
+                yield from self.machine.rpc(
+                    nid,
+                    region.home,
+                    self._on_map_lookup,
+                    rid,
+                    payload_words=self.costs.meta_words,
+                    category=f"{self.prefix}.map_lookup",
+                )
+            copy = RegionCopy(region, nid)
+            if region.home == nid:  # pragma: no cover - home copy made in create
+                copy.data = region.home_data
+                copy.state = "home"
+            copy.meta["read_count"] = 0
+            copy.meta["write_count"] = 0
+            copy.meta["map_count"] = 0
+            copy.meta["deferred"] = []
+            self._copies[nid][rid] = copy
+            self._count("map_cold")
+        copy.meta["map_count"] += 1
+        copy.mapped = True
+        return copy
+
+    def _on_map_lookup(self, node, src, fut, rid):
+        region = self.regions.get(rid)
+        self.machine.reply(
+            fut, region.size, payload_words=self.costs.meta_words, category=f"{self.prefix}.map_reply"
+        )
+
+    def unmap(self, nid: int, copy: RegionCopy):
+        """Generator: unmap; the copy stays cached (unmapped-region cache)."""
+        if copy.meta["map_count"] <= 0:
+            raise ProtocolError(f"unmap of unmapped region {copy.rid} on node {nid}")
+        if copy.meta["read_count"] or copy.meta["write_count"]:
+            raise ProtocolError(f"unmap of region {copy.rid} with open accesses on node {nid}")
+        yield Delay(self.costs.unmap)
+        copy.meta["map_count"] -= 1
+        copy.mapped = copy.meta["map_count"] > 0
+        self._count("unmap")
+
+    # ------------------------------------------------------------------
+    # read / write entry points (called from node tasks)
+    # ------------------------------------------------------------------
+    def start_read(self, nid: int, copy: RegionCopy):
+        """Generator: acquire a readable copy (blocks on a miss)."""
+        region = copy.region
+        yield Delay(self.costs.start_hit)
+        ent = self._ent(region)
+        if copy.state in ("shared", "excl") or (
+            copy.state == "home" and ent.owner is None and not ent.busy
+        ):
+            if copy.state == "home":
+                ent.home_readers += 1
+            copy.meta["read_count"] += 1
+            self._count("read_hit")
+            return
+        self._count("read_miss")
+        yield Delay(self.costs.start_miss)
+        fut = Future(name=f"read:{region.rid}@{nid}")
+        if nid == region.home:
+            self._on_read_req(self.machine.nodes[nid], nid, fut, region.rid)
+            yield fut
+        else:
+            data = yield from self.machine.rpc(
+                nid,
+                region.home,
+                self._on_read_req,
+                region.rid,
+                payload_words=self.costs.meta_words,
+                category=f"{self.prefix}.read_req",
+            )
+            np.copyto(copy.data, data)
+            copy.state = "shared"
+            self._send_grant_ack(nid, region)
+        copy.meta["read_count"] += 1
+
+    def end_read(self, nid: int, copy: RegionCopy):
+        """Generator: release a read; may fire deferred invalidations."""
+        if copy.meta["read_count"] <= 0:
+            raise ProtocolError(f"end_read without start_read on region {copy.rid} node {nid}")
+        yield Delay(self.costs.end_op)
+        copy.meta["read_count"] -= 1
+        if copy.state == "home":
+            ent = self._ent(copy.region)
+            ent.home_readers -= 1
+            if ent.home_readers == 0:
+                self._drain(copy.region, ent)
+        elif copy.meta["read_count"] == 0:
+            self._fire_deferred(copy)
+
+    def start_write(self, nid: int, copy: RegionCopy):
+        """Generator: acquire an exclusive copy (blocks until granted)."""
+        region = copy.region
+        yield Delay(self.costs.start_hit)
+        ent = self._ent(region)
+        if copy.state == "excl" or (
+            copy.state == "home" and ent.owner is None and not ent.sharers and not ent.busy
+        ):
+            if copy.state == "home":
+                ent.home_writing = True
+            copy.meta["write_count"] += 1
+            self._count("write_hit")
+            return
+        self._count("write_miss")
+        yield Delay(self.costs.start_miss)
+        fut = Future(name=f"write:{region.rid}@{nid}")
+        if nid == region.home:
+            self._on_write_req(self.machine.nodes[nid], nid, fut, region.rid)
+            yield fut
+        else:
+            data = yield from self.machine.rpc(
+                nid,
+                region.home,
+                self._on_write_req,
+                region.rid,
+                payload_words=self.costs.meta_words,
+                category=f"{self.prefix}.write_req",
+            )
+            if data is not None:
+                np.copyto(copy.data, data)
+            copy.state = "excl"
+            self._send_grant_ack(nid, region)
+        copy.meta["write_count"] += 1
+
+    def end_write(self, nid: int, copy: RegionCopy):
+        """Generator: release a write (copy stays dirty-exclusive; lazy write-back)."""
+        if copy.meta["write_count"] <= 0:
+            raise ProtocolError(f"end_write without start_write on region {copy.rid} node {nid}")
+        yield Delay(self.costs.end_op)
+        copy.meta["write_count"] -= 1
+        if copy.state == "home":
+            ent = self._ent(copy.region)
+            if copy.meta["write_count"] == 0:
+                ent.home_writing = False
+                self._drain(copy.region, ent)
+        elif copy.meta["write_count"] == 0:
+            self._fire_deferred(copy)
+
+    def flush(self, nid: int, rid: int):
+        """Generator: push/drop the local copy so home data is current.
+
+        Used when a space changes protocol: "changing from the default
+        protocol to any other protocol results in all cached regions
+        being flushed back to their home processors" (§3.1).
+        """
+        copy = self._copies[nid].get(rid)
+        region = self.regions.get(rid)
+        if copy is None or nid == region.home or copy.state == "invalid":
+            return
+        yield Delay(self.costs.flush)
+        dirty = copy.state == "excl"
+        payload = region.size if dirty else self.costs.meta_words
+        data = copy.data.copy() if dirty else None
+        copy.state = "invalid"
+        yield from self.machine.rpc(
+            nid,
+            region.home,
+            self._on_flush,
+            rid,
+            data,
+            payload_words=payload,
+            category=f"{self.prefix}.flush",
+        )
+        self._count("flush")
+
+    def _on_flush(self, node, src, fut, rid, data):
+        region = self.regions.get(rid)
+        ent = self._ent(region)
+        if data is not None:
+            np.copyto(region.home_data, data)
+        if ent.owner == src:
+            ent.owner = None
+        ent.sharers.discard(src)
+        self.machine.reply(fut, None, payload_words=1, category=f"{self.prefix}.flush_ack")
+
+    # ------------------------------------------------------------------
+    # home-side admission (atomic handler context)
+    # ------------------------------------------------------------------
+    def _on_read_req(self, node, src, fut, rid):
+        region = self.regions.get(rid)
+        ent = self._ent(region)
+        if not self._admit("read", src, fut, region, ent):
+            ent.queue.append(("read", src, fut))
+
+    def _on_write_req(self, node, src, fut, rid):
+        region = self.regions.get(rid)
+        ent = self._ent(region)
+        if not self._admit("write", src, fut, region, ent):
+            ent.queue.append(("write", src, fut))
+
+    def _admit(self, kind: str, src: int, fut: Future, region: Region, ent: DirEntry) -> bool:
+        """Try to serve a request; False means 'leave it on the queue'."""
+        home = region.home
+        if ent.busy:
+            return False
+        if kind == "read":
+            if ent.home_writing and src != home:
+                return False
+            if ent.owner is not None and ent.owner != src:
+                self._begin_recall(region, ent, kind, src, fut, targets=[(ent.owner, "downgrade")])
+                return True
+            self._serve_read(region, ent, src, fut)
+            return True
+        # write
+        if (ent.home_writing or ent.home_readers > 0) and src != home:
+            return False
+        targets = []
+        if ent.owner is not None and ent.owner != src:
+            targets.append((ent.owner, "invalidate"))
+        targets.extend((s, "invalidate") for s in sorted(ent.sharers) if s != src)
+        if targets:
+            self._begin_recall(region, ent, kind, src, fut, targets=targets)
+            return True
+        self._serve_write(region, ent, src, fut)
+        return True
+
+    def _serve_read(self, region: Region, ent: DirEntry, src: int, fut: Future) -> None:
+        if src == region.home:
+            ent.home_readers += 1
+            fut.resolve(None)
+        else:
+            ent.sharers.add(src)
+            # The entry stays busy until the grantee acknowledges install:
+            # otherwise a queued write's invalidation could overtake the
+            # grant data in the network (grant-in-flight race).
+            ent.busy = True
+            self.machine.reply(
+                fut,
+                region.home_data.copy(),
+                payload_words=region.size,
+                category=f"{self.prefix}.read_data",
+            )
+
+    def _serve_write(self, region: Region, ent: DirEntry, src: int, fut: Future) -> None:
+        if src == region.home:
+            ent.home_writing = True
+            fut.resolve(None)
+            return
+        had_copy = src in ent.sharers
+        ent.sharers.discard(src)
+        ent.owner = src
+        ent.busy = True  # until grant-ack; see _serve_read
+        if had_copy:  # upgrade: requester's shared data is current
+            self.machine.reply(fut, None, payload_words=1, category=f"{self.prefix}.upgrade_ack")
+        else:
+            self.machine.reply(
+                fut,
+                region.home_data.copy(),
+                payload_words=region.size,
+                category=f"{self.prefix}.write_data",
+            )
+
+    def _on_grant_ack(self, node, src, rid):
+        region = self.regions.get(rid)
+        ent = self._ent(region)
+        ent.busy = False
+        self._drain(region, ent)
+
+    def _send_grant_ack(self, nid: int, region: Region) -> None:
+        self.machine.post(
+            nid,
+            region.home,
+            self._on_grant_ack,
+            region.rid,
+            payload_words=1,
+            category=f"{self.prefix}.grant_ack",
+        )
+
+    # ------------------------------------------------------------------
+    # recall / invalidation fan-out
+    # ------------------------------------------------------------------
+    def _begin_recall(self, region, ent, kind, src, fut, targets) -> None:
+        ent.busy = True
+        ent.pending = {"kind": kind, "src": src, "fut": fut, "need": len(targets)}
+        self._count("recall")
+        for target, mode in targets:
+            self.machine.post(
+                region.home,
+                target,
+                self._on_inval_req,
+                region.rid,
+                mode,
+                payload_words=self.costs.meta_words,
+                category=f"{self.prefix}.inval",
+            )
+
+    def _on_inval_req(self, node, src_home, rid, mode):
+        copy = self._copies[node.nid].get(rid)
+        if copy is None:  # pragma: no cover - directory targets only holders
+            raise ProtocolError(f"invalidate for uncached region {rid} at node {node.nid}")
+        if copy.meta["read_count"] or copy.meta["write_count"]:
+            copy.meta["deferred"].append(mode)
+            self._count("inval_deferred")
+            return
+        self._apply_inval(copy, mode)
+
+    def _apply_inval(self, copy: RegionCopy, mode: str) -> None:
+        region = copy.region
+        dirty = copy.state == "excl"
+        data = copy.data.copy() if dirty else None
+        if mode == "invalidate":
+            copy.state = "invalid"
+        else:  # downgrade
+            copy.state = "shared" if dirty else copy.state
+        payload = region.size if dirty else self.costs.meta_words
+        # handler work before the ack leaves the node
+        self.machine.sim.schedule(
+            self.costs.inval_handler,
+            lambda: self.machine.post(
+                copy.node,
+                region.home,
+                self._on_inval_ack,
+                region.rid,
+                copy.node,
+                mode,
+                data,
+                payload_words=payload,
+                category=f"{self.prefix}.inval_ack",
+            ),
+        )
+
+    def _fire_deferred(self, copy: RegionCopy) -> None:
+        deferred = copy.meta["deferred"]
+        while deferred:
+            self._apply_inval(copy, deferred.pop(0))
+
+    def _on_inval_ack(self, node, src, rid, target, mode, data):
+        region = self.regions.get(rid)
+        ent = self._ent(region)
+        if data is not None:
+            np.copyto(region.home_data, data)
+        if ent.owner == target:
+            ent.owner = None
+        ent.sharers.discard(target)
+        if mode == "downgrade":
+            ent.sharers.add(target)
+        pending = ent.pending
+        if pending is None:  # pragma: no cover - acks only while pending
+            raise ProtocolError(f"stray invalidation ack for region {rid}")
+        pending["need"] -= 1
+        if pending["need"] > 0:
+            return
+        ent.busy = False
+        ent.pending = None
+        if pending["kind"] == "read":
+            self._serve_read(region, ent, pending["src"], pending["fut"])
+        else:
+            self._serve_write(region, ent, pending["src"], pending["fut"])
+        self._drain(region, ent)
+
+    def _drain(self, region: Region, ent: DirEntry) -> None:
+        while ent.queue and not ent.busy:
+            kind, src, fut = ent.queue[0]
+            if not self._admit(kind, src, fut, region, ent):
+                break
+            ent.queue.popleft()

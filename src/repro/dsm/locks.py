@@ -1,0 +1,111 @@
+"""Home-based queue locks for regions.
+
+``Ace_Lock(region)`` / ``Ace_UnLock(region)`` (Table 2 of the paper)
+need a default implementation that protocols can delegate to.  Each
+region's lock lives at its home node: acquirers send a request, the
+home grants in FIFO order, and release is a single message.  A node
+re-acquiring a lock it already holds is a protocol error (the paper's
+model has one user thread per processor, so recursive locking would
+always be a bug).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.machine import Machine
+from repro.memory import RegionDirectory
+from repro.sim import Delay
+from repro.sim.errors import SimulationError
+
+
+class LockError(SimulationError):
+    """Raised on double-acquire, foreign release, or release-when-free."""
+
+
+class _LockState:
+    __slots__ = ("holder", "waiters")
+
+    def __init__(self):
+        self.holder: int | None = None
+        self.waiters: deque = deque()
+
+
+class LockService:
+    """FIFO mutual-exclusion locks, one per region, homed with the region."""
+
+    LOCK_HANDLER_COST = 25
+
+    def __init__(self, machine: Machine, regions: RegionDirectory, stats_prefix: str = "lock"):
+        self.machine = machine
+        self.regions = regions
+        self.prefix = stats_prefix
+        self._key = f"lock:{stats_prefix}"
+
+    def _state(self, region) -> _LockState:
+        st = region.meta.get(self._key)
+        if st is None:
+            st = _LockState()
+            region.meta[self._key] = st
+        return st
+
+    def acquire(self, nid: int, rid: int):
+        """Generator: block until this node holds the lock on ``rid``."""
+        region = self.regions.get(rid)
+        yield Delay(self.LOCK_HANDLER_COST)
+        self.machine.stats.count(f"{self.prefix}.acquire")
+        if nid == region.home:
+            # Local fast path still goes through the same grant logic.
+            from repro.sim import Future
+
+            fut = Future(name=f"lock:{rid}@{nid}")
+            self._on_acquire(self.machine.nodes[nid], nid, fut, rid)
+            yield fut
+        else:
+            yield from self.machine.rpc(
+                nid, region.home, self._on_acquire, rid, payload_words=2, category=f"{self.prefix}.req"
+            )
+
+    def release(self, nid: int, rid: int):
+        """Generator: release the lock; the next FIFO waiter is granted."""
+        region = self.regions.get(rid)
+        yield Delay(self.LOCK_HANDLER_COST)
+        self.machine.stats.count(f"{self.prefix}.release")
+        if nid == region.home:
+            self._on_release(self.machine.nodes[nid], nid, rid)
+        else:
+            yield from self.machine.am_request(
+                nid, region.home, self._on_release, rid, payload_words=2, category=f"{self.prefix}.rel"
+            )
+
+    # -- home-side handlers -------------------------------------------
+    def _on_acquire(self, node, src, fut, rid):
+        st = self._state(self.regions.get(rid))
+        if st.holder is None:
+            st.holder = src
+            self._grant(src, fut, rid)
+        elif st.holder == src:
+            fut.fail(LockError(f"node {src} re-acquired lock on region {rid}"))
+        else:
+            st.waiters.append((src, fut))
+            self.machine.stats.count(f"{self.prefix}.contended")
+
+    def _on_release(self, node, src, rid):
+        st = self._state(self.regions.get(rid))
+        if st.holder is None:
+            raise LockError(f"release of free lock on region {rid}")
+        if st.holder != src:
+            raise LockError(f"node {src} released lock on region {rid} held by {st.holder}")
+        if st.waiters:
+            nxt, fut = st.waiters.popleft()
+            st.holder = nxt
+            self._grant(nxt, fut, rid)
+        else:
+            st.holder = None
+
+    def _grant(self, dst: int, fut, rid) -> None:
+        home = self.regions.get(rid).home
+        if dst == home:
+            fut.resolve(None)
+        else:
+            self.machine.reply(fut, None, payload_words=2, category=f"{self.prefix}.grant")

@@ -1,0 +1,23 @@
+"""Backend-neutral DSM programming interface for the benchmarks.
+
+§5.1 of the paper: "to perform a fair comparison of the Ace and CRL
+runtime systems, we use the same source files for Ace and CRL ...
+ported by replacing CRL primitives with the corresponding Ace calls".
+This package is that port made mechanical: every benchmark is written
+once against :class:`~repro.facade.context.NodeContext` and runs on
+either backend.  The Ace backend additionally understands spaces and
+protocol changes; the CRL backend accepts the same calls but pins
+everything to its single fixed protocol (and refuses a real protocol
+change, because CRL cannot do that).
+"""
+
+from repro.facade.context import (
+    AceBackend,
+    CRLBackend,
+    NodeContext,
+    RunResult,
+    SPMDProgram,
+    run_spmd,
+)
+
+__all__ = ["AceBackend", "CRLBackend", "NodeContext", "RunResult", "SPMDProgram", "run_spmd"]

@@ -1,0 +1,250 @@
+"""Per-node programming context and SPMD launcher."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from repro.core import AceRuntime
+from repro.crl import CRLRuntime
+from repro.machine import Machine, MachineConfig
+from repro.sim import Delay, Simulator
+
+#: An SPMD program: called once per node with its context, returns a generator.
+SPMDProgram = Callable[["NodeContext"], Generator]
+
+
+class AceBackend:
+    """Facade backend running the Ace runtime (spaces + protocols)."""
+
+    name = "ace"
+
+    def __init__(self, machine: Machine, **runtime_kwargs):
+        self.machine = machine
+        self.runtime = AceRuntime(machine, **runtime_kwargs)
+
+    def new_space(self, nid, protocol):
+        sid = yield from self.runtime.new_space(nid, protocol)
+        return sid
+
+    def gmalloc(self, nid, sid, size):
+        rid = yield from self.runtime.gmalloc(nid, sid, size)
+        return rid
+
+    def change_protocol(self, nid, sid, protocol):
+        yield from self.runtime.change_protocol(nid, sid, protocol)
+
+    def map(self, nid, rid):
+        handle = yield from self.runtime.map(nid, rid)
+        return handle
+
+    def unmap(self, nid, handle):
+        yield from self.runtime.unmap(nid, handle)
+
+    def start_read(self, nid, handle):
+        yield from self.runtime.start_read(nid, handle)
+
+    def end_read(self, nid, handle):
+        yield from self.runtime.end_read(nid, handle)
+
+    def start_write(self, nid, handle):
+        yield from self.runtime.start_write(nid, handle)
+
+    def end_write(self, nid, handle):
+        yield from self.runtime.end_write(nid, handle)
+
+    def barrier(self, nid, sid=None):
+        if sid is None:
+            yield from self.runtime.rendezvous(nid)
+        else:
+            yield from self.runtime.barrier(nid, sid)
+
+    def lock(self, nid, rid):
+        yield from self.runtime.lock(nid, rid)
+
+    def unlock(self, nid, rid):
+        yield from self.runtime.unlock(nid, rid)
+
+
+class CRLBackend:
+    """Facade backend running the fixed-protocol CRL baseline.
+
+    Accepts the space-flavoured calls so the same program text runs,
+    but spaces are inert tokens and any attempt to leave the SC
+    protocol raises — CRL has no customizable protocols.
+    """
+
+    name = "crl"
+
+    def __init__(self, machine: Machine, **runtime_kwargs):
+        self.machine = machine
+        self.runtime = CRLRuntime(machine, **runtime_kwargs)
+        self._space_ctr = [0] * machine.n_procs
+
+    def new_space(self, nid, protocol):
+        self._require_sc(protocol)
+        sid = self._space_ctr[nid]
+        self._space_ctr[nid] += 1
+        yield Delay(1)
+        return sid
+
+    def gmalloc(self, nid, sid, size):
+        rid = yield from self.runtime.rgn_create(nid, size)
+        return rid
+
+    def change_protocol(self, nid, sid, protocol):
+        self._require_sc(protocol)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _require_sc(self, protocol: str) -> None:
+        if protocol != "SC":
+            raise NotImplementedError(
+                f"CRL has a single fixed protocol; cannot use {protocol!r}"
+            )
+
+    def map(self, nid, rid):
+        handle = yield from self.runtime.rgn_map(nid, rid)
+        return handle
+
+    def unmap(self, nid, handle):
+        yield from self.runtime.rgn_unmap(nid, handle)
+
+    def start_read(self, nid, handle):
+        yield from self.runtime.rgn_start_read(nid, handle)
+
+    def end_read(self, nid, handle):
+        yield from self.runtime.rgn_end_read(nid, handle)
+
+    def start_write(self, nid, handle):
+        yield from self.runtime.rgn_start_write(nid, handle)
+
+    def end_write(self, nid, handle):
+        yield from self.runtime.rgn_end_write(nid, handle)
+
+    def barrier(self, nid, sid=None):
+        yield from self.runtime.barrier(nid)
+
+    def lock(self, nid, rid):
+        yield from self.runtime.lock(nid, rid)
+
+    def unlock(self, nid, rid):
+        yield from self.runtime.unlock(nid, rid)
+
+
+class NodeContext:
+    """One node's view of the DSM: what a benchmark program codes against."""
+
+    def __init__(self, backend, nid: int):
+        self.backend = backend
+        self.nid = nid
+
+    @property
+    def n_procs(self) -> int:
+        return self.backend.machine.n_procs
+
+    @property
+    def machine(self) -> Machine:
+        return self.backend.machine
+
+    def compute(self, cycles: int):
+        """Generator: charge local computation time."""
+        yield Delay(cycles)
+
+    # All remaining methods simply forward to the backend with this
+    # node's id; each is a generator to drive with ``yield from``.
+    def new_space(self, protocol: str = "SC"):
+        sid = yield from self.backend.new_space(self.nid, protocol)
+        return sid
+
+    def gmalloc(self, sid: int, size: int):
+        rid = yield from self.backend.gmalloc(self.nid, sid, size)
+        return rid
+
+    def change_protocol(self, sid: int, protocol: str):
+        yield from self.backend.change_protocol(self.nid, sid, protocol)
+
+    def map(self, rid: int):
+        handle = yield from self.backend.map(self.nid, rid)
+        return handle
+
+    def unmap(self, handle):
+        yield from self.backend.unmap(self.nid, handle)
+
+    def start_read(self, handle):
+        yield from self.backend.start_read(self.nid, handle)
+
+    def end_read(self, handle):
+        yield from self.backend.end_read(self.nid, handle)
+
+    def start_write(self, handle):
+        yield from self.backend.start_write(self.nid, handle)
+
+    def end_write(self, handle):
+        yield from self.backend.end_write(self.nid, handle)
+
+    def barrier(self, sid: int | None = None):
+        yield from self.backend.barrier(self.nid, sid)
+
+    def lock(self, rid: int):
+        yield from self.backend.lock(self.nid, rid)
+
+    def unlock(self, rid: int):
+        yield from self.backend.unlock(self.nid, rid)
+
+    # -- conveniences used all over the benchmarks ----------------------
+    def read_region(self, handle):
+        """Generator: start_read → snapshot → end_read; returns the snapshot."""
+        yield from self.start_read(handle)
+        data = handle.data.copy()
+        yield from self.end_read(handle)
+        return data
+
+    def write_region(self, handle, values):
+        """Generator: start_write → assign → end_write."""
+        yield from self.start_write(handle)
+        handle.data[:] = values
+        yield from self.end_write(handle)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one SPMD run: simulated cycles, per-node returns, stats."""
+
+    time: int
+    results: list
+    machine: Machine
+    backend: object = None
+
+    @property
+    def stats(self):
+        return self.machine.stats
+
+
+def run_spmd(
+    program: SPMDProgram,
+    backend: str = "ace",
+    n_procs: int = 8,
+    machine_config: MachineConfig | None = None,
+    jitter_seed: int | None = None,
+    **backend_kwargs,
+) -> RunResult:
+    """Run an SPMD program on a fresh simulated machine; returns :class:`RunResult`.
+
+    ``backend`` is ``"ace"`` or ``"crl"``.  ``jitter_seed`` enables
+    schedule fuzzing (see :mod:`repro.verify`).
+    """
+    factories = {"ace": AceBackend, "crl": CRLBackend}
+    try:
+        factory = factories[backend]
+    except KeyError:
+        raise ValueError(f"unknown backend {backend!r}; choose from {sorted(factories)}") from None
+    sim = Simulator(jitter_seed=jitter_seed)
+    cfg = machine_config or MachineConfig(n_procs=n_procs)
+    if cfg.n_procs != n_procs:
+        cfg = cfg.with_(n_procs=n_procs)
+    machine = Machine(sim, cfg)
+    be = factory(machine, **backend_kwargs)
+    ctxs = [NodeContext(be, i) for i in range(n_procs)]
+    results = sim.run_all((program(ctx) for ctx in ctxs), prefix="proc")
+    return RunResult(time=sim.now, results=results, machine=machine, backend=be)

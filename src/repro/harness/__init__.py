@@ -1,0 +1,28 @@
+"""Experiment drivers shared by ``benchmarks/`` and EXPERIMENTS.md.
+
+Each paper artifact (Figure 7a, Figure 7b, Table 4, the §3.3 EM3D
+ladder) has a function returning structured rows; the benchmark files
+render them and assert the paper's qualitative shapes.
+"""
+
+from repro.harness.experiments import (
+    BENCH_PROCS,
+    by_app,
+    fig7a_rows,
+    fig7b_rows,
+    format_table,
+    sec33_ladder_rows,
+    table3_rows,
+    table4_rows,
+)
+
+__all__ = [
+    "BENCH_PROCS",
+    "by_app",
+    "fig7a_rows",
+    "fig7b_rows",
+    "format_table",
+    "sec33_ladder_rows",
+    "table3_rows",
+    "table4_rows",
+]

@@ -1,0 +1,178 @@
+"""Reproduction drivers for every table and figure in the paper.
+
+Workloads here are the *bench-scale* configurations: the paper's
+shapes (who wins, by roughly what factor) at sizes a pure-Python
+discrete-event simulation sweeps in seconds.  Every ``*Workload``
+class also carries the paper's exact Table 3 inputs via ``.paper()``
+for anyone willing to wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import acec_sources as K
+from repro.apps import barnes_hut, bsc, em3d, tsp, water
+from repro.compiler import OPT_BASE, OPT_DIRECT, OPT_LI, OPT_LI_MC, compile_source, run_compiled
+from repro.facade import run_spmd
+
+#: simulated processors used by the facade experiments (paper: 32)
+BENCH_PROCS = 8
+
+# --------------------------------------------------------------- workloads
+FIG7_WORKLOADS = {
+    "Barnes-Hut": lambda: barnes_hut.BHWorkload(n_bodies=64, n_steps=2, seed=6),
+    "BSC": lambda: bsc.BSCWorkload(n_block_cols=10, block=10, band=3, seed=13),
+    "EM3D": lambda: em3d.EM3DWorkload(n_e=96, n_h=96, degree=5, pct_remote=0.25, n_iters=6, seed=3),
+    "TSP": lambda: tsp.TSPWorkload(n_cities=8, prefix_depth=2, seed=11),
+    "Water": lambda: water.WaterWorkload(n_molecules=24, n_steps=2, seed=4),
+}
+
+_PROGRAMS = {
+    "Barnes-Hut": (barnes_hut.bh_program, barnes_hut.SC_PLAN, barnes_hut.CUSTOM_PLAN),
+    "BSC": (bsc.bsc_program, bsc.SC_PLAN, bsc.CUSTOM_PLAN),
+    "EM3D": (em3d.em3d_program, em3d.SC_PLAN, em3d.STATIC_PLAN),
+    "TSP": (tsp.tsp_program, tsp.SC_PLAN, tsp.CUSTOM_PLAN),
+    "Water": (water.water_program, water.SC_PLAN, water.CUSTOM_PLAN),
+}
+
+TABLE4_KERNELS = {
+    "Barnes-Hut": dict(
+        wl=K.BHKernelWL(n=16, steps=2),
+        source=lambda wl: K.bh_source(wl),
+        hand=lambda wl: K.bh_hand_source(wl),
+        host=lambda wl: K.bh_host_data(wl),
+    ),
+    "BSC": dict(
+        wl=K.BSCKernelWL(nb=5, block=3, band=2),
+        source=lambda wl: K.bsc_source(wl),
+        hand=lambda wl: K.bsc_hand_source(wl),
+        host=lambda wl: K.bsc_host_data(wl),
+    ),
+    "EM3D": dict(
+        wl=K.EM3DKernelWL(n=20, degree=3, iters=6),
+        source=lambda wl: K.em3d_source(wl),
+        hand=lambda wl: K.em3d_hand_source(wl),
+        host=lambda wl: K.em3d_host_data(wl, BENCH_PROCS),
+    ),
+    "TSP": dict(
+        wl=K.TSPKernelWL(n_cities=6),
+        source=lambda wl: K.tsp_source(wl),
+        hand=lambda wl: K.tsp_source(wl, hand=True),
+        host=lambda wl: K.tsp_host_data(wl),
+    ),
+    "Water": dict(
+        wl=K.WaterKernelWL(n=10, steps=2),
+        source=lambda wl: K.water_source(wl),
+        hand=lambda wl: K.water_hand_source(wl),
+        host=lambda wl: K.water_host_data(wl),
+    ),
+}
+
+
+@dataclass
+class Row:
+    app: str
+    variant: str
+    cycles: int
+
+    def __iter__(self):  # allows tuple() for table rendering
+        return iter((self.app, self.variant, self.cycles))
+
+
+# --------------------------------------------------------------- figure 7a
+def fig7a_rows(n_procs: int = BENCH_PROCS) -> list[Row]:
+    """Ace runtime vs CRL, both running the SC invalidation protocol."""
+    rows = []
+    for app, make_wl in FIG7_WORKLOADS.items():
+        program_fn, sc_plan, _ = _PROGRAMS[app]
+        wl = make_wl()
+        for backend in ("crl", "ace"):
+            res = run_spmd(program_fn(wl, sc_plan), backend=backend, n_procs=n_procs)
+            rows.append(Row(app, backend, res.time))
+    return rows
+
+
+# --------------------------------------------------------------- figure 7b
+def fig7b_rows(n_procs: int = BENCH_PROCS) -> list[Row]:
+    """SC vs application-specific protocols, on Ace."""
+    rows = []
+    for app, make_wl in FIG7_WORKLOADS.items():
+        program_fn, sc_plan, custom_plan = _PROGRAMS[app]
+        wl = make_wl()
+        for variant, plan in (("SC", sc_plan), ("custom", custom_plan)):
+            res = run_spmd(program_fn(wl, plan), backend="ace", n_procs=n_procs)
+            rows.append(Row(app, variant, res.time))
+    return rows
+
+
+# --------------------------------------------------------------- §3.3 ladder
+def sec33_ladder_rows(n_procs: int = BENCH_PROCS) -> list[Row]:
+    """EM3D: SC → dynamic update → static update (§3.3's 3.5x / 5x)."""
+    wl = FIG7_WORKLOADS["EM3D"]()
+    rows = []
+    for variant, plan in (
+        ("SC", em3d.SC_PLAN),
+        ("DynamicUpdate", em3d.DYNAMIC_PLAN),
+        ("StaticUpdate", em3d.STATIC_PLAN),
+    ):
+        res = run_spmd(em3d.em3d_program(wl, plan), backend="ace", n_procs=n_procs)
+        rows.append(Row("EM3D", variant, res.time))
+    return rows
+
+
+# --------------------------------------------------------------- table 4
+TABLE4_LEVELS = [OPT_BASE, OPT_LI, OPT_LI_MC, OPT_DIRECT]
+
+
+def table4_rows(apps: list[str] | None = None, n_procs: int = 4) -> list[Row]:
+    """Compiler-optimization ladder + hand-optimized, per kernel."""
+    rows = []
+    for app, spec in TABLE4_KERNELS.items():
+        if apps is not None and app not in apps:
+            continue
+        wl = spec["wl"]
+        host = spec["host"](wl)
+        src = spec["source"](wl)
+        for level in TABLE4_LEVELS:
+            run = run_compiled(compile_source(src, opt=level), n_procs=n_procs, host_data=host)
+            rows.append(Row(app, level.name, run.time))
+        hand = run_compiled(
+            compile_source(spec["hand"](wl), opt=OPT_BASE), n_procs=n_procs, host_data=host
+        )
+        rows.append(Row(app, "hand", hand.time))
+    return rows
+
+
+# --------------------------------------------------------------- table 3
+def table3_rows() -> list[tuple]:
+    """The paper's benchmark inputs, plus this reproduction's bench scale."""
+    return [
+        ("Barnes-Hut", "16,384 bodies, 4 steps, tol=1.0, eps=0.5",
+         str(FIG7_WORKLOADS["Barnes-Hut"]())),
+        ("BSC", "Tk15.O", str(FIG7_WORKLOADS["BSC"]())),
+        ("EM3D", "1000 E + 1000 H, 20% remote, degree 10, 100 steps",
+         str(FIG7_WORKLOADS["EM3D"]())),
+        ("TSP", "12 cities", str(FIG7_WORKLOADS["TSP"]())),
+        ("Water", "512 molecules, 3 steps", str(FIG7_WORKLOADS["Water"]())),
+    ]
+
+
+# --------------------------------------------------------------- rendering
+def format_table(title: str, header: list[str], rows: list) -> str:
+    """Plain-text table for bench output and EXPERIMENTS.md."""
+    str_rows = [[str(c) for c in tuple(r)] for r in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) for i, h in enumerate(header)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, " | ".join(h.ljust(w) for h, w in zip(header, widths)), sep]
+    for r in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def by_app(rows: list[Row]) -> dict:
+    """{app: {variant: cycles}} convenience view."""
+    out: dict = {}
+    for row in rows:
+        out.setdefault(row.app, {})[row.variant] = row.cycles
+    return out

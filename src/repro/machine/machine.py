@@ -1,0 +1,183 @@
+"""The simulated multicomputer: nodes, active messages, hardware barrier.
+
+Modeling decisions (documented here because they shape every number the
+benchmarks print):
+
+* **Handlers run on a coprocessor.**  On a real CM-5, CMAML handlers
+  steal cycles from the destination CPU via polling or interrupts.  We
+  instead execute handlers "beside" the destination's compute task:
+  a requester observes the full round-trip latency (send overhead +
+  wire + per-word + dispatch + handler), but the destination's compute
+  task is not slowed.  This keeps the trampoline simple and preserves
+  the relative costs the paper's figures depend on (protocol traffic
+  and per-access software overhead), at the price of slightly
+  flattering communication-heavy runs on *both* systems equally.
+* **Handlers are atomic.**  A handler executes at a single simulated
+  instant, exactly like an interrupt-level CMAML handler that may not
+  block.  Handlers that need multi-step work (e.g. a home node
+  forwarding a request to the current owner) send further messages and
+  park continuation state in the protocol's tables — the classical
+  directory-protocol structure.
+* **The control network exists.**  The CM-5 had a dedicated control
+  network for barriers; CRL uses it.  :meth:`Machine.hw_barrier` models
+  it as a fixed-cost global rendezvous.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.machine.config import MachineConfig
+from repro.machine.stats import Stats
+from repro.sim import Delay, Future, Simulator
+
+
+class Node:
+    """One processing node.  Layers stash per-node state in attributes."""
+
+    __slots__ = ("machine", "nid", "state")
+
+    def __init__(self, machine: "Machine", nid: int):
+        self.machine = machine
+        self.nid = nid
+        # Per-layer private state, keyed by layer name ("crl", "ace", ...).
+        self.state: dict = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.nid}>"
+
+
+class Machine:
+    """A set of nodes joined by an active-message network.
+
+    Parameters
+    ----------
+    sim:
+        The simulator driving this machine.
+    config:
+        Cycle-cost model; defaults to the CM-5-flavoured constants.
+    """
+
+    HW_BARRIER_COST = 170  # ~5us on a 33MHz node: CM-5 control network barrier
+
+    def __init__(self, sim: Simulator, config: MachineConfig | None = None):
+        self.sim = sim
+        self.config = config or MachineConfig()
+        self.nodes = [Node(self, i) for i in range(self.config.n_procs)]
+        self.stats = Stats()
+        self._barrier_count = 0
+        self._barrier_gen = 0
+        self._barrier_fut = Future(name="hw_barrier:0")
+
+    @property
+    def n_procs(self) -> int:
+        return self.config.n_procs
+
+    # -- active messages -------------------------------------------------
+    def am_request(
+        self,
+        src: int,
+        dst: int,
+        handler: Callable,
+        *args,
+        payload_words: int = 0,
+        category: str = "am.request",
+    ):
+        """Generator: inject a message from the *calling task* on ``src``.
+
+        Charges the caller the send overhead, then delivers
+        ``handler(dst_node, src, *args)`` after the network latency.
+        Returns as soon as the message is injected (one-way send).
+        """
+        yield Delay(self.config.am_send_overhead)
+        self._deliver(src, dst, handler, args, payload_words, category)
+
+    def post(
+        self,
+        src: int,
+        dst: int,
+        handler: Callable,
+        *args,
+        payload_words: int = 0,
+        category: str = "am.post",
+    ) -> None:
+        """Send a message from *handler context* (no task to charge).
+
+        The sender-side overhead is folded into the delivery latency,
+        modeling the coprocessor injecting the message.
+        """
+        self.sim.schedule(
+            self.config.am_send_overhead,
+            lambda: self._deliver(src, dst, handler, args, payload_words, category),
+        )
+
+    def _deliver(self, src, dst, handler, args, payload_words, category) -> None:
+        if not (0 <= dst < self.n_procs):
+            raise ValueError(f"bad destination node {dst}")
+        self.stats.count(f"msg.{category}")
+        self.stats.count("msg.total")
+        self.stats.count("msg.words", payload_words)
+        delay = self.config.message_cost(payload_words) + self.config.am_receive_overhead
+        node = self.nodes[dst]
+
+        def arrive():
+            self.stats.count(f"handler.{getattr(handler, '__name__', 'anon')}")
+            result = handler(node, src, *args)
+            if result is not None and hasattr(result, "send"):
+                # Handler needs to block (rare): promote it to a task.
+                self.sim.spawn(result, name=f"handler@{dst}")
+
+        self.sim.schedule(delay, arrive)
+
+    def rpc(
+        self,
+        src: int,
+        dst: int,
+        handler: Callable,
+        *args,
+        payload_words: int = 0,
+        category: str = "am.rpc",
+    ):
+        """Generator: request/reply round trip; returns the reply value.
+
+        The handler receives a :class:`Future` as its first payload
+        argument and must eventually call :meth:`reply` on it (possibly
+        from a later handler on another node).
+        """
+        fut = Future(name=f"rpc:{category}")
+        yield from self.am_request(
+            src, dst, handler, fut, *args, payload_words=payload_words, category=category
+        )
+        value = yield fut
+        return value
+
+    def reply(self, fut: Future, value=None, payload_words: int = 0, category: str = "am.reply") -> None:
+        """From handler context: resolve an RPC future after the reply latency."""
+        self.stats.count(f"msg.{category}")
+        self.stats.count("msg.total")
+        self.stats.count("msg.words", payload_words)
+        delay = (
+            self.config.am_send_overhead
+            + self.config.message_cost(payload_words)
+            + self.config.am_receive_overhead
+        )
+        self.sim.schedule(delay, lambda: fut.resolve(value))
+
+    # -- control network ---------------------------------------------------
+    def hw_barrier(self, nid: int):
+        """Generator: global barrier over all nodes via the control network.
+
+        Every node must call this the same number of times; the cost is
+        a fixed ``HW_BARRIER_COST`` after the last arrival.
+        """
+        del nid  # participation is global; the id only documents the caller
+        self._barrier_count += 1
+        self.stats.count("barrier.hw_arrive")
+        fut = self._barrier_fut
+        if self._barrier_count == self.n_procs:
+            self._barrier_count = 0
+            self._barrier_gen += 1
+            self._barrier_fut = Future(name=f"hw_barrier:{self._barrier_gen}")
+            released = fut
+            self.sim.schedule(self.HW_BARRIER_COST, lambda: released.resolve(None))
+        yield fut

@@ -1,0 +1,45 @@
+"""Event counters for experiments.
+
+A single :class:`Stats` object hangs off each :class:`~repro.machine.machine.Machine`;
+runtimes and protocols increment named counters (message categories,
+protocol transitions, stall cycles) and the benchmark harness renders
+them next to execution times.  Counters are plain integers keyed by
+string so new layers never need schema changes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+class Stats:
+    """Hierarchical string-keyed counters (convention: ``layer.event``)."""
+
+    def __init__(self):
+        self._counts: Counter = Counter()
+
+    def count(self, key: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``key``."""
+        self._counts[key] += n
+
+    def get(self, key: str) -> int:
+        """Current value of ``key`` (0 if never counted)."""
+        return self._counts[key]
+
+    def with_prefix(self, prefix: str) -> dict:
+        """All counters whose key starts with ``prefix`` (dot-joined)."""
+        if not prefix.endswith("."):
+            prefix = prefix + "."
+        return {k: v for k, v in self._counts.items() if k.startswith(prefix)}
+
+    def snapshot(self) -> dict:
+        """Copy of every counter, for diffing before/after a phase."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Stats({body})"

@@ -1,0 +1,16 @@
+"""Regions: the unit of sharing and coherence.
+
+Both the CRL baseline and the Ace runtime share data in *regions* —
+contiguous, arbitrarily-sized blocks identified by a small integer id
+(§2.3 and §4.1 of the paper: "data is shared using arbitrarily-sized
+regions", giving user-specified granularity and natural bulk transfer).
+
+A region's canonical storage is a NumPy ``float64`` array held at its
+home node; protocol layers create per-node cached copies.  Storing
+words as doubles keeps the model uniform — integers up to 2**53 are
+exact, which covers every counter and index in the benchmarks.
+"""
+
+from repro.memory.region import Region, RegionCopy, RegionDirectory
+
+__all__ = ["Region", "RegionCopy", "RegionDirectory"]

@@ -1,0 +1,176 @@
+"""Protocol interface: full access control (§2.1, §3.2).
+
+A protocol supplies generator methods for every point the paper's
+interface exposes — before/after read, before/after write, barrier,
+lock, unlock — plus data management (create/map/unmap) and lifecycle
+(init per node, flush to base state for ``Ace_ChangeProtocol``).
+
+The :class:`ProtocolSpec` is the machine-readable registration record
+(Figure 1): hook nullness feeds the compiler's direct-dispatch pass
+("if a protocol defines certain actions to be null, then calls to that
+protocol action can be removed", §4.2), and ``optimizable`` gates the
+loop-invariance and merging passes ("the semantics of certain
+protocols ... do not allow code motion").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol as TypingProtocol, runtime_checkable
+
+import numpy as np
+
+from repro.memory import Region
+from repro.sim import Delay
+from repro.sim.errors import SimulationError
+
+
+class ProtocolMisuse(SimulationError):
+    """An application violated the assertions a protocol is built on."""
+
+
+#: Hook names a spec may declare null, in the order the paper lists them.
+HOOK_NAMES = (
+    "start_read",
+    "end_read",
+    "start_write",
+    "end_write",
+    "barrier",
+    "lock",
+    "unlock",
+)
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Registration record for one protocol (the Figure 1 script's payload).
+
+    ``hardware=True`` declares that accesses are intercepted by a
+    hardware access-control mechanism (Typhoon/FLASH-style, §6): the
+    runtime skips its software dispatch charge for such protocols —
+    "the actual method of invocation is transparent to the protocol
+    designer" (§2.1).
+    """
+
+    name: str
+    optimizable: bool
+    null_hooks: frozenset = field(default_factory=frozenset)
+    description: str = ""
+    hardware: bool = False
+
+    def __post_init__(self):
+        unknown = set(self.null_hooks) - set(HOOK_NAMES)
+        if unknown:
+            raise ValueError(f"unknown hook names in spec {self.name!r}: {sorted(unknown)}")
+
+    def is_null(self, hook: str) -> bool:
+        """True if calls to ``hook`` can be removed entirely by the compiler."""
+        return hook in self.null_hooks
+
+    def routine_name(self, hook: str) -> str:
+        """Derived handler name, e.g. ``Update_StartRead`` (Figure 1)."""
+        camel = "".join(part.capitalize() for part in hook.split("_"))
+        return f"{self.name}_{camel}"
+
+
+@runtime_checkable
+class Handle(TypingProtocol):
+    """What applications get back from ``ACE_MAP``: a view with ``.data``."""
+
+    data: np.ndarray
+    region: Region
+
+
+class Protocol:
+    """Base class for protocols: null hooks and common plumbing.
+
+    Subclasses set a class-level ``spec`` and override the hooks they
+    need.  All hook methods are generators driven by the owning node's
+    task; the base implementations charge nothing and do nothing, so a
+    subclass only pays for what it customizes.
+
+    Parameters
+    ----------
+    runtime:
+        The owning :class:`~repro.core.runtime.AceRuntime` (gives access
+        to the machine, the region directory, and shared services).
+    space:
+        The :class:`~repro.core.space.Space` this instance manages.
+        One protocol instance per space — "separate instances of the
+        same protocol [may] operate on different data structures" (§2.2).
+    """
+
+    spec = ProtocolSpec(name="Abstract", optimizable=False)
+
+    def __init__(self, runtime, space):
+        self.runtime = runtime
+        self.space = space
+        self.machine = runtime.machine
+        self.regions = runtime.regions
+
+    # -- identity -------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def _count(self, event: str, n: int = 1) -> None:
+        self.machine.stats.count(f"proto.{self.spec.name}.{event}", n)
+
+    # -- lifecycle (collective) ------------------------------------------
+    def init_space(self, nid: int):
+        """Per-node initialization when the space adopts this protocol."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def flush_node(self, nid: int):
+        """Push this node's cached state to base (home data current, no
+        dirty copies) so a successor protocol can take over (§3.1)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # -- data management ---------------------------------------------------
+    def create(self, nid: int, size: int):
+        """Allocate a region of ``size`` words homed at ``nid``; returns rid."""
+        raise NotImplementedError
+
+    def map(self, nid: int, rid: int):
+        """Translate a region id to a local handle (may fetch data)."""
+        raise NotImplementedError
+
+    def unmap(self, nid: int, handle):
+        """Release a mapping (cached data may be retained)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # -- access hooks -------------------------------------------------------
+    def start_read(self, nid: int, handle):
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def end_read(self, nid: int, handle):
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def start_write(self, nid: int, handle):
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def end_write(self, nid: int, handle):
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # -- synchronization hooks -----------------------------------------------
+    def barrier(self, nid: int):
+        """Space barrier: protocol actions plus the global rendezvous."""
+        yield from self.runtime.rendezvous(nid)
+
+    def lock(self, nid: int, rid: int):
+        yield from self.runtime.locks.acquire(nid, rid)
+
+    def unlock(self, nid: int, rid: int):
+        yield from self.runtime.locks.release(nid, rid)
+
+    # -- helpers for subclasses ------------------------------------------------
+    def _charge(self, cycles: int):
+        """Generator: charge handler work to the calling task."""
+        yield Delay(cycles)

@@ -1,0 +1,118 @@
+"""Buffered update protocol — built from the §6 building blocks.
+
+Fills the gap between the two update protocols the paper evaluates:
+``DynamicUpdate`` propagates on *every* write (low latency, chatty) and
+``StaticUpdate`` pushes at barriers but only homes may write.  Here
+*any* node may write; writes buffer locally, and the node's barrier
+hook ships each written region once — whole-region, last-writer-wins —
+to its home, which forwards to the sharers.  The application asserts a
+single writer per region per epoch (checked at the home: concurrent
+epoch writers raise).
+
+Implementation-wise this protocol is deliberately thin: sharer
+tracking, fan-out acking, and version bookkeeping all come from
+:mod:`repro.protocols.blocks`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protocols.base import ProtocolMisuse, ProtocolSpec
+from repro.protocols.blocks import AckCollector, SharerDirectory, VersionTable
+from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.registry import default_registry
+from repro.sim import Delay, Future
+
+
+@default_registry.register
+class BufferedUpdateProtocol(CachedCopyProtocol):
+    """Any-writer batched updates, shipped once per barrier epoch."""
+
+    spec = ProtocolSpec(
+        name="BufferedUpdate",
+        optimizable=True,
+        null_hooks=frozenset({"start_read", "end_read", "start_write"}),
+        description="writes buffered locally; one push per dirty region per barrier",
+    )
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        n = self.machine.n_procs
+        self._dirty: list[set] = [set() for _ in range(n)]
+        self._sharers = SharerDirectory()
+        self._versions = VersionTable()
+        self._acks = AckCollector(self.machine, name="BufferedUpdate")
+        # home-side: rid -> epoch version of last accepted write
+        self._last_writer: dict = {}
+        self._epoch = [0] * n
+
+    def _fetch_extra(self, rid: int, src: int):
+        self._sharers.register(rid, src)
+        return None
+
+    def end_write(self, nid: int, handle):
+        yield Delay(4)
+        self._dirty[nid].add(handle.region.rid)
+
+    def barrier(self, nid: int):
+        """Ship dirty regions to their homes, drain, rendezvous."""
+        dirty = sorted(self._dirty[nid])
+        self._dirty[nid].clear()
+        epoch = self._epoch[nid]
+        done = Future(name=f"bu:ship@{nid}")
+        state = {"need": len(dirty), "done": done}
+        if not dirty:
+            done.resolve(None)
+        for rid in dirty:
+            region = self.regions.get(rid)
+            copy = self._copies[nid][rid]
+            data = np.array(copy.data, copy=True)
+            if nid == region.home:
+                self._on_update(self.machine.nodes[nid], nid, rid, epoch, data, state)
+            else:
+                self.machine.post(
+                    nid,
+                    region.home,
+                    self._on_update,
+                    rid,
+                    epoch,
+                    data,
+                    state,
+                    payload_words=region.size,
+                    category="proto.BufferedUpdate.update",
+                )
+        yield done
+        yield from self.runtime.rendezvous(nid)
+        self._epoch[nid] += 1
+
+    # -- home side (handler context) -------------------------------------
+    def _on_update(self, node, src, rid, epoch, data, state):
+        key = (rid, epoch)
+        prev = self._last_writer.get(key)
+        if prev is not None and prev != src:
+            raise ProtocolMisuse(
+                f"BufferedUpdate: nodes {prev} and {src} both wrote region {rid} "
+                f"in epoch {epoch}; this protocol asserts one writer per epoch"
+            )
+        self._last_writer[key] = src
+        region = self.regions.get(rid)
+        np.copyto(region.home_data, data)
+        self._versions.bump(rid)
+        targets = self._sharers.sharers(rid, exclude=(src, region.home))
+        fanout = self._acks.fan_out(
+            region.home,
+            targets,
+            self._on_push,
+            rid,
+            data,
+            payload_words=region.size,
+            category="proto.BufferedUpdate.push",
+        )
+        fanout.add_callback(lambda _: self._acks.ack(state))
+
+    def _on_push(self, node, src, rid, data, state):
+        copy = self._copies[node.nid].get(rid)
+        if copy is not None:
+            np.copyto(copy.data, data)
+        self._acks.post_ack(node.nid, src, state, category="proto.BufferedUpdate.push_ack")

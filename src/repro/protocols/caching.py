@@ -1,0 +1,128 @@
+"""Shared machinery for custom protocols that keep per-node cached copies.
+
+Most custom protocols (Null, the update family, HomeWrite,
+PipelinedWrite) share a shape: regions are fetched whole from their
+home on first map and cached locally; the protocols differ in *when* a
+cached copy is refreshed or pushed.  :class:`CachedCopyProtocol`
+factors out the copy tables, the map fast path, and the home-side
+fetch handler; subclasses hook :meth:`_fetch_extra` (home-side
+registration at fetch time — e.g. recording a sharer) and
+:meth:`_after_fetch` (requester-side install bookkeeping).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory import RegionCopy
+from repro.protocols.base import Protocol
+from repro.sim import Delay
+
+
+class CachedCopyProtocol(Protocol):
+    """Base for protocols with whole-region caching and home-side truth.
+
+    Class attributes subclasses may tune:
+
+    ``ALIAS_HOME``
+        If True (default), the home node's copy aliases the canonical
+        array, so home writes hit it directly.  Protocols that compute
+        write *deltas* (PipelinedWrite) set this False so the home's
+        working copy is distinct from the merge target.
+    """
+
+    CREATE_COST = 90
+    MAP_HIT_COST = 12
+    MAP_COLD_COST = 45
+    UNMAP_COST = 6
+    ALIAS_HOME = True
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._copies: list[dict[int, RegionCopy]] = [dict() for _ in range(self.machine.n_procs)]
+
+    # -- data management ----------------------------------------------
+    def create(self, nid: int, size: int):
+        yield Delay(self.CREATE_COST)
+        region = self.regions.alloc(home=nid, size=size)
+        self._install(nid, region)
+        self._count("create")
+        return region.rid
+
+    def map(self, nid: int, rid: int):
+        copy = self._copies[nid].get(rid)
+        if copy is not None:
+            yield Delay(self.MAP_HIT_COST)
+            self._count("map_hit")
+            copy.mapped = True
+            return copy
+        yield Delay(self.MAP_COLD_COST)
+        region = self.regions.get(rid)
+        copy = self._install(nid, region)
+        if nid != region.home:
+            data, extra = yield from self.machine.rpc(
+                nid,
+                region.home,
+                self._on_fetch,
+                rid,
+                payload_words=2,  # request is metadata-only; the reply carries data
+                category=f"proto.{self.spec.name}.fetch",
+            )
+            np.copyto(copy.data, data)
+            copy.state = "valid"
+            self._after_fetch(nid, copy, extra)
+        self._count("map_cold")
+        copy.mapped = True
+        return copy
+
+    def unmap(self, nid: int, handle):
+        yield Delay(self.UNMAP_COST)
+        handle.mapped = False
+
+    def _install(self, nid: int, region) -> RegionCopy:
+        copy = RegionCopy(region, nid)
+        if nid == region.home:
+            if self.ALIAS_HOME:
+                copy.data = region.home_data
+            else:
+                np.copyto(copy.data, region.home_data)
+            copy.state = "home"
+        self._copies[nid][region.rid] = copy
+        return copy
+
+    # -- home-side fetch (handler context) ------------------------------
+    def _on_fetch(self, node, src, fut, rid):
+        region = self.regions.get(rid)
+        extra = self._fetch_extra(rid, src)
+        self.machine.reply(
+            fut,
+            (region.home_data.copy(), extra),
+            payload_words=region.size,
+            category=f"proto.{self.spec.name}.fetch_data",
+        )
+
+    def _fetch_extra(self, rid: int, src: int):
+        """Home-side hook at fetch time (register sharers, return versions)."""
+        return None
+
+    def _after_fetch(self, nid: int, copy: RegionCopy, extra) -> None:
+        """Requester-side hook after a fetched copy is installed."""
+
+    # -- lifecycle -------------------------------------------------------
+    def flush_node(self, nid: int):
+        """Default flush: drop this node's non-home copies.
+
+        Correct for every protocol whose home data is kept current
+        synchronously; protocols with buffered state override and
+        drain it first.
+        """
+        table = self._copies[nid]
+        for rid in list(table):
+            if self.regions.get(rid).home != nid:
+                del table[rid]
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # -- introspection (tests) ---------------------------------------------
+    def cached_copy(self, nid: int, rid: int) -> RegionCopy | None:
+        return self._copies[nid].get(rid)

@@ -1,0 +1,151 @@
+"""Counter protocol: home-serialized read-modify-write regions (TSP, §5.2).
+
+"In TSP, the improved performance is due to better management of
+accesses to a counter that is used to assign jobs to processors."
+
+Under the SC default, incrementing a shared counter costs a lock
+acquisition, a write miss with invalidation fan-out, and a release —
+several round trips.  This protocol folds mutual exclusion into the
+access hooks themselves: ``start_write`` is a single round trip that
+both serializes at the home *and* returns the current value;
+``end_write`` ships the new value back and releases in one one-way
+message.  Reads are a single fetch of the current committed value.
+
+Everything still goes through the standard full-access-control
+interface — the point of §2.1 is precisely that hooks before/after
+accesses suffice to express this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.protocols.base import ProtocolSpec
+from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.registry import default_registry
+from repro.sim import Delay, Future
+
+
+@default_registry.register
+class CounterProtocol(CachedCopyProtocol):
+    """Home-serialized fetch/modify/commit for small hot regions."""
+
+    spec = ProtocolSpec(
+        name="Counter",
+        optimizable=False,  # accesses are atomic RMW transactions: no motion
+        null_hooks=frozenset({"end_read"}),
+        description="home-serialized read-modify-write; one round trip per access",
+    )
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        # rid -> {"held_by": nid|None, "queue": deque[(src, fut)]}
+        self._locks: dict[int, dict] = {}
+
+    def _lock_state(self, rid: int) -> dict:
+        st = self._locks.get(rid)
+        if st is None:
+            st = {"held_by": None, "queue": deque()}
+            self._locks[rid] = st
+        return st
+
+    def start_write(self, nid: int, handle):
+        """Acquire the home-side serialization point and fetch fresh data."""
+        region = handle.region
+        yield Delay(8)
+        fut = Future(name=f"ctr:{region.rid}@{nid}")
+        if nid == region.home:
+            self._on_acquire(self.machine.nodes[nid], nid, fut, region.rid)
+        else:
+            yield from self.machine.am_request(
+                nid,
+                region.home,
+                self._on_acquire,
+                fut,
+                region.rid,
+                payload_words=2,
+                category="proto.Counter.acquire",
+            )
+        data = yield fut
+        if data is not None:
+            np.copyto(handle.data, data)
+        handle.state = "valid"
+        self._count("rmw")
+
+    def end_write(self, nid: int, handle):
+        """Commit the new value and release in a single one-way message."""
+        region = handle.region
+        yield Delay(8)
+        if nid == region.home:
+            self._on_commit(self.machine.nodes[nid], nid, region.rid, None)
+        else:
+            yield from self.machine.am_request(
+                nid,
+                region.home,
+                self._on_commit,
+                region.rid,
+                np.array(handle.data, copy=True),
+                payload_words=region.size,
+                category="proto.Counter.commit",
+            )
+
+    def start_read(self, nid: int, handle):
+        """Fetch the current committed value (no serialization)."""
+        region = handle.region
+        if nid == region.home:
+            return
+        yield Delay(6)
+        data = yield from self.machine.rpc(
+            nid,
+            region.home,
+            self._on_read,
+            region.rid,
+            payload_words=2,
+            category="proto.Counter.read",
+        )
+        np.copyto(handle.data, data)
+        handle.state = "valid"
+
+    # -- home side (handler context) -------------------------------------
+    def _on_acquire(self, node, src, fut, rid):
+        st = self._lock_state(rid)
+        if st["held_by"] is None:
+            st["held_by"] = src
+            self._grant(rid, src, fut)
+        else:
+            st["queue"].append((src, fut))
+            self._count("contended")
+
+    def _grant(self, rid: int, src: int, fut: Future) -> None:
+        region = self.regions.get(rid)
+        if src == region.home:
+            fut.resolve(None)  # home copy aliases home_data: already current
+        else:
+            self.machine.reply(
+                fut,
+                region.home_data.copy(),
+                payload_words=region.size,
+                category="proto.Counter.grant",
+            )
+
+    def _on_commit(self, node, src, rid, data):
+        region = self.regions.get(rid)
+        st = self._lock_state(rid)
+        if data is not None:
+            np.copyto(region.home_data, data)
+        st["held_by"] = None
+        if st["queue"]:
+            nxt, fut = st["queue"].popleft()
+            st["held_by"] = nxt
+            self._grant(rid, nxt, fut)
+
+    def _on_read(self, node, src, fut, rid):
+        region = self.regions.get(rid)
+        self.machine.reply(
+            fut,
+            region.home_data.copy(),
+            payload_words=region.size,
+            category="proto.Counter.read_data",
+        )

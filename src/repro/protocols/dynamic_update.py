@@ -1,0 +1,127 @@
+"""Dynamic update protocol: writes propagate to all sharers immediately.
+
+The producer-consumer protocol of §2.1/§3.3: "writes to a region are
+propagated to all sharers immediately".  A writer needs no exclusive
+access — the §6 observation that custom protocols shrink the state
+space ("a writer need not acquire exclusive access before proceeding
+with a write, as long as the result of the write is propagated to all
+sharers").
+
+Mechanics
+---------
+* Sharer registration happens at map time (the home records who
+  fetched a copy).
+* ``end_write`` ships the whole region to the home, which applies it
+  and fans it out to every other sharer; the writer blocks until all
+  sharers have acknowledged, so propagation really is *immediate* and
+  a subsequent barrier needs no extra work.
+* Reads are pure local hits — ``start_read``/``end_read`` are null and
+  the compiler deletes them (this protocol's assertion: regions have a
+  single writer at a time, e.g. a Barnes-Hut body is written only by
+  its owner).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protocols.base import ProtocolSpec
+from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.registry import default_registry
+from repro.sim import Delay, Future
+
+
+@default_registry.register
+class DynamicUpdateProtocol(CachedCopyProtocol):
+    """Write-through-with-multicast update protocol."""
+
+    spec = ProtocolSpec(
+        name="DynamicUpdate",
+        optimizable=True,
+        null_hooks=frozenset({"start_read", "end_read", "start_write"}),
+        description="writes propagated to all sharers after each write",
+    )
+
+    END_WRITE_COST = 20
+    APPLY_COST = 15
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._sharers: dict[int, set[int]] = {}
+
+    def _fetch_extra(self, rid: int, src: int):
+        self._sharers.setdefault(rid, set()).add(src)
+        return None
+
+    def end_write(self, nid: int, handle):
+        """Push the written region to home + all sharers; wait for acks."""
+        region = handle.region
+        yield Delay(self.END_WRITE_COST)
+        self._count("propagate")
+        data = np.array(handle.data, copy=True)
+        if nid == region.home:
+            # Home's copy aliases home_data: canonical store already current.
+            done = Future(name=f"du:{region.rid}@{nid}")
+            self._fan_out(region, data, exclude=nid, done=done)
+            yield done
+        else:
+            yield from self.machine.rpc(
+                nid,
+                region.home,
+                self._on_update,
+                region.rid,
+                data,
+                payload_words=region.size,
+                category="proto.DynamicUpdate.update",
+            )
+
+    # -- home side (handler context) -------------------------------------
+    def _on_update(self, node, src, fut, rid, data):
+        region = self.regions.get(rid)
+        np.copyto(region.home_data, data)
+        done = Future(name=f"du:{rid}@home")
+        done.add_callback(
+            lambda _: self.machine.reply(
+                fut, None, payload_words=1, category="proto.DynamicUpdate.update_ack"
+            )
+        )
+        self._fan_out(region, data, exclude=src, done=done)
+
+    def _fan_out(self, region, data, exclude: int, done: Future) -> None:
+        """Multicast ``data`` to every sharer except ``exclude``; resolve
+        ``done`` when all have acknowledged."""
+        targets = sorted(self._sharers.get(region.rid, set()) - {exclude, region.home})
+        if not targets:
+            done.resolve(None)
+            return
+        state = {"need": len(targets), "done": done}
+        for t in targets:
+            self.machine.post(
+                region.home,
+                t,
+                self._on_apply,
+                region.rid,
+                data,
+                state,
+                payload_words=region.size,
+                category="proto.DynamicUpdate.push",
+            )
+
+    def _on_apply(self, node, src, rid, data, state):
+        copy = self._copies[node.nid].get(rid)
+        if copy is not None:
+            np.copyto(copy.data, data)
+            copy.state = "valid"
+        self.machine.post(
+            node.nid,
+            src,
+            self._on_apply_ack,
+            state,
+            payload_words=1,
+            category="proto.DynamicUpdate.push_ack",
+        )
+
+    def _on_apply_ack(self, node, src, state):
+        state["need"] -= 1
+        if state["need"] == 0:
+            state["done"].resolve(None)

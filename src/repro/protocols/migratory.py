@@ -1,0 +1,224 @@
+"""Migratory protocol: the (single) copy follows the accessing processor.
+
+One of the "common protocols such as update protocols, migratory
+protocols, etc." the paper expects protocol libraries to provide
+(§2.1).  Suits data touched by one processor at a time in turn (e.g.
+objects passed around a work list): each access moves the region to
+the requester in a single three-hop transaction — home lookup,
+recall, direct data hand-off — with no sharer lists and no
+invalidation fan-out.
+
+Both read and write accesses acquire the region exclusively; the home
+serializes competing requests with a busy/queue pair like the SC
+directory, and a holder actively using the region defers the hand-off
+until its matching end call.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.memory import RegionCopy
+from repro.protocols.base import Protocol, ProtocolSpec
+from repro.protocols.registry import default_registry
+from repro.sim import Delay, Future
+
+
+@default_registry.register
+class MigratoryProtocol(Protocol):
+    """Exclusive, migrating single copy per region."""
+
+    spec = ProtocolSpec(
+        name="Migratory",
+        optimizable=True,
+        null_hooks=frozenset({"end_read"}),
+        description="single copy migrates to each accessor in turn",
+    )
+
+    CREATE_COST = 90
+    MAP_COST = 12
+    START_HIT_COST = 10
+    MISS_COST = 25
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._copies: list[dict[int, RegionCopy]] = [dict() for _ in range(self.machine.n_procs)]
+        # home-side: rid -> {"loc": nid, "busy": bool, "queue": deque}
+        self._dir: dict[int, dict] = {}
+
+    # -- data management -------------------------------------------------
+    def create(self, nid: int, size: int):
+        yield Delay(self.CREATE_COST)
+        region = self.regions.alloc(home=nid, size=size)
+        copy = RegionCopy(region, nid)
+        copy.data = region.home_data
+        copy.state = "valid"
+        copy.meta["use"] = 0
+        copy.meta["deferred"] = []
+        self._copies[nid][region.rid] = copy
+        self._dir[region.rid] = {"loc": nid, "busy": False, "queue": deque()}
+        return region.rid
+
+    def map(self, nid: int, rid: int):
+        copy = self._copies[nid].get(rid)
+        if copy is None:
+            yield Delay(self.MAP_COST)
+            region = self.regions.get(rid)
+            copy = RegionCopy(region, nid)
+            copy.meta["use"] = 0
+            copy.meta["deferred"] = []
+            self._copies[nid][rid] = copy
+        else:
+            yield Delay(self.MAP_COST)
+        copy.mapped = True
+        return copy
+
+    def unmap(self, nid: int, handle):
+        yield Delay(4)
+        handle.mapped = False
+
+    # -- accesses ----------------------------------------------------------
+    def _acquire(self, nid: int, handle):
+        yield Delay(self.START_HIT_COST)
+        if handle.state == "valid":
+            handle.meta["use"] += 1
+            self._count("hit")
+            return
+        yield Delay(self.MISS_COST)
+        self._count("migrate")
+        region = handle.region
+        fut = Future(name=f"mig:{region.rid}@{nid}")
+        if nid == region.home:
+            self._on_request(self.machine.nodes[nid], nid, fut, region.rid)
+        else:
+            yield from self.machine.am_request(
+                nid,
+                region.home,
+                self._on_request,
+                fut,
+                region.rid,
+                payload_words=2,
+                category="proto.Migratory.req",
+            )
+        data = yield fut
+        if data is not None:
+            np.copyto(handle.data, data)
+        handle.state = "valid"
+        handle.meta["use"] += 1
+
+    def start_read(self, nid: int, handle):
+        yield from self._acquire(nid, handle)
+
+    def start_write(self, nid: int, handle):
+        yield from self._acquire(nid, handle)
+
+    def _release(self, nid: int, handle):
+        yield Delay(4)
+        handle.meta["use"] -= 1
+        if handle.meta["use"] == 0 and handle.meta["deferred"]:
+            for args in handle.meta["deferred"]:
+                self._hand_off(handle, *args)
+            handle.meta["deferred"].clear()
+
+    def end_read(self, nid: int, handle):
+        yield from self._release(nid, handle)
+
+    def end_write(self, nid: int, handle):
+        yield from self._release(nid, handle)
+
+    # -- home side (handler context) ----------------------------------------
+    def _on_request(self, node, src, fut, rid):
+        ent = self._dir[rid]
+        if ent["busy"]:
+            ent["queue"].append((src, fut))
+            return
+        self._grant(rid, ent, src, fut)
+
+    def _grant(self, rid, ent, src, fut) -> None:
+        holder = ent["loc"]
+        region = self.regions.get(rid)
+        if holder == src:
+            # Requester is the recorded holder (possible transiently after a
+            # flush); its copy is authoritative — just revalidate.
+            fut.resolve(None)
+            return
+        ent["busy"] = True
+        self.machine.post(
+            region.home,
+            holder,
+            self._on_recall,
+            rid,
+            src,
+            fut,
+            payload_words=2,
+            category="proto.Migratory.recall",
+        )
+
+    def _on_recall(self, node, src_home, rid, dest, fut):
+        copy = self._copies[node.nid][rid]
+        # Defer while the copy is in use, and also while the hand-off data
+        # is still in flight to us (the home can learn about a move before
+        # the — larger, hence slower — data message lands).
+        if copy.meta["use"] > 0 or copy.state != "valid":
+            copy.meta["deferred"].append((rid, dest, fut))
+            return
+        self._hand_off(copy, rid, dest, fut)
+
+    def _hand_off(self, copy: RegionCopy, rid: int, dest: int, fut: Future) -> None:
+        region = copy.region
+        data = np.array(copy.data, copy=True)
+        copy.state = "invalid"
+        self.machine.post(
+            copy.node,
+            dest,
+            self._on_data,
+            rid,
+            data,
+            fut,
+            payload_words=region.size,
+            category="proto.Migratory.data",
+        )
+        # tell home the new location
+        self.machine.post(
+            copy.node,
+            region.home,
+            self._on_moved,
+            rid,
+            dest,
+            payload_words=2,
+            category="proto.Migratory.moved",
+        )
+
+    def _on_data(self, node, src, rid, data, fut):
+        if node.nid == self.regions.get(rid).home:
+            np.copyto(self.regions.get(rid).home_data, data)
+            fut.resolve(None)
+        else:
+            fut.resolve(data)
+
+    def _on_moved(self, node, src, rid, dest):
+        ent = self._dir[rid]
+        ent["loc"] = dest
+        ent["busy"] = False
+        if ent["queue"]:
+            nxt_src, nxt_fut = ent["queue"].popleft()
+            self._grant(rid, ent, nxt_src, nxt_fut)
+
+    def flush_node(self, nid: int):
+        """Bring every migrated region home so successors find it there."""
+        for rid in self.space.regions:
+            region = self.regions.get(rid)
+            if nid != region.home:
+                continue
+            ent = self._dir[rid]
+            if ent["loc"] == nid or ent["busy"]:
+                continue
+            handle = self._copies[nid][rid]
+            handle.state = "invalid"
+            yield from self._acquire(nid, handle)
+            yield from self._release(nid, handle)
+        # Remote copies are NOT dropped here: the home's recall may still
+        # be in flight toward them (change_protocol barriers after every
+        # node's flush); they are discarded with this protocol instance.

@@ -1,0 +1,42 @@
+"""The null protocol: no coherence actions at all.
+
+Used when the programmer can assert a phase touches only data that
+needs no coherence — the paper's Water uses it for the intra-molecular
+phase, where every processor reads and writes only its own molecules
+(§2.2, §5.2).  Remote *reads* are permitted and served by a one-time
+snapshot fetch at map time; remote *writes* violate the protocol's
+assertion and raise, which is exactly the kind of error the paper's
+"theoretical framework of correctness" discussion (§6) is about
+catching.
+
+All access hooks are null, so the compiler's direct-dispatch pass
+deletes every START/END call on data in a null space.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import ProtocolMisuse, ProtocolSpec
+from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.registry import default_registry
+
+
+@default_registry.register
+class NullProtocol(CachedCopyProtocol):
+    """No coherence: local data stays local; remote reads get a snapshot."""
+
+    spec = ProtocolSpec(
+        name="Null",
+        optimizable=True,
+        null_hooks=frozenset({"start_read", "end_read", "end_write"}),
+        description="no coherence actions; remote writes are protocol misuse",
+    )
+
+    def start_write(self, nid: int, handle):
+        if handle.region.home != nid:
+            raise ProtocolMisuse(
+                f"Null protocol: node {nid} wrote region {handle.region.rid} "
+                f"homed at {handle.region.home}; the null protocol asserts "
+                "writes are home-local"
+            )
+        return
+        yield  # pragma: no cover - makes this a generator

@@ -1,0 +1,186 @@
+"""Pipelined-write protocol: buffered delta writes drained at barriers (Water).
+
+"In Water, we improve performance by pipelining writes to a molecule
+during the inter-molecular calculation phase" (§5.2).  During that
+phase many processors *accumulate* forces into the same molecule; the
+SC default would bounce ownership of each molecule region between
+writers.  Instead:
+
+* ``start_write`` snapshots the local copy;
+* ``end_write`` computes the write's *delta*, fires it at the home in
+  a single one-way message, and immediately continues — writes from
+  different molecules pipeline into the network;
+* the home **combines** deltas into the canonical data (addition is
+  commutative, so ordering does not matter — the assertion this
+  protocol rests on);
+* the ``barrier`` hook first waits for all of this node's outstanding
+  deltas to be acknowledged (the Split-C-style split-phase completion
+  check of §2.1), then enters the global rendezvous, and finally
+  advances the local *phase* so the next read of a remote molecule
+  refetches fresh data.
+
+Reads revalidate once per phase: the first ``start_read`` of a region
+after a barrier refetches it; later reads in the phase are local.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protocols.base import ProtocolSpec
+from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.registry import default_registry
+from repro.sim import Delay, Future
+
+
+@default_registry.register
+class PipelinedWriteProtocol(CachedCopyProtocol):
+    """Accumulating pipelined writes; per-phase read revalidation."""
+
+    spec = ProtocolSpec(
+        name="PipelinedWrite",
+        optimizable=True,
+        null_hooks=frozenset({"end_read"}),
+        description="delta writes pipelined to home; drained at barriers",
+    )
+
+    ALIAS_HOME = False  # home works on a private copy; deltas merge into truth
+    SNAPSHOT_COST = 6
+    DELTA_COST = 12
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._phase = [0] * self.machine.n_procs
+        self._outstanding = [0] * self.machine.n_procs
+        self._drain_futs: list[Future | None] = [None] * self.machine.n_procs
+
+    # -- reads: revalidate once per phase ---------------------------------
+    def start_read(self, nid: int, handle):
+        region = handle.region
+        if region.home == nid:
+            if handle.meta.get("phase") != self._phase[nid]:
+                yield Delay(4)
+                np.copyto(handle.data, region.home_data)
+                handle.meta["phase"] = self._phase[nid]
+            return
+        if handle.meta.get("phase") == self._phase[nid]:
+            return
+        yield Delay(4)
+        data = yield from self.machine.rpc(
+            nid,
+            region.home,
+            self._on_refetch,
+            region.rid,
+            payload_words=2,  # request is metadata-only; the reply carries data
+            category="proto.PipelinedWrite.refetch",
+        )
+        np.copyto(handle.data, data)
+        handle.meta["phase"] = self._phase[nid]
+        self._count("refetch")
+
+    def _on_refetch(self, node, src, fut, rid):
+        region = self.regions.get(rid)
+        self.machine.reply(
+            fut,
+            region.home_data.copy(),
+            payload_words=region.size,
+            category="proto.PipelinedWrite.refetch_data",
+        )
+
+    def _after_fetch(self, nid: int, copy, extra) -> None:
+        copy.meta["phase"] = self._phase[nid]
+
+    # -- writes: snapshot, delta, pipeline ----------------------------------
+    def start_write(self, nid: int, handle):
+        """Snapshot on the outermost start_write only.
+
+        Write sections may nest or overlap (the compiler's hoisting and
+        merging passes create exactly that — this protocol is registered
+        *optimizable*, so it must tolerate it): a depth counter keeps a
+        single snapshot per outermost section.
+        """
+        yield Delay(self.SNAPSHOT_COST)
+        depth = handle.meta.get("wdepth", 0)
+        handle.meta["wdepth"] = depth + 1
+        if depth > 0:
+            return
+        # Make sure the copy we diff against is phase-fresh (start_read
+        # handles both the home fast path and the remote refetch).
+        if handle.meta.get("phase") != self._phase[nid]:
+            yield from self.start_read(nid, handle)
+        handle.meta["snapshot"] = np.array(handle.data, copy=True)
+
+    def end_write(self, nid: int, handle):
+        yield Delay(self.DELTA_COST)
+        depth = handle.meta.get("wdepth", 0) - 1
+        handle.meta["wdepth"] = max(depth, 0)
+        if depth > 0:
+            return
+        snapshot = handle.meta.pop("snapshot", None)
+        if snapshot is None:
+            snapshot = np.zeros_like(handle.data)
+        delta = handle.data - snapshot
+        region = handle.region
+        self._outstanding[nid] += 1
+        self._count("delta")
+        if nid == region.home:
+            region.home_data += delta
+            self._ack(nid)
+        else:
+            yield from self.machine.am_request(
+                nid,
+                region.home,
+                self._on_delta,
+                region.rid,
+                delta,
+                nid,
+                payload_words=region.size,
+                category="proto.PipelinedWrite.delta",
+            )
+
+    def _on_delta(self, node, src, rid, delta, writer):
+        region = self.regions.get(rid)
+        region.home_data += delta
+        self.machine.post(
+            node.nid,
+            writer,
+            self._on_delta_ack,
+            writer,
+            payload_words=1,
+            category="proto.PipelinedWrite.delta_ack",
+        )
+
+    def _on_delta_ack(self, node, src, writer):
+        self._ack(writer)
+
+    def _ack(self, nid: int) -> None:
+        self._outstanding[nid] -= 1
+        if self._outstanding[nid] == 0 and self._drain_futs[nid] is not None:
+            fut = self._drain_futs[nid]
+            self._drain_futs[nid] = None
+            fut.resolve(None)
+
+    # -- synchronization -------------------------------------------------------
+    def barrier(self, nid: int):
+        """Drain outstanding deltas, rendezvous, advance the phase."""
+        yield from self._drain(nid)
+        yield from self.runtime.rendezvous(nid)
+        self._phase[nid] += 1
+        # Home copies must pick up deltas merged by other writers.
+        for copy in self._copies[nid].values():
+            if copy.region.home == nid:
+                np.copyto(copy.data, copy.region.home_data)
+
+    def _drain(self, nid: int):
+        if self._outstanding[nid] > 0:
+            fut = Future(name=f"pw:drain@{nid}")
+            self._drain_futs[nid] = fut
+            yield fut
+
+    def flush_node(self, nid: int):
+        """Drain deltas then drop caches so home data is the single truth."""
+        yield from self._drain(nid)
+        yield from self.runtime.rendezvous(nid)
+        self._copies[nid] = {
+            rid: c for rid, c in self._copies[nid].items() if c.region.home == nid
+        }

@@ -1,0 +1,210 @@
+"""Data-race detection as a coherence protocol (§2.1).
+
+The paper cites Larus et al.'s LCM data-race checking protocol as the
+kind of customization that *requires* full access control: its actions
+"can be executed either before or after accesses" and at
+synchronization points.  This protocol implements that idea for Ace:
+
+* between two barriers (an *epoch*), every node records which regions
+  it read and wrote;
+* at the barrier, each node ships its access summary (plus written
+  data) to each touched region's home;
+* the home crosses the summaries: two writers, or a writer plus a
+  foreign reader, in the same epoch is a data race, recorded in the
+  space's protocol-private data (§4.1's per-space pointer);
+* homes then push fresh values to the epoch's readers, so a race-free
+  program computes exactly what it would under static update.
+
+The race report is available as ``protocol.races`` — a sorted list of
+``(epoch, rid, readers, writers)`` tuples — and via
+:meth:`AceRuntime.space_protocol` lookups in tests and tools.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protocols.base import ProtocolSpec
+from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.registry import default_registry
+from repro.sim import Delay, Future
+
+
+@default_registry.register
+class RaceDetectProtocol(CachedCopyProtocol):
+    """Epoch-based happens-before race checker with update semantics."""
+
+    spec = ProtocolSpec(
+        name="RaceDetect",
+        optimizable=False,  # hooks are the instrumentation: must all run
+        null_hooks=frozenset(),
+        description="records readers/writers per barrier epoch; reports conflicts",
+    )
+
+    RECORD_COST = 6
+    SUMMARY_WORDS = 4
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        n = self.machine.n_procs
+        self._epoch = [0] * n
+        # per node: rid -> {"r": bool, "w": bool}
+        self._touched: list[dict] = [dict() for _ in range(n)]
+        # home-side per-epoch aggregation: (rid, epoch) -> {"readers": set, "writers": set}
+        self._agg: dict = {}
+        #: confirmed races: (epoch, rid, readers, writers)
+        self.races: list = []
+
+    # -- instrumentation hooks ------------------------------------------
+    def _touch(self, nid: int, handle, kind: str):
+        yield Delay(self.RECORD_COST)
+        rec = self._touched[nid].setdefault(handle.region.rid, {"r": False, "w": False})
+        rec[kind] = True
+
+    def start_read(self, nid: int, handle):
+        # revalidate once per epoch (data pushed at the previous barrier)
+        if handle.meta.get("epoch") != self._epoch[nid] and handle.region.home != nid:
+            yield Delay(4)
+            data = yield from self.machine.rpc(
+                nid,
+                handle.region.home,
+                self._on_refetch,
+                handle.region.rid,
+                payload_words=2,
+                category="proto.RaceDetect.refetch",
+            )
+            np.copyto(handle.data, data)
+        handle.meta["epoch"] = self._epoch[nid]
+        yield from self._touch(nid, handle, "r")
+
+    def end_read(self, nid: int, handle):
+        yield Delay(2)
+
+    def start_write(self, nid: int, handle):
+        handle.meta["epoch"] = self._epoch[nid]
+        yield from self._touch(nid, handle, "w")
+
+    def end_write(self, nid: int, handle):
+        yield Delay(2)
+
+    def _on_refetch(self, node, src, fut, rid):
+        region = self.regions.get(rid)
+        self.machine.reply(
+            fut,
+            region.home_data.copy(),
+            payload_words=region.size,
+            category="proto.RaceDetect.refetch_data",
+        )
+
+    # -- epoch close ------------------------------------------------------
+    def barrier(self, nid: int):
+        """Ship summaries, rendezvous, aggregate, push updates, advance."""
+        epoch = self._epoch[nid]
+        touched = self._touched[nid]
+        self._touched[nid] = {}
+        pending = len(touched)
+        done = Future(name=f"rd:summary@{nid}")
+        if pending == 0:
+            done.resolve(None)
+        state = {"need": pending, "done": done}
+        for rid, rec in sorted(touched.items()):
+            region = self.regions.get(rid)
+            data = handle_data = None
+            payload = self.SUMMARY_WORDS
+            if rec["w"]:
+                copy = self._copies[nid].get(rid)
+                if copy is not None:
+                    handle_data = np.array(copy.data, copy=True)
+                    payload += region.size
+            if nid == region.home:
+                self._on_summary(
+                    self.machine.nodes[nid], nid, rid, epoch, rec["r"], rec["w"], handle_data, state
+                )
+            else:
+                self.machine.post(
+                    nid,
+                    region.home,
+                    self._on_summary,
+                    rid,
+                    epoch,
+                    rec["r"],
+                    rec["w"],
+                    handle_data,
+                    state,
+                    payload_words=payload,
+                    category="proto.RaceDetect.summary",
+                )
+        yield done
+        yield from self.runtime.rendezvous(nid)
+        # homes: detect races and push updates for regions written this epoch
+        yield from self._close_epoch(nid, epoch)
+        yield from self.runtime.rendezvous(nid)
+        self._epoch[nid] += 1
+
+    def _on_summary(self, node, src, rid, epoch, read, wrote, data, state):
+        agg = self._agg.setdefault((rid, epoch), {"readers": set(), "writers": set()})
+        if read:
+            agg["readers"].add(src)
+        if wrote:
+            agg["writers"].add(src)
+            if data is not None:
+                np.copyto(self.regions.get(rid).home_data, data)
+        state["need"] -= 1
+        if state["need"] <= 0 and not state["done"].resolved:
+            state["done"].resolve(None)
+
+    def _close_epoch(self, nid: int, epoch: int):
+        pushes = []
+        closed = []
+        for (rid, ep), agg in sorted(self._agg.items()):
+            if ep != epoch:
+                continue
+            region = self.regions.get(rid)
+            if region.home != nid:
+                continue
+            closed.append((rid, ep))
+            readers = agg["readers"]
+            writers = agg["writers"]
+            if len(writers) > 1 or (writers and (readers - writers)):
+                self.races.append(
+                    (epoch, rid, tuple(sorted(readers)), tuple(sorted(writers)))
+                )
+                self._count("race")
+            if writers:
+                targets = sorted((readers | writers) - {nid})
+                if targets:
+                    pushes.append((region, targets))
+        for key in closed:
+            del self._agg[key]
+        if not pushes:
+            return
+        done = Future(name=f"rd:push@{nid}")
+        state = {"need": sum(len(t) for _, t in pushes), "done": done}
+        for region, targets in pushes:
+            data = region.home_data.copy()
+            for t in targets:
+                self.machine.post(
+                    nid,
+                    t,
+                    self._on_push,
+                    region.rid,
+                    data,
+                    state,
+                    payload_words=region.size,
+                    category="proto.RaceDetect.push",
+                )
+        yield done
+
+    def _on_push(self, node, src, rid, data, state):
+        copy = self._copies[node.nid].get(rid)
+        if copy is not None:
+            np.copyto(copy.data, data)
+        self.machine.post(
+            node.nid, src, self._on_push_ack, state, payload_words=1,
+            category="proto.RaceDetect.push_ack",
+        )
+
+    def _on_push_ack(self, node, src, state):
+        state["need"] -= 1
+        if state["need"] == 0:
+            state["done"].resolve(None)

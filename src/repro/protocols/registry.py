@@ -1,0 +1,72 @@
+"""Protocol registration — the paper's Figure 1 as a Python API.
+
+In Ace, a protocol designer runs a Tcl script naming the protocol, its
+hook points, and whether calls to it may be optimized; the script
+generates a *system configuration file* consumed by the compiler.
+Here the same record is a :class:`~repro.protocols.base.ProtocolSpec`
+attached to the protocol class, and :meth:`ProtocolRegistry.config_table`
+is the configuration file: the compiler reads it to learn which hooks
+are null and which protocols permit code motion.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import HOOK_NAMES, Protocol, ProtocolSpec
+
+
+class ProtocolRegistry:
+    """Name → protocol class table; extensible at runtime (§2.4)."""
+
+    def __init__(self):
+        self._protocols: dict[str, type] = {}
+
+    def register(self, cls: type) -> type:
+        """Register a Protocol subclass (usable as a class decorator)."""
+        if not (isinstance(cls, type) and issubclass(cls, Protocol)):
+            raise TypeError(f"{cls!r} is not a Protocol subclass")
+        spec = cls.spec
+        if not isinstance(spec, ProtocolSpec) or spec.name == "Abstract":
+            raise ValueError(f"{cls.__name__} must define a concrete ProtocolSpec")
+        if spec.name in self._protocols:
+            raise ValueError(f"protocol {spec.name!r} registered twice")
+        self._protocols[spec.name] = cls
+        return cls
+
+    def names(self) -> list[str]:
+        return sorted(self._protocols)
+
+    def get(self, name: str) -> type:
+        try:
+            return self._protocols[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown protocol {name!r}; registered: {', '.join(self.names())}"
+            ) from None
+
+    def spec(self, name: str) -> ProtocolSpec:
+        return self.get(name).spec
+
+    def create(self, name: str, runtime, space) -> Protocol:
+        """Instantiate a fresh protocol instance for ``space``."""
+        return self.get(name)(runtime, space)
+
+    def config_table(self) -> dict:
+        """The "system configuration file" the Ace compiler reads (§3.2).
+
+        Maps protocol name to its optimizability, the set of null
+        hooks, and the derived handler routine names (e.g.
+        ``Update_StartRead``).
+        """
+        table = {}
+        for name, cls in sorted(self._protocols.items()):
+            spec = cls.spec
+            table[name] = {
+                "optimizable": spec.optimizable,
+                "null_hooks": sorted(spec.null_hooks),
+                "routines": {h: spec.routine_name(h) for h in HOOK_NAMES},
+            }
+        return table
+
+
+#: Registry holding every protocol that ships with the library.
+default_registry = ProtocolRegistry()

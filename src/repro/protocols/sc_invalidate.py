@@ -1,0 +1,63 @@
+"""The default protocol: sequentially-consistent MSI invalidation.
+
+This is what every space runs until the programmer opts into something
+else (§3.1: "the default space ... provides a sequentially consistent
+invalidation-based protocol").  It delegates to the shared
+:class:`~repro.dsm.engine.DirectoryEngine` instantiated with the Ace
+cost table — the "careful redesign of the sequential consistency
+protocol" of §5.1.
+
+Registered as **not optimizable**: sequential consistency forbids the
+compiler from moving or merging accesses (§4.2, citing Midkiff &
+Padua), so only direct-dispatch may touch SC calls — and none of its
+hooks are null.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import Protocol, ProtocolSpec
+from repro.protocols.registry import default_registry
+
+
+@default_registry.register
+class SCProtocol(Protocol):
+    """Sequentially consistent invalidation protocol (the Ace default)."""
+
+    spec = ProtocolSpec(
+        name="SC",
+        optimizable=False,
+        null_hooks=frozenset(),
+        description="home-based MSI invalidation; sequentially consistent",
+    )
+
+    @property
+    def engine(self):
+        return self.runtime.sc_engine
+
+    def create(self, nid: int, size: int):
+        rid = yield from self.engine.create(nid, size)
+        return rid
+
+    def map(self, nid: int, rid: int):
+        handle = yield from self.engine.map(nid, rid)
+        return handle
+
+    def unmap(self, nid: int, handle):
+        yield from self.engine.unmap(nid, handle)
+
+    def start_read(self, nid: int, handle):
+        yield from self.engine.start_read(nid, handle)
+
+    def end_read(self, nid: int, handle):
+        yield from self.engine.end_read(nid, handle)
+
+    def start_write(self, nid: int, handle):
+        yield from self.engine.start_write(nid, handle)
+
+    def end_write(self, nid: int, handle):
+        yield from self.engine.end_write(nid, handle)
+
+    def flush_node(self, nid: int):
+        """Flush every cached member region home (§3.1's change semantics)."""
+        for rid in self.space.regions:
+            yield from self.engine.flush(nid, rid)

@@ -1,0 +1,121 @@
+"""Static update protocol: sharer lists built once, updates pushed at barriers.
+
+"The static protocol builds sharer lists during the first iteration,
+and then, propagates updates appropriately at subsequent barriers —
+essentially Falsafi et al.'s protocol for EM3D" (§3.3).  The paper
+measures ~5x over SC invalidation for EM3D with it.
+
+Assertions this protocol is built on (the §6 state-space reduction):
+
+* a region is written only by its *home* node (the producer owns it);
+* the reader set is stable after first map (static access pattern).
+
+Consequently:
+
+* sharer registration happens at map time, *at the home* — since the
+  home is the writer, the sharer list is local to the node that needs
+  it at barrier time;
+* reads after the first fetch are pure local accesses —
+  ``start_read``/``end_read``/``start_write`` are all registered null,
+  which is why the compiler's direct-dispatch pass wins so much on
+  EM3D's tight kernel (Table 4);
+* at ``Ace_Barrier``, each node pushes every *dirty* region it homes
+  to that region's sharers and waits for their acknowledgements
+  before entering the global rendezvous, so all consumers see fresh
+  values after the barrier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protocols.base import ProtocolMisuse, ProtocolSpec
+from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.registry import default_registry
+from repro.sim import Delay, Future
+
+
+@default_registry.register
+class StaticUpdateProtocol(CachedCopyProtocol):
+    """Falsafi-style static update: home pushes dirty regions at barriers."""
+
+    spec = ProtocolSpec(
+        name="StaticUpdate",
+        optimizable=True,
+        null_hooks=frozenset({"start_read", "end_read", "start_write"}),
+        description="sharer lists built at first map; homes push updates at barriers",
+    )
+
+    END_WRITE_COST = 8
+    PUSH_SETUP_COST = 12
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._sharers: dict[int, set[int]] = {}
+        self._dirty: list[set[int]] = [set() for _ in range(self.machine.n_procs)]
+
+    def _fetch_extra(self, rid: int, src: int):
+        self._sharers.setdefault(rid, set()).add(src)
+        return None
+
+    def end_write(self, nid: int, handle):
+        region = handle.region
+        if region.home != nid:
+            raise ProtocolMisuse(
+                f"StaticUpdate: node {nid} wrote region {region.rid} homed at "
+                f"{region.home}; this protocol asserts producers own their regions"
+            )
+        yield Delay(self.END_WRITE_COST)
+        self._dirty[nid].add(region.rid)
+
+    def barrier(self, nid: int):
+        """Push dirty home regions to sharers, then the global rendezvous."""
+        dirty = sorted(self._dirty[nid])
+        self._dirty[nid].clear()
+        pushes = []
+        for rid in dirty:
+            region = self.regions.get(rid)
+            targets = sorted(self._sharers.get(rid, ()))
+            if not targets:
+                continue
+            pushes.append((region, targets))
+        if pushes:
+            yield Delay(self.PUSH_SETUP_COST)
+            done = Future(name=f"su:barrier@{nid}")
+            state = {"need": sum(len(t) for _, t in pushes), "done": done}
+            for region, targets in pushes:
+                data = region.home_data.copy()
+                self._count("push", len(targets))
+                for t in targets:
+                    self.machine.post(
+                        nid,
+                        t,
+                        self._on_push,
+                        region.rid,
+                        data,
+                        state,
+                        payload_words=region.size,
+                        category="proto.StaticUpdate.push",
+                    )
+            yield done
+        yield from self.runtime.rendezvous(nid)
+
+    # -- sharer side (handler context) -----------------------------------
+    def _on_push(self, node, src, rid, data, state):
+        copy = self._copies[node.nid].get(rid)
+        if copy is not None:
+            np.copyto(copy.data, data)
+            copy.state = "valid"
+        self.machine.post(
+            node.nid,
+            src,
+            self._on_push_ack,
+            state,
+            payload_words=1,
+            category="proto.StaticUpdate.push_ack",
+        )
+
+    def _on_push_ack(self, node, src, state):
+        state["need"] -= 1
+        if state["need"] == 0:
+            state["done"].resolve(None)

@@ -1,0 +1,33 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate for the whole reproduction: simulated
+processors are Python generators scheduled by :class:`~repro.sim.kernel.Simulator`,
+which advances a virtual clock measured in *cycles*.  Nothing in the
+repository uses OS threads, so runs are bit-for-bit reproducible.
+
+Public API
+----------
+``Simulator``
+    The event loop.  ``spawn`` generator tasks, ``run`` to completion.
+``Delay(cycles)``
+    Yielded by a task to advance simulated time.
+``Future``
+    One-shot synchronization cell; yield it to block until resolved.
+``Channel``
+    FIFO message queue built on futures.
+"""
+
+from repro.sim.errors import DeadlockError, SimulationError
+from repro.sim.future import Future
+from repro.sim.kernel import Delay, Simulator, Task
+from repro.sim.channel import Channel
+
+__all__ = [
+    "Channel",
+    "DeadlockError",
+    "Delay",
+    "Future",
+    "SimulationError",
+    "Simulator",
+    "Task",
+]

@@ -1,0 +1,47 @@
+"""FIFO channels between simulated tasks, built on futures.
+
+Used by the Active-Messages layer for per-node mailboxes and by tests
+as a convenient rendezvous primitive.  ``put`` never blocks (unbounded
+queue — the simulated network provides its own backpressure through
+message costs); ``get`` returns a generator to ``yield from``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.future import Future
+
+
+class Channel:
+    """Unbounded FIFO of messages with blocking ``get``."""
+
+    def __init__(self, name: str = "chan"):
+        self.name = name
+        self._items: deque = deque()
+        self._waiters: deque[Future] = deque()
+
+    def put(self, item) -> None:
+        """Enqueue ``item``; wakes the oldest blocked getter, if any."""
+        if self._waiters:
+            self._waiters.popleft().resolve(item)
+        else:
+            self._items.append(item)
+
+    def get(self):
+        """Generator: ``item = yield from chan.get()`` blocks until available."""
+        if self._items:
+            return self._items.popleft()
+        fut = Future(name=f"{self.name}.get")
+        self._waiters.append(fut)
+        item = yield fut
+        return item
+
+    def try_get(self):
+        """Non-blocking get: returns the next item or ``None`` if empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,19 @@
+"""Exception types raised by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulator or runtimes built on it."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while tasks are still blocked.
+
+    Carries the list of blocked task names so protocol bugs (a barrier
+    that never releases, a lock that is never granted) produce an
+    actionable message instead of a silent hang.
+    """
+
+    def __init__(self, blocked_tasks):
+        self.blocked_tasks = list(blocked_tasks)
+        names = ", ".join(t.name for t in self.blocked_tasks) or "<none>"
+        super().__init__(f"deadlock: event queue empty but tasks blocked: {names}")

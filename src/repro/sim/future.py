@@ -1,0 +1,83 @@
+"""One-shot synchronization cells for simulated tasks.
+
+A :class:`Future` is the only blocking primitive the kernel understands
+besides :class:`~repro.sim.kernel.Delay`.  Tasks yield a future to
+suspend; whoever resolves it wakes every waiter at the current simulated
+time.  Futures may be resolved before anyone waits (the waiter then
+resumes immediately), and may carry either a value or an exception.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errors import SimulationError
+
+_UNSET = object()
+
+
+class Future:
+    """A write-once cell that simulated tasks can block on.
+
+    Parameters
+    ----------
+    name:
+        Optional label used in deadlock reports and traces.
+    """
+
+    __slots__ = ("name", "_value", "_exc", "_callbacks")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._value = _UNSET
+        self._exc: BaseException | None = None
+        self._callbacks: list = []
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def resolved(self) -> bool:
+        """True once :meth:`resolve` or :meth:`fail` has been called."""
+        return self._value is not _UNSET or self._exc is not None
+
+    def result(self):
+        """Return the resolved value (raising the stored exception if any).
+
+        Raises
+        ------
+        SimulationError
+            If the future has not been resolved yet.
+        """
+        if self._exc is not None:
+            raise self._exc
+        if self._value is _UNSET:
+            raise SimulationError(f"future {self.name!r} not resolved")
+        return self._value
+
+    # -- resolution ---------------------------------------------------
+    def resolve(self, value=None) -> None:
+        """Store ``value`` and invoke all registered callbacks once."""
+        if self.resolved:
+            raise SimulationError(f"future {self.name!r} resolved twice")
+        self._value = value
+        self._fire()
+
+    def fail(self, exc: BaseException) -> None:
+        """Store an exception; waiters will re-raise it when resumed."""
+        if self.resolved:
+            raise SimulationError(f"future {self.name!r} resolved twice")
+        self._exc = exc
+        self._fire()
+
+    def add_callback(self, fn) -> None:
+        """Call ``fn(self)`` when resolved (immediately if already resolved)."""
+        if self.resolved:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "resolved" if self.resolved else "pending"
+        return f"<Future {self.name!r} {state}>"

@@ -1,0 +1,207 @@
+"""The discrete-event scheduler and generator-task trampoline.
+
+Simulated "processors" are plain Python generators.  They communicate
+with the kernel by yielding:
+
+``Delay(cycles)``
+    advance this task's local view of time by ``cycles``;
+``Future``
+    suspend until the future is resolved; the resolved value is sent
+    back into the generator (a failed future re-raises inside it).
+
+Nested blocking operations compose with ordinary ``yield from``; the
+kernel only ever sees the two primitive yield types above.
+
+Time is an integer cycle count.  Events at equal times fire in the
+order they were scheduled (a monotone sequence number breaks ties), so
+a run is a pure function of its inputs — the property the hypothesis
+determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable
+
+from repro.sim.errors import DeadlockError, SimulationError
+from repro.sim.future import Future
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Yield ``Delay(n)`` from a task to advance simulated time by ``n`` cycles."""
+
+    cycles: int
+
+    def __post_init__(self):
+        if self.cycles < 0:
+            raise SimulationError(f"negative delay: {self.cycles}")
+
+
+class Task:
+    """A generator being driven by the simulator.
+
+    ``task.done`` is a :class:`Future` resolved with the generator's
+    return value (or failed with its exception), so tasks can join on
+    one another by yielding it.
+    """
+
+    __slots__ = ("name", "gen", "done", "blocked_on")
+
+    def __init__(self, gen: Generator, name: str):
+        self.gen = gen
+        self.name = name
+        self.done = Future(name=f"done:{name}")
+        self.blocked_on: Future | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.name}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.spawn(my_task(), name="proc0")
+        sim.run()
+        print(sim.now)   # total simulated cycles
+    """
+
+    def __init__(
+        self,
+        trace: Callable[[int, str], None] | None = None,
+        jitter_seed: int | None = None,
+    ):
+        """``jitter_seed`` enables *schedule fuzzing*: same-time events
+        fire in a seed-determined shuffled order instead of insertion
+        order.  Each seed is still fully deterministic — the
+        :mod:`repro.verify` fuzzer sweeps seeds to hunt protocol races
+        that one canonical schedule would never exhibit."""
+        self.now: int = 0
+        self._queue: list = []  # heap of (time, jitter, seq, fn)
+        self._seq = 0
+        self._tasks: list[Task] = []
+        self._trace = trace
+        self._running = False
+        self._jitter = random.Random(jitter_seed) if jitter_seed is not None else None
+
+    # -- low-level event interface -------------------------------------
+    def schedule(self, delay: int, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` cycles (0 means "later this cycle")."""
+        if delay < 0:
+            raise SimulationError(f"negative schedule delay: {delay}")
+        jitter = self._jitter.random() if self._jitter is not None else 0.0
+        heapq.heappush(self._queue, (self.now + delay, jitter, self._seq, fn))
+        self._seq += 1
+
+    def at(self, time: int, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at absolute ``time`` (must not be in the past)."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
+        self.schedule(time - self.now, fn)
+
+    # -- task interface -------------------------------------------------
+    def spawn(self, gen: Generator, name: str = "task") -> Task:
+        """Register a generator as a task and start it at the current time."""
+        task = Task(gen, name=f"{name}#{len(self._tasks)}" if name == "task" else name)
+        self._tasks.append(task)
+        self.schedule(0, lambda: self._step(task, None, None))
+        return task
+
+    def _step(self, task: Task, value, exc: BaseException | None) -> None:
+        task.blocked_on = None
+        try:
+            if exc is not None:
+                item = task.gen.throw(exc)
+            else:
+                item = task.gen.send(value)
+        except StopIteration as stop:
+            if self._trace:
+                self._trace(self.now, f"{task.name} finished")
+            task.done.resolve(stop.value)
+            return
+        except BaseException as err:  # task crashed: propagate via its future
+            if self._trace:
+                self._trace(self.now, f"{task.name} raised {err!r}")
+            task.done.fail(err)
+            return
+        self._dispatch_yield(task, item)
+
+    def _dispatch_yield(self, task: Task, item) -> None:
+        if isinstance(item, Delay):
+            if self._trace:
+                self._trace(self.now, f"{task.name} delay {item.cycles}")
+            self.schedule(item.cycles, lambda: self._step(task, None, None))
+        elif isinstance(item, Future):
+            if item.resolved:
+                # Resume this cycle but *after* already-queued events, so a
+                # resolved future never lets a task jump the queue.
+                self.schedule(0, lambda: self._resume_from(task, item))
+            else:
+                task.blocked_on = item
+                if self._trace:
+                    self._trace(self.now, f"{task.name} waits on {item.name}")
+                item.add_callback(lambda fut: self.schedule(0, lambda: self._resume_from(task, fut)))
+        else:
+            task.done.fail(
+                SimulationError(
+                    f"task {task.name} yielded {item!r}; only Delay or Future "
+                    "may reach the kernel (use 'yield from' for sub-operations)"
+                )
+            )
+
+    def _resume_from(self, task: Task, fut: Future) -> None:
+        try:
+            value = fut.result()
+        except BaseException as err:
+            self._step(task, None, err)
+            return
+        self._step(task, value, None)
+
+    # -- execution --------------------------------------------------------
+    def run(self, until: int | None = None) -> int:
+        """Drain the event queue; return the final simulated time.
+
+        Raises
+        ------
+        DeadlockError
+            If the queue empties while spawned tasks are still blocked.
+        SimulationError
+            Re-raised from any task that crashed (first crash wins).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                time, jitter, seq, fn = heapq.heappop(self._queue)
+                if until is not None and time > until:
+                    heapq.heappush(self._queue, (time, jitter, seq, fn))
+                    self.now = until
+                    return self.now
+                self.now = time
+                fn()
+                self._raise_task_failure()
+        finally:
+            self._running = False
+        self._raise_task_failure()
+        blocked = [t for t in self._tasks if t.blocked_on is not None]
+        if blocked:
+            raise DeadlockError(blocked)
+        return self.now
+
+    def _raise_task_failure(self) -> None:
+        for task in self._tasks:
+            if task.done.resolved and task.done._exc is not None:
+                raise task.done._exc
+
+    # -- helpers ----------------------------------------------------------
+    def run_all(self, gens: Iterable[Generator], prefix: str = "proc") -> list:
+        """Spawn one task per generator, run to completion, return results."""
+        tasks = [self.spawn(g, name=f"{prefix}{i}") for i, g in enumerate(gens)]
+        self.run()
+        return [t.done.result() for t in tasks]

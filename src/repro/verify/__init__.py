@@ -1,0 +1,15 @@
+"""Protocol verification by schedule fuzzing.
+
+§6 of the paper asks for "a theoretical framework of correctness" for
+mixed protocols and notes that tools like Teapot ease protocol
+development.  This package is the pragmatic complement we can give a
+simulated system: every :class:`~repro.sim.kernel.Simulator` schedule
+is deterministic *per seed*, so sweeping seeds explores many legal
+interleavings of the same program, and an invariant checked after each
+run turns the sweep into a lightweight model-checking pass for
+protocol implementations.
+"""
+
+from repro.verify.fuzz import FuzzReport, Violation, fuzz_schedules
+
+__all__ = ["FuzzReport", "Violation", "fuzz_schedules"]

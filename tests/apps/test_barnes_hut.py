@@ -1,0 +1,76 @@
+"""Barnes-Hut integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps import barnes_hut as bh
+from repro.facade import run_spmd
+
+SMALL = bh.BHWorkload(n_bodies=24, n_steps=2, seed=17)
+
+
+def run_bh(workload, plan, backend="ace", n_procs=4):
+    res = run_spmd(bh.bh_program(workload, plan), backend=backend, n_procs=n_procs)
+    return res, bh.collect_results(res, workload)
+
+
+@pytest.mark.parametrize(
+    "backend,plan",
+    [("crl", bh.SC_PLAN), ("ace", bh.SC_PLAN), ("ace", bh.CUSTOM_PLAN)],
+)
+def test_matches_reference(backend, plan):
+    res, state = run_bh(SMALL, plan, backend=backend)
+    ref = bh.reference(SMALL)
+    np.testing.assert_allclose(state, ref, rtol=1e-10, atol=1e-12)
+
+
+def test_theta_zero_equals_direct_sum():
+    """With theta=0 the tree walk degenerates to exact pairwise forces."""
+    wl = bh.BHWorkload(n_bodies=10, n_steps=1, theta=0.0, seed=3)
+    bodies = bh.init_bodies(wl)
+    pos = bodies[:, bh.POS].copy()
+    mass = bodies[:, bh.MASS].copy()
+    root = bh.build_tree(pos, mass)
+    for i in range(wl.n_bodies):
+        force, _ = bh.compute_force(root, i, pos, wl.theta, wl.eps)
+        direct = np.zeros(3)
+        for j in range(wl.n_bodies):
+            if j == i:
+                continue
+            d = pos[j] - pos[i]
+            r2 = d @ d + wl.eps**2
+            direct += mass[j] * d / (r2 * np.sqrt(r2))
+        np.testing.assert_allclose(force, direct, rtol=1e-9)
+
+
+def test_tree_mass_conservation():
+    wl = bh.BHWorkload(n_bodies=50, seed=2)
+    bodies = bh.init_bodies(wl)
+    root = bh.build_tree(bodies[:, bh.POS], bodies[:, bh.MASS])
+    assert root.mass == pytest.approx(bodies[:, bh.MASS].sum())
+
+
+def test_dynamic_update_plan_is_faster():
+    """Figure 7b's Barnes-Hut row: dynamic update beats SC."""
+    wl = bh.BHWorkload(n_bodies=32, n_steps=2, seed=6)
+    t_sc = run_bh(wl, bh.SC_PLAN, n_procs=4)[0].time
+    t_custom = run_bh(wl, bh.CUSTOM_PLAN, n_procs=4)[0].time
+    assert t_custom < t_sc
+
+
+def test_dynamic_update_removes_read_misses():
+    wl = bh.BHWorkload(n_bodies=32, n_steps=2, seed=6)
+    res_sc, _ = run_bh(wl, bh.SC_PLAN, n_procs=4)
+    res_custom, _ = run_bh(wl, bh.CUSTOM_PLAN, n_procs=4)
+    assert res_sc.stats.get("ace.sc.read_miss") > 0
+    assert res_custom.stats.get("ace.sc.read_miss") == 0
+
+
+def test_single_proc_matches_reference():
+    res, state = run_bh(SMALL, bh.SC_PLAN, n_procs=1)
+    np.testing.assert_allclose(state, bh.reference(SMALL), rtol=1e-10, atol=1e-12)
+
+
+def test_paper_workload_parameters():
+    wl = bh.BHWorkload.paper()
+    assert (wl.n_bodies, wl.n_steps, wl.theta, wl.eps) == (16384, 4, 1.0, 0.5)

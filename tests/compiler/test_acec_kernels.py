@@ -1,0 +1,156 @@
+"""The five Table 4 kernels: correctness at every optimization level,
+hand-vs-compiled equivalence, and the Table 4 performance ladder."""
+
+import numpy as np
+import pytest
+
+from repro.apps import acec_sources as K
+from repro.compiler import OPT_BASE, OPT_DIRECT, OPT_LI, OPT_LI_MC, compile_source, run_compiled
+
+ALL_LEVELS = [OPT_BASE, OPT_LI, OPT_LI_MC, OPT_DIRECT]
+IDS = [o.name for o in ALL_LEVELS]
+
+
+def run_kernel(src, host_data, opt=OPT_DIRECT, n_procs=4):
+    return run_compiled(compile_source(src, opt=opt), n_procs=n_procs, host_data=host_data)
+
+
+# ----------------------------------------------------------------- EM3D
+EM3D_WL = K.EM3DKernelWL(n=12, degree=2, iters=6)
+
+
+def em3d_values(run, wl):
+    e = np.array([run.bb[("e_out", i)] for i in range(wl.n)])
+    h = np.array([run.bb[("h_out", i)] for i in range(wl.n)])
+    return e, h
+
+
+@pytest.mark.parametrize("opt", ALL_LEVELS, ids=IDS)
+def test_em3d_kernel_matches_reference(opt):
+    run = run_kernel(K.em3d_source(EM3D_WL), K.em3d_host_data(EM3D_WL, 4), opt=opt)
+    e, h = em3d_values(run, EM3D_WL)
+    e_ref, h_ref = K.em3d_reference(EM3D_WL, 4)
+    np.testing.assert_allclose(e, e_ref, rtol=1e-12)
+    np.testing.assert_allclose(h, h_ref, rtol=1e-12)
+
+
+def test_em3d_hand_matches_reference():
+    run = run_kernel(K.em3d_hand_source(EM3D_WL), K.em3d_host_data(EM3D_WL, 4))
+    e, h = em3d_values(run, EM3D_WL)
+    e_ref, h_ref = K.em3d_reference(EM3D_WL, 4)
+    np.testing.assert_allclose(e, e_ref, rtol=1e-12)
+    np.testing.assert_allclose(h, h_ref, rtol=1e-12)
+
+
+def test_em3d_ladder_and_hand_bound():
+    host = K.em3d_host_data(EM3D_WL, 4)
+    times = [run_kernel(K.em3d_source(EM3D_WL), host, opt=o).time for o in ALL_LEVELS]
+    hand = run_kernel(K.em3d_hand_source(EM3D_WL), host).time
+    assert times[0] >= times[1] >= times[2] >= times[3]
+    assert times[3] < times[0]          # optimizations help overall
+    assert hand < times[3]              # hand-optimized is fastest
+
+
+# ----------------------------------------------------------------- BSC
+BSC_WL = K.BSCKernelWL(nb=4, block=3, band=2)
+
+
+@pytest.mark.parametrize("opt", ALL_LEVELS, ids=IDS)
+def test_bsc_kernel_matches_cholesky(opt):
+    run = run_kernel(K.bsc_source(BSC_WL), K.bsc_host_data(BSC_WL), opt=opt, n_procs=2)
+    L = K.bsc_collect(run, BSC_WL)
+    np.testing.assert_allclose(L, K.bsc_reference(BSC_WL), rtol=1e-9, atol=1e-9)
+
+
+def test_bsc_hand_matches_cholesky():
+    run = run_kernel(K.bsc_hand_source(BSC_WL), K.bsc_host_data(BSC_WL), n_procs=2)
+    L = K.bsc_collect(run, BSC_WL)
+    np.testing.assert_allclose(L, K.bsc_reference(BSC_WL), rtol=1e-9, atol=1e-9)
+
+
+def test_bsc_loop_invariance_is_the_big_win():
+    """§5.3: 'In Block Sparse Cholesky ... a large improvement ...
+    attributed to the loop invariance optimization.'"""
+    host = K.bsc_host_data(BSC_WL)
+    t_base = run_kernel(K.bsc_source(BSC_WL), host, opt=OPT_BASE, n_procs=2).time
+    t_li = run_kernel(K.bsc_source(BSC_WL), host, opt=OPT_LI, n_procs=2).time
+    assert t_base / t_li > 1.5  # LI alone is a major improvement
+
+
+# ----------------------------------------------------------------- Water
+WATER_WL = K.WaterKernelWL(n=8, steps=2)
+
+
+@pytest.mark.parametrize("opt", ALL_LEVELS, ids=IDS)
+def test_water_kernel_matches_reference(opt):
+    run = run_kernel(K.water_source(WATER_WL), K.water_host_data(WATER_WL), opt=opt)
+    state = K.water_collect(run, WATER_WL)
+    np.testing.assert_allclose(state, K.water_reference(WATER_WL), rtol=1e-9, atol=1e-12)
+
+
+def test_water_hand_matches_reference():
+    run = run_kernel(K.water_hand_source(WATER_WL), K.water_host_data(WATER_WL))
+    state = K.water_collect(run, WATER_WL)
+    np.testing.assert_allclose(state, K.water_reference(WATER_WL), rtol=1e-9, atol=1e-12)
+
+
+def test_water_merging_is_the_big_win():
+    """Table 4 Water: 1.76 -> 0.73 from merging calls."""
+    host = K.water_host_data(WATER_WL)
+    t_li = run_kernel(K.water_source(WATER_WL), host, opt=OPT_LI).time
+    t_mc = run_kernel(K.water_source(WATER_WL), host, opt=OPT_LI_MC).time
+    assert t_li / t_mc > 1.2
+
+
+# ----------------------------------------------------------------- Barnes-Hut
+BH_WL = K.BHKernelWL(n=12, steps=2)
+
+
+@pytest.mark.parametrize("opt", ALL_LEVELS, ids=IDS)
+def test_bh_kernel_matches_reference(opt):
+    run = run_kernel(K.bh_source(BH_WL), K.bh_host_data(BH_WL), opt=opt)
+    state = K.bh_collect(run, BH_WL)
+    np.testing.assert_allclose(state, K.bh_reference(BH_WL), rtol=1e-9, atol=1e-12)
+
+
+def test_bh_hand_matches_reference():
+    run = run_kernel(K.bh_hand_source(BH_WL), K.bh_host_data(BH_WL))
+    state = K.bh_collect(run, BH_WL)
+    np.testing.assert_allclose(state, K.bh_reference(BH_WL), rtol=1e-9, atol=1e-12)
+
+
+# ----------------------------------------------------------------- TSP
+TSP_WL = K.TSPKernelWL(n_cities=6)
+
+
+@pytest.mark.parametrize("opt", ALL_LEVELS, ids=IDS)
+def test_tsp_kernel_finds_optimum(opt):
+    run = run_kernel(K.tsp_source(TSP_WL), K.tsp_host_data(TSP_WL), opt=opt)
+    assert run.bb[("result", 0)] == pytest.approx(K.tsp_reference(TSP_WL))
+
+
+def test_tsp_hand_finds_optimum():
+    run = run_kernel(K.tsp_source(TSP_WL, hand=True), K.tsp_host_data(TSP_WL))
+    assert run.bb[("result", 0)] == pytest.approx(K.tsp_reference(TSP_WL))
+
+
+# ----------------------------------------------------------------- ladder
+@pytest.mark.parametrize(
+    "source_fn,hand_fn,host",
+    [
+        (lambda: K.bsc_source(BSC_WL), lambda: K.bsc_hand_source(BSC_WL), lambda: K.bsc_host_data(BSC_WL)),
+        (lambda: K.water_source(WATER_WL), lambda: K.water_hand_source(WATER_WL), lambda: K.water_host_data(WATER_WL)),
+        (lambda: K.bh_source(BH_WL), lambda: K.bh_hand_source(BH_WL), lambda: K.bh_host_data(BH_WL)),
+        (lambda: K.tsp_source(TSP_WL), lambda: K.tsp_source(TSP_WL, hand=True), lambda: K.tsp_host_data(TSP_WL)),
+    ],
+    ids=["bsc", "water", "bh", "tsp"],
+)
+def test_table4_ladder_shape(source_fn, hand_fn, host):
+    """Optimization levels never regress; hand-optimized is fastest."""
+    host_data = host()
+    times = [
+        run_kernel(source_fn(), host_data, opt=o, n_procs=2).time for o in ALL_LEVELS
+    ]
+    hand = run_kernel(hand_fn(), host_data, n_procs=2).time
+    assert times[0] >= times[1] >= times[2] >= times[3]
+    assert hand <= times[3]

@@ -1,0 +1,250 @@
+"""End-to-end execution of compiled AceC on the simulated Ace runtime."""
+
+import pytest
+
+from repro.compiler import (
+    OPT_BASE,
+    OPT_DIRECT,
+    OPT_LI,
+    OPT_LI_MC,
+    AceRuntimeErr,
+    compile_source,
+    run_compiled,
+)
+
+ALL_LEVELS = [OPT_BASE, OPT_LI, OPT_LI_MC, OPT_DIRECT]
+
+
+def run_src(src, opt=OPT_BASE, n_procs=1, host_data=None):
+    return run_compiled(compile_source(src, opt=opt), n_procs=n_procs, host_data=host_data)
+
+
+def test_hello_arithmetic():
+    out = run_src(
+        """
+        void main() {
+            double x = 3;
+            double y = x * x + 0.5;
+            print(y);
+        }
+        """
+    )
+    assert out.prints == [(0, 9.5)]
+
+
+def test_control_flow_fibonacci_recursion():
+    out = run_src(
+        """
+        double fib(double n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        void main() { print(fib(12)); }
+        """
+    )
+    assert out.prints == [(0, 144.0)]
+
+
+def test_local_arrays_and_loops():
+    out = run_src(
+        """
+        void main() {
+            double a[10];
+            for (int i = 0; i < 10; i++) { a[i] = i * i; }
+            double s = 0;
+            for (int i = 0; i < 10; i++) { s += a[i]; }
+            print(s);
+        }
+        """
+    )
+    assert out.prints == [(0, 285.0)]
+
+
+def test_builtin_math():
+    out = run_src(
+        """
+        void main() {
+            print(sqrt(49));
+            print(idiv(17, 5));
+            print(imod(17, 5));
+            print(min(2, 3) + max(2, 3));
+            print(fabs(0 - 8));
+        }
+        """
+    )
+    values = [v for _, v in out.prints]
+    assert values == [7.0, 3.0, 2.0, 5.0, 8.0]
+
+
+def test_spmd_identity_and_barrier():
+    out = run_src(
+        """
+        void main() {
+            print(my_proc());
+            ace_barrier(ace_new_space("SC"));
+            print(num_procs());
+        }
+        """,
+        n_procs=3,
+    )
+    assert sorted(v for _, v in out.prints) == [0.0, 1.0, 2.0, 3.0, 3.0, 3.0]
+
+
+@pytest.mark.parametrize("opt", ALL_LEVELS, ids=lambda o: o.name)
+def test_shared_memory_roundtrip_all_levels(opt):
+    out = run_src(
+        """
+        void main() {
+            int s = ace_new_space("SC");
+            shared double *p;
+            p = ace_gmalloc(s, 4);
+            for (int i = 0; i < 4; i++) { p[i] = i * 10; }
+            double total = 0;
+            for (int i = 0; i < 4; i++) { total += p[i]; }
+            print(total);
+        }
+        """,
+        opt=opt,
+    )
+    assert out.prints == [(0, 60.0)]
+
+
+@pytest.mark.parametrize("opt", ALL_LEVELS, ids=lambda o: o.name)
+def test_producer_consumer_across_nodes(opt):
+    out = run_src(
+        """
+        void main() {
+            int s = ace_new_space("SC");
+            shared double *p;
+            if (my_proc() == 0) {
+                p = ace_gmalloc(s, 2);
+                p[0] = 41;
+                p[1] = 1;
+                bb_put("rid", 0, p);
+            }
+            ace_barrier(s);
+            p = bb_get("rid", 0);
+            double v = p[0] + p[1];
+            ace_barrier(s);
+            print(v);
+        }
+        """,
+        opt=opt,
+        n_procs=4,
+    )
+    assert sorted(v for _, v in out.prints) == [42.0] * 4
+
+
+def test_host_data_feeds_program():
+    out = run_src(
+        """
+        void main() { print(host_data("A", 2)); }
+        """,
+        host_data={"A": [1.0, 2.0, 3.5]},
+    )
+    assert out.prints == [(0, 3.5)]
+
+
+def test_region_data_accessor():
+    out = run_src(
+        """
+        void main() {
+            int s = ace_new_space("SC");
+            shared double *p;
+            p = ace_gmalloc(s, 3);
+            p[0] = 7; p[1] = 8; p[2] = 9;
+            bb_put("r", 0, p);
+        }
+        """
+    )
+    rid = out.bb[("r", 0)]
+    assert list(out.region_data(rid)) == [7.0, 8.0, 9.0]
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(AceRuntimeErr, match="division by zero"):
+        run_src("void main() { double x = 1 / 0; }")
+
+
+def test_array_bounds_checked():
+    with pytest.raises(AceRuntimeErr, match="out of bounds"):
+        run_src("void main() { double a[3]; a[5] = 1; }")
+
+
+def test_bb_get_before_put_raises():
+    with pytest.raises(AceRuntimeErr, match="not published"):
+        run_src('void main() { double x = bb_get("nope", 0); }')
+
+
+def test_locks_serialize_counter():
+    out = run_src(
+        """
+        void main() {
+            int s = ace_new_space("SC");
+            shared double *c;
+            if (my_proc() == 0) {
+                c = ace_gmalloc(s, 1);
+                bb_put("c", 0, c);
+            }
+            ace_barrier(s);
+            c = bb_get("c", 0);
+            for (int i = 0; i < 5; i++) {
+                ace_lock(c);
+                c[0] = c[0] + 1;
+                ace_unlock(c);
+            }
+            ace_barrier(s);
+            if (my_proc() == 0) { print(c[0]); }
+        }
+        """,
+        n_procs=4,
+    )
+    assert out.prints == [(0, 20.0)]
+
+
+@pytest.mark.parametrize("opt", ALL_LEVELS, ids=lambda o: o.name)
+def test_change_protocol_from_acec(opt):
+    out = run_src(
+        """
+        void main() {
+            int s = ace_new_space("SC");
+            shared double *p;
+            if (my_proc() == 0) {
+                p = ace_gmalloc(s, 1);
+                bb_put("p", 0, p);
+            }
+            ace_barrier(s);
+            ace_change_protocol(s, "DynamicUpdate");
+            p = bb_get("p", 0);
+            if (my_proc() == 1) { p[0] = 5; }
+            ace_barrier(s);
+            double v = p[0];
+            ace_barrier(s);
+            print(v);
+        }
+        """,
+        opt=opt,
+        n_procs=2,
+    )
+    assert sorted(v for _, v in out.prints) == [5.0, 5.0]
+
+
+def test_optimization_levels_monotonically_faster():
+    """More passes never slow the program down (and LI/MC/DC each help here)."""
+    src = """
+    void main() {
+        int s = ace_new_space("SC");
+        ace_change_protocol(s, "StaticUpdate");
+        shared double *p;
+        p = ace_gmalloc(s, 16);
+        for (int it = 0; it < 10; it++) {
+            double acc = 0;
+            for (int i = 0; i < 16; i++) { acc += p[i]; }
+            p[0] = acc;
+        }
+        ace_barrier(s);
+    }
+    """
+    times = [run_src(src, opt=o).time for o in ALL_LEVELS]
+    assert times[0] >= times[1] >= times[2] >= times[3]
+    assert times[3] < times[0]

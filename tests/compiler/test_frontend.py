@@ -1,0 +1,172 @@
+"""Lexer/parser/lowering tests."""
+
+import pytest
+
+from repro.compiler.errors import AceCompileError, AceSyntaxError
+from repro.compiler.lexer import tokenize
+from repro.compiler.lowering import lower_program
+from repro.compiler.parser_ import parse
+
+
+def lower(src):
+    return lower_program(parse(src))
+
+
+def test_tokenize_basics():
+    toks = tokenize('int x = 42; // comment\ndouble y = 3.5e-2; x += "hi";')
+    kinds = [(t.kind, t.value) for t in toks if t.kind != "eof"]
+    assert ("kw", "int") in kinds
+    assert ("num", "42") in kinds
+    assert ("num", "3.5e-2") in kinds
+    assert ("op", "+=") in kinds
+    assert ("str", "hi") in kinds
+
+
+def test_tokenize_block_comment_and_position():
+    toks = tokenize("/* a\nb */ int x;")
+    assert toks[0].value == "int"
+    assert toks[0].line == 2
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(AceSyntaxError, match="unexpected character"):
+        tokenize("int @x;")
+
+
+def test_tokenize_unterminated_string():
+    with pytest.raises(AceSyntaxError, match="unterminated string"):
+        tokenize('"abc')
+
+
+def test_parse_minimal_main():
+    ast = parse("void main() { return; }")
+    assert "main" in ast.funcs
+
+
+def test_parse_requires_main():
+    with pytest.raises(AceSyntaxError, match="no main"):
+        parse("void helper() { return; }")
+
+
+def test_parse_rejects_raw_pointers():
+    with pytest.raises(AceSyntaxError, match="raw pointers"):
+        parse("void main() { double *p; }")
+
+
+def test_parse_shared_must_be_pointer():
+    with pytest.raises(AceSyntaxError, match="must be pointers"):
+        parse("void main() { shared double x; }")
+
+
+def test_parse_full_constructs():
+    src = """
+    double helper(double a, int b) {
+        double acc = 0;
+        for (int i = 0; i < b; i++) {
+            if (i % 2 == 0) { acc += a; } else { acc -= 1; }
+        }
+        while (acc > 100) { acc = acc / 2; break; }
+        return acc;
+    }
+    void main() {
+        double r = helper(2.5, 10);
+        print(r);
+    }
+    """
+    ir = lower(src)
+    assert set(ir.funcs) == {"helper", "main"}
+    # helper has two loops recorded (for + while)
+    assert len(ir.funcs["helper"].loops) == 2
+
+
+def test_lowering_rejects_undeclared_variable():
+    with pytest.raises(AceCompileError, match="undeclared"):
+        lower("void main() { x = 1; }")
+
+
+def test_lowering_rejects_redeclaration():
+    with pytest.raises(AceCompileError, match="redeclared"):
+        lower("void main() { int x; int x; }")
+
+
+def test_lowering_rejects_unknown_function():
+    with pytest.raises(AceCompileError, match="unknown function"):
+        lower("void main() { frobnicate(1); }")
+
+
+def test_lowering_rejects_bad_arity():
+    with pytest.raises(AceCompileError, match="expects 2 args"):
+        lower("void main() { int s = ace_gmalloc(1); }")
+
+
+def test_lowering_rejects_indexing_scalar():
+    with pytest.raises(AceCompileError, match="cannot index scalar"):
+        lower("void main() { int x; int y = x[0]; }")
+
+
+def test_lowering_scopes_shadowing():
+    src = """
+    void main() {
+        int x = 1;
+        if (x) { int x = 2; print(x); }
+        print(x);
+    }
+    """
+    ir = lower(src)
+    # two distinct unique names for x
+    names = {n for n in ir.funcs["main"].var_types if n.startswith("x$")}
+    assert len(names) == 2
+
+
+def test_shared_access_lowers_to_shared_ops():
+    src = """
+    void main() {
+        int s = ace_new_space("SC");
+        shared double *p;
+        p = ace_gmalloc(s, 8);
+        p[3] = 1.5;
+        double v = p[3];
+        print(v);
+    }
+    """
+    ir = lower(src)
+    ops = [i.op for i in ir.funcs["main"].all_instrs()]
+    assert "shared_store" in ops
+    assert "shared_load" in ops
+
+
+def test_mapped_access_lowers_to_deref_and_annotations():
+    src = """
+    void main() {
+        int s = ace_new_space("SC");
+        shared double *p;
+        p = ace_gmalloc(s, 8);
+        mapped double *h;
+        h = ace_map(p);
+        ace_start_write(h);
+        h[0] = 2.0;
+        ace_end_write(h);
+        ace_unmap(h);
+    }
+    """
+    ir = lower(src)
+    ops = [i.op for i in ir.funcs["main"].all_instrs()]
+    assert "map" in ops and "start_write" in ops and "end_write" in ops and "unmap" in ops
+    assert "deref_store" in ops
+    assert "shared_store" not in ops
+
+
+def test_loop_info_nesting():
+    src = """
+    void main() {
+        for (int i = 0; i < 3; i++) {
+            for (int j = 0; j < 3; j++) { print(i + j); }
+        }
+    }
+    """
+    ir = lower(src)
+    loops = ir.funcs["main"].loops
+    assert len(loops) == 2
+    inner, outer = loops  # innermost first
+    assert inner.header in outer.body
+    assert inner.preheader in outer.body

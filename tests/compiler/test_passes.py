@@ -1,0 +1,243 @@
+"""Pass-level tests: Figure 5 annotation shapes, Figure 6 merging,
+§4.2 analysis precision, loop hoisting, direct dispatch."""
+
+from repro.compiler import OPT_BASE, OPT_DIRECT, OPT_LI, OPT_LI_MC, compile_source
+
+
+def ops_of(prog, fn="main"):
+    return [i.op for i in prog.ir.funcs[fn].all_instrs()]
+
+
+def annos_of(prog, fn="main"):
+    return [
+        i
+        for i in prog.ir.funcs[fn].all_instrs()
+        if i.op in ("map", "unmap", "start_read", "end_read", "start_write", "end_write")
+    ]
+
+
+SIMPLE = """
+void main() {
+    int s = ace_new_space("SC");
+    shared double *p;
+    p = ace_gmalloc(s, 4);
+    double v = p[1];
+    p[2] = v + 1;
+}
+"""
+
+
+def test_figure5_annotation_shape():
+    """Loads become MAP; START_READ; deref; END_READ (Figure 5)."""
+    prog = compile_source(SIMPLE, opt=OPT_BASE)
+    ops = ops_of(prog)
+    i = ops.index("start_read")
+    assert ops[i - 1] == "map"
+    assert ops[i + 1] == "deref_load"
+    assert ops[i + 2] == "end_read"
+    j = ops.index("start_write")
+    assert ops[j - 1] == "map"
+    assert ops[j + 1] == "deref_store"
+    assert ops[j + 2] == "end_write"
+
+
+def test_analysis_unique_protocol_sc():
+    prog = compile_source(SIMPLE, opt=OPT_BASE)
+    for ins in annos_of(prog):
+        assert ins.protocols == frozenset({"SC"})
+
+
+def test_analysis_tracks_change_protocol_strong_update():
+    src = """
+    void main() {
+        int s = ace_new_space("SC");
+        shared double *p;
+        p = ace_gmalloc(s, 4);
+        double before = p[0];
+        ace_change_protocol(s, "StaticUpdate");
+        double after = p[0];
+        print(before + after);
+    }
+    """
+    prog = compile_source(src, opt=OPT_BASE)
+    annos = annos_of(prog)
+    # first access: {SC}; after the change: {StaticUpdate}
+    reads = [i for i in annos if i.op == "start_read"]
+    assert reads[0].protocols == frozenset({"SC"})
+    assert reads[1].protocols == frozenset({"StaticUpdate"})
+
+
+def test_analysis_merges_at_join_points():
+    src = """
+    void main() {
+        int s = ace_new_space("SC");
+        shared double *p;
+        p = ace_gmalloc(s, 4);
+        if (my_proc() == 0) { ace_change_protocol(s, "Null"); }
+        double v = p[0];
+        print(v);
+    }
+    """
+    prog = compile_source(src, opt=OPT_BASE)
+    reads = [i for i in annos_of(prog) if i.op == "start_read"]
+    assert reads[-1].protocols == frozenset({"SC", "Null"})
+
+
+def test_analysis_flows_through_calls_and_bb():
+    src = """
+    double consume(shared double *q) { return q[0]; }
+    void main() {
+        int s = ace_new_space("SC");
+        ace_change_protocol(s, "DynamicUpdate");
+        shared double *p;
+        p = ace_gmalloc(s, 4);
+        bb_put("x", 0, p);
+        shared double *r;
+        r = bb_get("x", 0);
+        print(consume(r));
+    }
+    """
+    prog = compile_source(src, opt=OPT_BASE)
+    reads = [i for i in annos_of(prog, "consume") if i.op == "start_read"]
+    assert reads[0].protocols == frozenset({"DynamicUpdate"})
+
+
+def test_loop_invariance_hoists_optimizable_only():
+    template = """
+    void main() {{
+        int s = ace_new_space("{proto}");
+        shared double *p;
+        p = ace_gmalloc(s, 8);
+        double acc = 0;
+        for (int i = 0; i < 8; i++) {{ acc += p[i]; }}
+        print(acc);
+    }}
+    """
+    # StaticUpdate is optimizable: MAP/START/END leave the loop
+    prog = compile_source(template.format(proto="StaticUpdate"), opt=OPT_LI)
+    assert prog.pass_stats["hoisted"] > 0
+    loop = prog.ir.funcs["main"].loops[0]
+    in_loop_ops = [
+        i.op for b in loop.body for i in prog.ir.funcs["main"].blocks[b].instrs
+    ]
+    assert "map" not in in_loop_ops
+    assert "start_read" not in in_loop_ops and "end_read" not in in_loop_ops
+    assert "deref_load" in in_loop_ops  # the access itself stays
+
+    # SC is not optimizable: nothing may move
+    prog_sc = compile_source(template.format(proto="SC"), opt=OPT_LI)
+    assert prog_sc.pass_stats["hoisted"] == 0
+
+
+def test_no_motion_past_synchronization():
+    src = """
+    void main() {
+        int s = ace_new_space("StaticUpdate");
+        shared double *p;
+        p = ace_gmalloc(s, 8);
+        double acc = 0;
+        for (int i = 0; i < 8; i++) {
+            acc += p[i];
+            ace_barrier(s);
+        }
+        print(acc);
+    }
+    """
+    prog = compile_source(src, opt=OPT_LI)
+    assert prog.pass_stats["hoisted"] == 0
+
+
+def test_figure6_merge_redundant_writes():
+    """Two stores to the same region in a block share one MAP and one
+    START/END pair (Figure 6's exact scenario)."""
+    src = """
+    void main() {
+        int s = ace_new_space("StaticUpdate");
+        shared double *x;
+        x = ace_gmalloc(s, 4);
+        x[0] = 1;
+        x[1] = 2;
+    }
+    """
+    base = compile_source(src, opt=OPT_BASE)
+    merged = compile_source(src, opt=OPT_LI_MC)
+    count = lambda prog, op: sum(1 for i in annos_of(prog) if i.op == op)
+    assert count(base, "map") == 2
+    assert count(base, "start_write") == 2
+    assert count(merged, "start_write") == 1
+    assert count(merged, "end_write") == 1
+    assert merged.pass_stats["merged"] >= 2
+
+
+def test_merge_respects_redefinition():
+    src = """
+    void main() {
+        int s = ace_new_space("StaticUpdate");
+        shared double *x;
+        x = ace_gmalloc(s, 4);
+        x[0] = 1;
+        x = ace_gmalloc(s, 4);
+        x[0] = 2;
+    }
+    """
+    merged = compile_source(src, opt=OPT_LI_MC)
+    # x redefined between stores: both START_WRITEs must survive
+    assert sum(1 for i in annos_of(merged) if i.op == "start_write") == 2
+
+
+def test_merge_does_not_mix_reads_and_writes():
+    src = """
+    void main() {
+        int s = ace_new_space("StaticUpdate");
+        shared double *x;
+        x = ace_gmalloc(s, 4);
+        double v = x[0];
+        x[1] = v;
+    }
+    """
+    merged = compile_source(src, opt=OPT_LI_MC)
+    ops = [i.op for i in annos_of(merged)]
+    assert "start_read" in ops and "start_write" in ops
+
+
+def test_direct_dispatch_marks_and_deletes():
+    src = """
+    void main() {
+        int s = ace_new_space("StaticUpdate");
+        shared double *p;
+        p = ace_gmalloc(s, 4);
+        double v = p[0];
+        print(v);
+    }
+    """
+    prog = compile_source(src, opt=OPT_DIRECT)
+    annos = annos_of(prog)
+    # StaticUpdate: start_read/end_read are null -> deleted entirely
+    assert all(i.op not in ("start_read", "end_read") for i in annos)
+    # the MAP survives but is devirtualized
+    maps = [i for i in annos if i.op == "map"]
+    assert maps and all(i.direct for i in maps)
+    assert prog.pass_stats["deleted"] >= 2
+
+
+def test_direct_dispatch_needs_unique_protocol():
+    src = """
+    void main() {
+        int s = ace_new_space("SC");
+        shared double *p;
+        p = ace_gmalloc(s, 4);
+        if (my_proc() == 0) { ace_change_protocol(s, "StaticUpdate"); }
+        double v = p[0];
+        print(v);
+    }
+    """
+    prog = compile_source(src, opt=OPT_DIRECT)
+    reads = [i for i in annos_of(prog) if i.op == "start_read"]
+    assert reads and all(not i.direct for i in reads)
+
+
+def test_dump_is_readable():
+    prog = compile_source(SIMPLE, opt=OPT_DIRECT)
+    text = prog.dump()
+    assert "func main" in text
+    assert "map" in text

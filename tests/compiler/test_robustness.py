@@ -1,0 +1,143 @@
+"""Compiler robustness: every shipped AceC kernel parses and compiles at
+every level; misuse is caught; analysis terminates on recursion."""
+
+import pytest
+
+from repro.apps import acec_sources as K
+from repro.compiler import (
+    OPT_BASE,
+    OPT_DIRECT,
+    AceRuntimeErr,
+    compile_source,
+    run_compiled,
+)
+from repro.protocols.base import ProtocolMisuse
+
+KERNEL_SOURCES = [
+    K.em3d_source(K.EM3DKernelWL()),
+    K.em3d_hand_source(K.EM3DKernelWL()),
+    K.bsc_source(K.BSCKernelWL()),
+    K.bsc_hand_source(K.BSCKernelWL()),
+    K.water_source(K.WaterKernelWL()),
+    K.water_hand_source(K.WaterKernelWL()),
+    K.bh_source(K.BHKernelWL()),
+    K.bh_hand_source(K.BHKernelWL()),
+    K.tsp_source(K.TSPKernelWL()),
+    K.tsp_source(K.TSPKernelWL(), hand=True),
+]
+
+
+@pytest.mark.parametrize("idx", range(len(KERNEL_SOURCES)))
+def test_every_kernel_compiles_at_base_and_full(idx):
+    src = KERNEL_SOURCES[idx]
+    for opt in (OPT_BASE, OPT_DIRECT):
+        prog = compile_source(src, opt=opt)
+        assert "main" in prog.ir.funcs
+
+
+def test_analysis_terminates_on_mutual_recursion():
+    src = """
+    double even(double n) { if (n == 0) { return 1; } return odd(n - 1); }
+    double odd(double n) { if (n == 0) { return 0; } return even(n - 1); }
+    void main() { print(even(10)); }
+    """
+    run = run_compiled(compile_source(src, opt=OPT_DIRECT), n_procs=1)
+    assert run.prints == [(0, 1.0)]
+
+
+def test_recursion_with_shared_state_and_changes():
+    """Recursive function touching shared data while main may change the
+    protocol: the analysis must widen, not mis-devirtualize."""
+    src = """
+    double walk(shared double *p, double i) {
+        if (i < 0) { return 0; }
+        return p[i] + walk(p, i - 1);
+    }
+    void main() {
+        int s = ace_new_space("SC");
+        shared double *p;
+        p = ace_gmalloc(s, 4);
+        for (int i = 0; i < 4; i++) { p[i] = i + 1; }
+        double a = walk(p, 3);
+        ace_change_protocol(s, "Null");
+        double b = walk(p, 3);
+        print(a + b);
+    }
+    """
+    run = run_compiled(compile_source(src, opt=OPT_DIRECT), n_procs=1)
+    assert run.prints == [(0, 20.0)]
+
+
+def test_deref_of_protocol_violation_surfaces():
+    """Runtime protocol misuse inside compiled code raises cleanly."""
+    src = """
+    void main() {
+        int s = ace_new_space("Null");
+        shared double *p;
+        if (my_proc() == 0) {
+            p = ace_gmalloc(s, 1);
+            bb_put("p", 0, p);
+        }
+        ace_barrier(s);
+        p = bb_get("p", 0);
+        if (my_proc() == 1) { p[0] = 1; }
+        ace_barrier(s);
+    }
+    """
+    with pytest.raises(ProtocolMisuse, match="home-local"):
+        run_compiled(compile_source(src, opt=OPT_BASE), n_procs=2)
+
+
+def test_shared_index_out_of_bounds():
+    src = """
+    void main() {
+        int s = ace_new_space("SC");
+        shared double *p;
+        p = ace_gmalloc(s, 2);
+        p[5] = 1;
+    }
+    """
+    with pytest.raises(AceRuntimeErr, match="out of bounds"):
+        run_compiled(compile_source(src, opt=OPT_BASE), n_procs=1)
+
+
+def test_pass_stats_reported():
+    src = K.bsc_source(K.BSCKernelWL())
+    prog = compile_source(src, opt=OPT_DIRECT)
+    assert prog.pass_stats["hoisted"] > 0
+    assert prog.pass_stats["devirtualized"] > 0
+    assert prog.pass_stats["deleted"] > 0
+
+
+def test_nested_loop_hoisting_climbs_levels():
+    """An invariant access inside a triple loop hoists all the way out."""
+    src = """
+    void main() {
+        int s = ace_new_space("Null");
+        shared double *p;
+        p = ace_gmalloc(s, 1);
+        double acc = 0;
+        for (int a = 0; a < 2; a++) {
+            for (int b = 0; b < 2; b++) {
+                for (int c = 0; c < 2; c++) { acc += p[0]; }
+            }
+        }
+        print(acc);
+    }
+    """
+    from repro.compiler import OPT_LI
+
+    prog = compile_source(src, opt=OPT_LI)
+    fn = prog.ir.funcs["main"]
+    innermost = fn.loops[0]
+    outermost = fn.loops[-1]
+    all_loop_blocks = set().union(*(l.body for l in fn.loops))
+    loop_ops = [i.op for b in all_loop_blocks for i in fn.blocks[b].instrs]
+    assert "map" not in loop_ops
+    assert "start_read" not in loop_ops
+    # the access itself stays innermost
+    inner_ops = [i.op for b in innermost.body for i in fn.blocks[b].instrs]
+    assert "deref_load" in inner_ops
+    # and the program still works
+    run = run_compiled(prog, n_procs=1)
+    assert run.prints == [(0, 0.0)]

@@ -1,0 +1,63 @@
+"""Unit tests for barrier algorithms."""
+
+import pytest
+
+from repro.dsm import BarrierService
+from repro.machine import Machine, MachineConfig
+from repro.sim import Delay, Simulator
+
+
+def run_barriers(algorithm, n_procs, iterations=3, stagger=7):
+    sim = Simulator()
+    machine = Machine(sim, MachineConfig(n_procs=n_procs))
+    svc = BarrierService(machine, algorithm=algorithm)
+    log = []
+
+    def proc(nid):
+        for it in range(iterations):
+            yield Delay(1 + (nid * stagger) % 23)
+            yield from svc.wait(nid)
+            log.append((it, nid, sim.now))
+
+    sim.run_all((proc(i) for i in range(n_procs)), prefix="p")
+    return log, machine
+
+
+@pytest.mark.parametrize("algorithm", ["hw", "dissemination"])
+@pytest.mark.parametrize("n_procs", [1, 2, 3, 8])
+def test_no_node_passes_barrier_early(algorithm, n_procs):
+    log, _ = run_barriers(algorithm, n_procs)
+    # Every node's iteration-k release must be >= every node's iteration-k
+    # arrival; equivalently, iteration k release times >= max arrival.
+    for it in range(3):
+        releases = sorted(t for i, n, t in log if i == it)
+        # all of iteration k releases happen before any iteration k+1 release
+        next_releases = [t for i, n, t in log if i == it + 1]
+        if next_releases:
+            assert max(releases) <= min(next_releases)
+
+
+def test_hw_barrier_single_release_time():
+    log, _ = run_barriers("hw", 5)
+    for it in range(3):
+        times = {t for i, n, t in log if i == it}
+        assert len(times) == 1
+
+
+def test_dissemination_uses_messages_not_control_network():
+    _, machine = run_barriers("dissemination", 8, iterations=2)
+    assert machine.stats.get("msg.barrier.notify") > 0
+    assert machine.stats.get("barrier.hw_arrive") == 0
+
+
+def test_dissemination_message_count_is_n_log_n():
+    _, machine = run_barriers("dissemination", 8, iterations=1, stagger=0)
+    # 8 nodes, ceil(log2(8)) = 3 rounds -> 24 notifies per episode
+    assert machine.stats.get("msg.barrier.notify") == 24
+
+
+def test_unknown_algorithm_rejected():
+    sim = Simulator()
+    machine = Machine(sim, MachineConfig(n_procs=2))
+    with pytest.raises(ValueError, match="unknown barrier"):
+        BarrierService(machine, algorithm="tree-of-lies")

@@ -1,0 +1,351 @@
+"""Unit tests for the MSI directory engine (via the CRL runtime wrapper)."""
+
+import numpy as np
+import pytest
+
+from repro.crl import CRLRuntime
+from repro.dsm import ProtocolError
+from repro.machine import Machine, MachineConfig
+from repro.sim import Delay, Simulator
+
+
+def run(n_procs, *programs):
+    """Run one generator-factory per node against a fresh CRL runtime."""
+    sim = Simulator()
+    machine = Machine(sim, MachineConfig(n_procs=n_procs))
+    crl = CRLRuntime(machine)
+    tasks = [sim.spawn(prog(crl, i), name=f"p{i}") for i, prog in enumerate(programs)]
+    sim.run()
+    return sim, machine, [t.done.result() for t in tasks]
+
+
+def test_create_map_write_read_single_node():
+    def prog(crl, nid):
+        rid = yield from crl.rgn_create(nid, 4)
+        h = yield from crl.rgn_map(nid, rid)
+        yield from crl.rgn_start_write(nid, h)
+        h.data[:] = [1, 2, 3, 4]
+        yield from crl.rgn_end_write(nid, h)
+        yield from crl.rgn_start_read(nid, h)
+        out = list(h.data)
+        yield from crl.rgn_end_read(nid, h)
+        yield from crl.rgn_unmap(nid, h)
+        return out
+
+    _, _, results = run(1, prog)
+    assert results[0] == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_remote_read_sees_home_write():
+    rid_box = {}
+
+    def writer(crl, nid):
+        rid = yield from crl.rgn_create(nid, 3)
+        h = yield from crl.rgn_map(nid, rid)
+        yield from crl.rgn_start_write(nid, h)
+        h.data[:] = [7, 8, 9]
+        yield from crl.rgn_end_write(nid, h)
+        rid_box["rid"] = rid
+        yield from crl.barrier(nid)
+        yield from crl.barrier(nid)
+
+    def reader(crl, nid):
+        yield from crl.barrier(nid)
+        h = yield from crl.rgn_map(nid, rid_box["rid"])
+        yield from crl.rgn_start_read(nid, h)
+        out = list(h.data)
+        yield from crl.rgn_end_read(nid, h)
+        yield from crl.barrier(nid)
+        return out
+
+    _, _, results = run(2, writer, reader)
+    assert results[1] == [7.0, 8.0, 9.0]
+
+
+def test_remote_write_then_home_read_recalls_dirty_copy():
+    rid_box = {}
+
+    def home(crl, nid):
+        rid = yield from crl.rgn_create(nid, 2)
+        rid_box["rid"] = rid
+        yield from crl.barrier(nid)
+        yield from crl.barrier(nid)
+        h = yield from crl.rgn_map(nid, rid)
+        yield from crl.rgn_start_read(nid, h)
+        out = list(h.data)
+        yield from crl.rgn_end_read(nid, h)
+        return out
+
+    def remote(crl, nid):
+        yield from crl.barrier(nid)
+        h = yield from crl.rgn_map(nid, rid_box["rid"])
+        yield from crl.rgn_start_write(nid, h)
+        h.data[:] = [41, 42]
+        yield from crl.rgn_end_write(nid, h)
+        yield from crl.barrier(nid)
+
+    _, _, results = run(2, home, remote)
+    assert results[0] == [41.0, 42.0]
+
+
+def test_write_invalidates_all_sharers():
+    rid_box = {}
+
+    def home(crl, nid):
+        rid = yield from crl.rgn_create(nid, 1)
+        rid_box["rid"] = rid
+        yield from crl.barrier(nid)  # regions exist
+        yield from crl.barrier(nid)  # everyone cached it
+        h = yield from crl.rgn_map(nid, rid)
+        yield from crl.rgn_start_write(nid, h)
+        h.data[0] = 99
+        yield from crl.rgn_end_write(nid, h)
+        yield from crl.barrier(nid)  # write visible
+        return None
+
+    def reader(crl, nid):
+        yield from crl.barrier(nid)
+        h = yield from crl.rgn_map(nid, rid_box["rid"])
+        yield from crl.rgn_start_read(nid, h)
+        first = h.data[0]
+        yield from crl.rgn_end_read(nid, h)
+        yield from crl.barrier(nid)
+        yield from crl.barrier(nid)
+        yield from crl.rgn_start_read(nid, h)
+        second = h.data[0]
+        yield from crl.rgn_end_read(nid, h)
+        return (first, second)
+
+    _, machine, results = run(4, home, reader, reader, reader)
+    for first, second in results[1:]:
+        assert first == 0.0
+        assert second == 99.0
+    assert machine.stats.get("crl.recall") >= 1
+
+
+def test_two_remote_writers_serialize():
+    rid_box = {}
+
+    def home(crl, nid):
+        rid = yield from crl.rgn_create(nid, 1)
+        rid_box["rid"] = rid
+        yield from crl.barrier(nid)
+        yield from crl.barrier(nid)
+        h = yield from crl.rgn_map(nid, rid)
+        yield from crl.rgn_start_read(nid, h)
+        total = h.data[0]
+        yield from crl.rgn_end_read(nid, h)
+        return total
+
+    def incrementer(crl, nid):
+        yield from crl.barrier(nid)
+        h = yield from crl.rgn_map(nid, rid_box["rid"])
+        for _ in range(10):
+            yield from crl.rgn_start_write(nid, h)
+            h.data[0] += 1
+            yield from crl.rgn_end_write(nid, h)
+        yield from crl.barrier(nid)
+
+    _, _, results = run(3, home, incrementer, incrementer)
+    assert results[0] == 20.0
+
+
+def test_upgrade_from_shared_avoids_data_transfer():
+    rid_box = {}
+
+    def home(crl, nid):
+        rid = yield from crl.rgn_create(nid, 64)
+        rid_box["rid"] = rid
+        yield from crl.barrier(nid)
+        yield from crl.barrier(nid)
+
+    def upgrader(crl, nid):
+        yield from crl.barrier(nid)
+        h = yield from crl.rgn_map(nid, rid_box["rid"])
+        yield from crl.rgn_start_read(nid, h)
+        yield from crl.rgn_end_read(nid, h)
+        yield from crl.rgn_start_write(nid, h)
+        h.data[0] = 5
+        yield from crl.rgn_end_write(nid, h)
+        yield from crl.barrier(nid)
+
+    _, machine, _ = run(2, home, upgrader)
+    assert machine.stats.get("msg.crl.upgrade_ack") == 1
+
+
+def test_deferred_invalidation_waits_for_reader():
+    """A reader holding a region defers the invalidation until end_read,
+    and the writer only proceeds afterwards (sequential consistency)."""
+    rid_box = {}
+    events = []
+
+    def home(crl, nid):
+        rid = yield from crl.rgn_create(nid, 1)
+        rid_box["rid"] = rid
+        yield from crl.barrier(nid)
+        yield from crl.barrier(nid)
+
+    def reader(crl, nid):
+        yield from crl.barrier(nid)
+        h = yield from crl.rgn_map(nid, rid_box["rid"])
+        yield from crl.rgn_start_read(nid, h)
+        yield Delay(100_000)  # hold the region a long time
+        events.append(("end_read", nid))
+        yield from crl.rgn_end_read(nid, h)
+        yield from crl.barrier(nid)
+
+    def writer(crl, nid):
+        yield from crl.barrier(nid)
+        yield Delay(5_000)  # let the reader get there first
+        h = yield from crl.rgn_map(nid, rid_box["rid"])
+        yield from crl.rgn_start_write(nid, h)
+        events.append(("got_write", nid))
+        h.data[0] = 1
+        yield from crl.rgn_end_write(nid, h)
+        yield from crl.barrier(nid)
+
+    _, machine, _ = run(3, home, reader, writer)
+    assert events.index(("end_read", 1)) < events.index(("got_write", 2))
+    assert machine.stats.get("crl.inval_deferred") == 1
+
+
+def test_read_hit_after_fetch_is_local():
+    rid_box = {}
+
+    def home(crl, nid):
+        rid = yield from crl.rgn_create(nid, 1)
+        rid_box["rid"] = rid
+        yield from crl.barrier(nid)
+        yield from crl.barrier(nid)
+
+    def reader(crl, nid):
+        yield from crl.barrier(nid)
+        h = yield from crl.rgn_map(nid, rid_box["rid"])
+        for _ in range(5):
+            yield from crl.rgn_start_read(nid, h)
+            yield from crl.rgn_end_read(nid, h)
+        yield from crl.barrier(nid)
+
+    _, machine, _ = run(2, home, reader)
+    assert machine.stats.get("crl.read_miss") == 1
+    assert machine.stats.get("crl.read_hit") == 4
+
+
+def test_end_read_without_start_raises():
+    def prog(crl, nid):
+        rid = yield from crl.rgn_create(nid, 1)
+        h = yield from crl.rgn_map(nid, rid)
+        yield from crl.rgn_end_read(nid, h)
+
+    with pytest.raises(ProtocolError, match="end_read without"):
+        run(1, prog)
+
+
+def test_end_write_without_start_raises():
+    def prog(crl, nid):
+        rid = yield from crl.rgn_create(nid, 1)
+        h = yield from crl.rgn_map(nid, rid)
+        yield from crl.rgn_end_write(nid, h)
+
+    with pytest.raises(ProtocolError, match="end_write without"):
+        run(1, prog)
+
+
+def test_unmap_with_open_access_raises():
+    def prog(crl, nid):
+        rid = yield from crl.rgn_create(nid, 1)
+        h = yield from crl.rgn_map(nid, rid)
+        yield from crl.rgn_start_read(nid, h)
+        yield from crl.rgn_unmap(nid, h)
+
+    with pytest.raises(ProtocolError, match="open accesses"):
+        run(1, prog)
+
+
+def test_unmap_unmapped_raises():
+    def prog(crl, nid):
+        rid = yield from crl.rgn_create(nid, 1)
+        h = yield from crl.rgn_map(nid, rid)
+        yield from crl.rgn_unmap(nid, h)
+        yield from crl.rgn_unmap(nid, h)
+
+    with pytest.raises(ProtocolError, match="unmap of unmapped"):
+        run(1, prog)
+
+
+def test_flush_pushes_dirty_copy_home():
+    rid_box = {}
+
+    def home(crl, nid):
+        rid = yield from crl.rgn_create(nid, 2)
+        rid_box["rid"] = rid
+        yield from crl.barrier(nid)
+        yield from crl.barrier(nid)
+        region = crl.regions.get(rid)
+        assert np.all(region.home_data == [3.0, 4.0])
+
+    def remote(crl, nid):
+        yield from crl.barrier(nid)
+        h = yield from crl.rgn_map(nid, rid_box["rid"])
+        yield from crl.rgn_start_write(nid, h)
+        h.data[:] = [3, 4]
+        yield from crl.rgn_end_write(nid, h)
+        yield from crl.rgn_flush(nid, rid_box["rid"])
+        yield from crl.barrier(nid)
+
+    run(2, home, remote)
+
+
+def test_nested_reads_allowed():
+    def prog(crl, nid):
+        rid = yield from crl.rgn_create(nid, 1)
+        h = yield from crl.rgn_map(nid, rid)
+        yield from crl.rgn_start_read(nid, h)
+        yield from crl.rgn_start_read(nid, h)
+        yield from crl.rgn_end_read(nid, h)
+        yield from crl.rgn_end_read(nid, h)
+
+    run(1, prog)
+
+
+def test_cold_map_of_remote_region_costs_lookup_message():
+    rid_box = {}
+
+    def home(crl, nid):
+        rid = yield from crl.rgn_create(nid, 1)
+        rid_box["rid"] = rid
+        yield from crl.barrier(nid)
+        yield from crl.barrier(nid)
+
+    def mapper(crl, nid):
+        yield from crl.barrier(nid)
+        yield from crl.rgn_map(nid, rid_box["rid"])
+        yield from crl.barrier(nid)
+
+    _, machine, _ = run(2, home, mapper)
+    assert machine.stats.get("msg.crl.map_lookup") == 1
+
+
+def test_many_regions_many_nodes_all_values_correct():
+    """Each node creates a region, writes its id, everyone reads everything."""
+    rids = {}
+
+    def prog(crl, nid):
+        rid = yield from crl.rgn_create(nid, 2)
+        h = yield from crl.rgn_map(nid, rid)
+        yield from crl.rgn_start_write(nid, h)
+        h.data[:] = [nid, nid * 10]
+        yield from crl.rgn_end_write(nid, h)
+        rids[nid] = rid
+        yield from crl.barrier(nid)
+        seen = {}
+        for owner, rid2 in sorted(rids.items()):
+            g = yield from crl.rgn_map(nid, rid2)
+            yield from crl.rgn_start_read(nid, g)
+            seen[owner] = (g.data[0], g.data[1])
+            yield from crl.rgn_end_read(nid, g)
+        return seen
+
+    _, _, results = run(4, *([prog] * 4))
+    for seen in results:
+        assert seen == {0: (0, 0), 1: (1, 10), 2: (2, 20), 3: (3, 30)}

@@ -1,0 +1,126 @@
+"""Unit tests for the home-based queue locks."""
+
+import pytest
+
+from repro.dsm import LockService
+from repro.dsm.locks import LockError
+from repro.machine import Machine, MachineConfig
+from repro.memory import RegionDirectory
+from repro.sim import Delay, Simulator
+
+
+def setup(n=4):
+    sim = Simulator()
+    machine = Machine(sim, MachineConfig(n_procs=n))
+    regions = RegionDirectory()
+    locks = LockService(machine, regions)
+    return sim, machine, regions, locks
+
+
+def test_mutual_exclusion_and_fifo():
+    sim, machine, regions, locks = setup()
+    rid = regions.alloc(home=0, size=1).rid
+    order = []
+
+    def proc(nid):
+        yield Delay(nid)  # deterministic staggered requests
+        yield from locks.acquire(nid, rid)
+        order.append(("acq", nid, sim.now))
+        yield Delay(1000)
+        order.append(("rel", nid, sim.now))
+        yield from locks.release(nid, rid)
+
+    sim.run_all((proc(i) for i in range(4)), prefix="p")
+    # Critical sections never overlap and grants follow request order.
+    holders = [e[1] for e in order if e[0] == "acq"]
+    assert holders == [0, 1, 2, 3]
+    for i in range(0, len(order) - 1, 2):
+        assert order[i][0] == "acq" and order[i + 1][0] == "rel"
+        assert order[i][1] == order[i + 1][1]
+
+
+def test_uncontended_home_lock_is_fast():
+    sim, machine, regions, locks = setup(n=1)
+    rid = regions.alloc(home=0, size=1).rid
+
+    def proc(nid):
+        yield from locks.acquire(nid, rid)
+        yield from locks.release(nid, rid)
+
+    sim.run_all([proc(0)])
+    assert machine.stats.get("msg.lock.req") == 0  # no network traffic
+
+
+def test_remote_lock_costs_messages():
+    sim, machine, regions, locks = setup(n=2)
+    rid = regions.alloc(home=0, size=1).rid
+
+    def proc(nid):
+        if nid == 1:
+            yield from locks.acquire(nid, rid)
+            yield from locks.release(nid, rid)
+        else:
+            yield Delay(0)
+
+    sim.run_all((proc(i) for i in range(2)))
+    assert machine.stats.get("msg.lock.req") == 1
+    assert machine.stats.get("msg.lock.grant") == 1
+    assert machine.stats.get("msg.lock.rel") == 1
+
+
+def test_reacquire_raises():
+    sim, machine, regions, locks = setup(n=1)
+    rid = regions.alloc(home=0, size=1).rid
+
+    def proc(nid):
+        yield from locks.acquire(nid, rid)
+        yield from locks.acquire(nid, rid)
+
+    sim.spawn(proc(0))
+    with pytest.raises(LockError, match="re-acquired"):
+        sim.run()
+
+
+def test_release_free_lock_raises():
+    sim, machine, regions, locks = setup(n=1)
+    rid = regions.alloc(home=0, size=1).rid
+
+    def proc(nid):
+        yield from locks.release(nid, rid)
+
+    sim.spawn(proc(0))
+    with pytest.raises(LockError, match="free lock"):
+        sim.run()
+
+
+def test_foreign_release_raises():
+    sim, machine, regions, locks = setup(n=2)
+    rid = regions.alloc(home=0, size=1).rid
+
+    def holder(nid):
+        yield from locks.acquire(nid, rid)
+        yield Delay(10_000)
+        yield from locks.release(nid, rid)
+
+    def thief(nid):
+        yield Delay(100)
+        yield from locks.release(nid, rid)
+
+    sim.spawn(holder(0))
+    sim.spawn(thief(1))
+    with pytest.raises(LockError, match="held by"):
+        sim.run()
+
+
+def test_contention_counter():
+    sim, machine, regions, locks = setup(n=3)
+    rid = regions.alloc(home=0, size=1).rid
+
+    def proc(nid):
+        yield Delay(nid)
+        yield from locks.acquire(nid, rid)
+        yield Delay(500)
+        yield from locks.release(nid, rid)
+
+    sim.run_all((proc(i) for i in range(3)))
+    assert machine.stats.get("lock.contended") == 2

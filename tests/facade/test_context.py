@@ -1,0 +1,106 @@
+"""Unit tests for the backend-neutral facade."""
+
+import pytest
+
+from repro.facade import run_spmd
+from repro.machine import MachineConfig
+
+
+def test_ctx_identity():
+    def prog(ctx):
+        yield from ctx.compute(1)
+        return (ctx.nid, ctx.n_procs)
+
+    res = run_spmd(prog, backend="ace", n_procs=3)
+    assert res.results == [(0, 3), (1, 3), (2, 3)]
+
+
+def test_compute_charges_cycles():
+    def prog(ctx):
+        yield from ctx.compute(12345)
+
+    res = run_spmd(prog, backend="ace", n_procs=1)
+    assert res.time >= 12345
+
+
+def test_machine_config_override_applies():
+    def prog(ctx):
+        sid = yield from ctx.new_space("SC")
+        if ctx.nid == 0:
+            prog.rid = yield from ctx.gmalloc(sid, 4)
+        yield from ctx.barrier()
+        h = yield from ctx.map(prog.rid)
+        yield from ctx.start_read(h)
+        yield from ctx.end_read(h)
+        yield from ctx.barrier()
+
+    slow = run_spmd(
+        prog, backend="ace", n_procs=2,
+        machine_config=MachineConfig(n_procs=2, network_latency=5000),
+    )
+    fast = run_spmd(
+        prog, backend="ace", n_procs=2,
+        machine_config=MachineConfig(n_procs=2, network_latency=10),
+    )
+    assert slow.time > fast.time
+
+
+def test_machine_config_nprocs_reconciled():
+    """n_procs argument wins over a mismatched config."""
+    def prog(ctx):
+        yield from ctx.compute(1)
+        return ctx.n_procs
+
+    res = run_spmd(prog, backend="ace", n_procs=4,
+                   machine_config=MachineConfig(n_procs=32))
+    assert res.results == [4] * 4
+
+
+def test_read_write_region_helpers():
+    def prog(ctx):
+        sid = yield from ctx.new_space("SC")
+        rid = yield from ctx.gmalloc(sid, 3)
+        h = yield from ctx.map(rid)
+        yield from ctx.write_region(h, [9, 8, 7])
+        data = yield from ctx.read_region(h)
+        return list(data)
+
+    res = run_spmd(prog, backend="crl", n_procs=1)
+    assert res.results[0] == [9.0, 8.0, 7.0]
+
+
+def test_result_exposes_backend_and_stats():
+    def prog(ctx):
+        sid = yield from ctx.new_space("SC")
+        yield from ctx.gmalloc(sid, 1)
+
+    res = run_spmd(prog, backend="ace", n_procs=1)
+    assert res.backend.name == "ace"
+    assert res.stats.get("ace.gmalloc") == 1
+
+
+def test_crl_backend_spaces_are_inert_tokens():
+    def prog(ctx):
+        s1 = yield from ctx.new_space("SC")
+        s2 = yield from ctx.new_space("SC")
+        yield from ctx.barrier(s1)
+        yield from ctx.barrier(s2)
+        return (s1, s2)
+
+    res = run_spmd(prog, backend="crl", n_procs=2)
+    assert all(r == (0, 1) for r in res.results)
+
+
+@pytest.mark.parametrize("backend", ["ace", "crl"])
+def test_unmap_supported_on_both_backends(backend):
+    def prog(ctx):
+        sid = yield from ctx.new_space("SC")
+        rid = yield from ctx.gmalloc(sid, 2)
+        h = yield from ctx.map(rid)
+        yield from ctx.unmap(h)
+        h2 = yield from ctx.map(rid)  # remap from the unmapped-region cache
+        data = yield from ctx.read_region(h2)
+        return list(data)
+
+    res = run_spmd(prog, backend=backend, n_procs=1)
+    assert res.results[0] == [0.0, 0.0]

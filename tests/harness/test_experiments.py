@@ -1,0 +1,36 @@
+"""Smoke tests for the experiment harness (small proc counts so they
+stay fast; the full-size runs live in benchmarks/)."""
+
+from repro.harness import by_app, fig7a_rows, fig7b_rows, format_table, table3_rows
+from repro.harness.experiments import FIG7_WORKLOADS, Row, TABLE4_KERNELS
+
+
+def test_workload_and_kernel_tables_cover_all_five_benchmarks():
+    expected = {"Barnes-Hut", "BSC", "EM3D", "TSP", "Water"}
+    assert set(FIG7_WORKLOADS) == expected
+    assert set(TABLE4_KERNELS) == expected
+    assert {name for name, _, _ in table3_rows()} == expected
+
+
+def test_fig7a_small_run_has_all_rows():
+    rows = fig7a_rows(n_procs=4)
+    d = by_app(rows)
+    assert set(d) == set(FIG7_WORKLOADS)
+    for v in d.values():
+        assert set(v) == {"crl", "ace"}
+        assert v["crl"] > 0 and v["ace"] > 0
+
+
+def test_fig7b_small_run_custom_never_slower_overall():
+    d = by_app(fig7b_rows(n_procs=4))
+    for app, v in d.items():
+        assert v["SC"] >= v["custom"] * 0.95, app
+
+
+def test_format_table_alignment():
+    rows = [Row("EM3D", "SC", 123), Row("EM3D", "custom", 45)]
+    text = format_table("t", ["app", "variant", "cycles"], rows)
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert "app" in lines[1] and "variant" in lines[1]
+    assert len({len(line) for line in lines[3:]}) == 1  # aligned columns

@@ -1,0 +1,185 @@
+"""Unit tests for the simulated multicomputer and active messages."""
+
+import pytest
+
+from repro.machine import Machine, MachineConfig
+from repro.sim import Delay, Simulator
+
+
+def make_machine(n=4, **cfg):
+    sim = Simulator()
+    return sim, Machine(sim, MachineConfig(n_procs=n, **cfg))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MachineConfig(n_procs=0)
+    with pytest.raises(ValueError):
+        MachineConfig(network_latency=-1)
+
+
+def test_config_with_override():
+    cfg = MachineConfig().with_(n_procs=8)
+    assert cfg.n_procs == 8
+    assert cfg.network_latency == MachineConfig().network_latency
+
+
+def test_message_cost_scales_with_payload():
+    cfg = MachineConfig(network_latency=100, per_word_transfer=4)
+    assert cfg.message_cost(0) == 100
+    assert cfg.message_cost(10) == 140
+
+
+def test_am_request_delivers_with_latency():
+    sim, m = make_machine()
+    arrivals = []
+
+    def handler(node, src, value):
+        arrivals.append((sim.now, node.nid, src, value))
+
+    def sender():
+        yield from m.am_request(0, 2, handler, 42)
+
+    sim.spawn(sender())
+    sim.run()
+    cfg = m.config
+    expected = cfg.am_send_overhead + cfg.network_latency + cfg.am_receive_overhead
+    assert arrivals == [(expected, 2, 0, 42)]
+
+
+def test_payload_words_increase_delivery_time():
+    sim, m = make_machine()
+    arrivals = []
+
+    def handler(node, src):
+        arrivals.append(sim.now)
+
+    def sender():
+        yield from m.am_request(0, 1, handler, payload_words=100)
+
+    sim.spawn(sender())
+    sim.run()
+    cfg = m.config
+    assert arrivals[0] == (
+        cfg.am_send_overhead
+        + cfg.network_latency
+        + 100 * cfg.per_word_transfer
+        + cfg.am_receive_overhead
+    )
+
+
+def test_rpc_round_trip():
+    sim, m = make_machine()
+
+    def handler(node, src, fut, x):
+        m.reply(fut, x * 2)
+
+    def caller():
+        v = yield from m.rpc(0, 3, handler, 21)
+        return (sim.now, v)
+
+    t = sim.spawn(caller())
+    sim.run()
+    time, value = t.done.result()
+    assert value == 42
+    cfg = m.config
+    one_way = cfg.am_send_overhead + cfg.network_latency + cfg.am_receive_overhead
+    assert time == 2 * one_way
+
+
+def test_post_from_handler_context_chains():
+    """home-forwards-to-owner pattern: handler posts to a third node."""
+    sim, m = make_machine()
+
+    def owner_handler(node, src, fut):
+        m.reply(fut, f"data-from-{node.nid}")
+
+    def home_handler(node, src, fut):
+        m.post(node.nid, 3, owner_handler, fut)
+
+    def caller():
+        v = yield from m.rpc(0, 1, home_handler)
+        return v
+
+    t = sim.spawn(caller())
+    sim.run()
+    assert t.done.result() == "data-from-3"
+
+
+def test_stats_count_messages():
+    sim, m = make_machine()
+
+    def handler(node, src):
+        pass
+
+    def sender():
+        yield from m.am_request(0, 1, handler, category="test.cat")
+        yield from m.am_request(0, 2, handler, category="test.cat", payload_words=7)
+
+    sim.spawn(sender())
+    sim.run()
+    assert m.stats.get("msg.test.cat") == 2
+    assert m.stats.get("msg.total") == 2
+    assert m.stats.get("msg.words") == 7
+
+
+def test_bad_destination_rejected():
+    sim, m = make_machine(n=2)
+
+    def sender():
+        yield from m.am_request(0, 5, lambda node, src: None)
+
+    sim.spawn(sender())
+    with pytest.raises(ValueError, match="destination"):
+        sim.run()
+
+
+def test_hw_barrier_releases_all_at_once():
+    sim, m = make_machine(n=4)
+    release_times = []
+
+    def proc(nid):
+        yield Delay(nid * 10)  # staggered arrival
+        yield from m.hw_barrier(nid)
+        release_times.append((nid, sim.now))
+
+    sim.run_all((proc(i) for i in range(4)), prefix="p")
+    times = {t for _, t in release_times}
+    assert len(times) == 1
+    assert times.pop() == 30 + Machine.HW_BARRIER_COST
+
+
+def test_hw_barrier_repeated_generations():
+    sim, m = make_machine(n=3)
+    log = []
+
+    def proc(nid):
+        for it in range(3):
+            yield Delay(1 + nid)
+            yield from m.hw_barrier(nid)
+            log.append((it, nid, sim.now))
+
+    sim.run_all((proc(i) for i in range(3)), prefix="p")
+    # within each iteration all three procs release at the same time
+    for it in range(3):
+        times = {t for i, n, t in log if i == it}
+        assert len(times) == 1
+
+
+def test_blocking_handler_promoted_to_task():
+    sim, m = make_machine()
+    done = []
+
+    def blocking_handler(node, src, fut):
+        yield Delay(500)
+        m.reply(fut, "slow")
+        done.append(sim.now)
+
+    def caller():
+        v = yield from m.rpc(0, 1, blocking_handler)
+        return v
+
+    t = sim.spawn(caller())
+    sim.run()
+    assert t.done.result() == "slow"
+    assert done and done[0] >= 500

@@ -1,0 +1,38 @@
+"""Unit tests for the stats counters."""
+
+from repro.machine import Stats
+
+
+def test_count_and_get():
+    s = Stats()
+    assert s.get("x") == 0
+    s.count("x")
+    s.count("x", 4)
+    assert s.get("x") == 5
+
+
+def test_prefix_filtering():
+    s = Stats()
+    s.count("crl.read_miss", 2)
+    s.count("crl.write_miss")
+    s.count("ace.read_miss")
+    assert s.with_prefix("crl") == {"crl.read_miss": 2, "crl.write_miss": 1}
+    assert s.with_prefix("crl.") == {"crl.read_miss": 2, "crl.write_miss": 1}
+    assert s.with_prefix("tempest") == {}
+
+
+def test_snapshot_is_a_copy():
+    s = Stats()
+    s.count("a")
+    snap = s.snapshot()
+    s.count("a")
+    assert snap == {"a": 1}
+    assert s.get("a") == 2
+
+
+def test_reset():
+    s = Stats()
+    s.count("a", 10)
+    s.reset()
+    assert s.get("a") == 0
+    assert s.snapshot() == {}

@@ -1,0 +1,59 @@
+"""Unit tests for regions and the region directory."""
+
+import numpy as np
+import pytest
+
+from repro.memory import Region, RegionCopy, RegionDirectory
+from repro.sim.errors import SimulationError
+
+
+def test_alloc_assigns_unique_nonzero_ids():
+    d = RegionDirectory()
+    r1 = d.alloc(home=0, size=4)
+    r2 = d.alloc(home=1, size=8)
+    assert r1.rid != r2.rid
+    assert r1.rid != 0 and r2.rid != 0
+    assert len(d) == 2
+
+
+def test_lookup_roundtrip():
+    d = RegionDirectory()
+    r = d.alloc(home=3, size=16)
+    assert d.get(r.rid) is r
+    assert r.rid in d
+    assert 9999 not in d
+
+
+def test_unknown_rid_raises():
+    d = RegionDirectory()
+    with pytest.raises(SimulationError, match="unknown region"):
+        d.get(42)
+
+
+def test_region_data_zero_initialized():
+    r = Region(1, home=0, size=10)
+    assert r.home_data.shape == (10,)
+    assert np.all(r.home_data == 0.0)
+
+
+def test_zero_size_region_rejected():
+    with pytest.raises(SimulationError):
+        Region(1, home=0, size=0)
+
+
+def test_copy_independent_of_home_data():
+    r = Region(1, home=0, size=4)
+    c = RegionCopy(r, node=2)
+    r.home_data[0] = 5.0
+    assert c.data[0] == 0.0
+    c.data[1] = 7.0
+    assert r.home_data[1] == 0.0
+    assert c.rid == r.rid
+    assert c.state == "invalid"
+
+
+def test_allocation_order_is_deterministic():
+    d = RegionDirectory()
+    rids = [d.alloc(home=i % 3, size=1).rid for i in range(10)]
+    assert rids == sorted(rids)
+    assert [r.rid for r in d.all_regions()] == rids

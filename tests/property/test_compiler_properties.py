@@ -1,0 +1,103 @@
+"""Property-based compiler tests.
+
+* arithmetic soundness: random expressions evaluate like Python;
+* optimization soundness: random shared-access programs produce the
+  same output and the same final region contents at every level;
+* compilation is deterministic (same source → same IR listing).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import OPT_BASE, OPT_DIRECT, OPT_LI, OPT_LI_MC, compile_source, run_compiled
+
+
+# -- random arithmetic expressions ------------------------------------
+@st.composite
+def arith_exprs(draw, depth=0):
+    """(expr_source, python_value) pairs over safe integer arithmetic."""
+    if depth >= 3 or draw(st.booleans()):
+        n = draw(st.integers(min_value=0, max_value=20))
+        return str(n), float(n)
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left_src, left_val = draw(arith_exprs(depth=depth + 1))
+    right_src, right_val = draw(arith_exprs(depth=depth + 1))
+    value = {"+": left_val + right_val, "-": left_val - right_val, "*": left_val * right_val}[op]
+    return f"({left_src} {op} {right_src})", value
+
+
+@given(arith_exprs())
+@settings(max_examples=60, deadline=None)
+def test_arithmetic_matches_python(pair):
+    src, expected = pair
+    run = run_compiled(
+        compile_source(f"void main() {{ print({src}); }}", opt=OPT_BASE), n_procs=1
+    )
+    assert run.prints == [(0, expected)]
+
+
+# -- random shared-access programs -------------------------------------
+REGION_SIZE = 6
+
+access_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["store", "add", "readsum"]),
+        st.integers(min_value=0, max_value=REGION_SIZE - 1),
+        st.integers(min_value=-9, max_value=9),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build_program(ops, protocol):
+    lines = [
+        "void main() {",
+        '    int s = ace_new_space("SC");',
+        f'    ace_change_protocol(s, "{protocol}");',
+        "    shared double *p;",
+        f"    p = ace_gmalloc(s, {REGION_SIZE});",
+        "    double acc = 0;",
+    ]
+    for kind, idx, val in ops:
+        if kind == "store":
+            lines.append(f"    p[{idx}] = {val};")
+        elif kind == "add":
+            lines.append(f"    p[{idx}] += {val};")
+        else:
+            lines.append(f"    for (int i = 0; i < {REGION_SIZE}; i++) {{ acc += p[i]; }}")
+    lines.append("    print(acc);")
+    lines.append('    bb_put("p", 0, p);')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def oracle(ops):
+    mem = [0.0] * REGION_SIZE
+    acc = 0.0
+    for kind, idx, val in ops:
+        if kind == "store":
+            mem[idx] = float(val)
+        elif kind == "add":
+            mem[idx] += float(val)
+        else:
+            acc += sum(mem)
+    return mem, acc
+
+
+@given(access_ops, st.sampled_from(["SC", "Null", "StaticUpdate", "HomeWrite"]))
+@settings(max_examples=40, deadline=None)
+def test_all_optimization_levels_agree_with_oracle(ops, protocol):
+    src = build_program(ops, protocol)
+    mem, acc = oracle(ops)
+    for level in (OPT_BASE, OPT_LI, OPT_LI_MC, OPT_DIRECT):
+        run = run_compiled(compile_source(src, opt=level), n_procs=1)
+        assert run.prints == [(0, acc)], level.name
+        assert list(run.region_data(run.bb[("p", 0)])) == mem, level.name
+
+
+@given(access_ops)
+@settings(max_examples=30, deadline=None)
+def test_compilation_is_deterministic(ops):
+    src = build_program(ops, "StaticUpdate")
+    assert compile_source(src, opt=OPT_DIRECT).dump() == compile_source(src, opt=OPT_DIRECT).dump()

@@ -1,0 +1,67 @@
+"""Property-based tests: the kernel is deterministic and conservative."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Delay, Future, Simulator
+
+# a task spec: list of delay values; tasks also touch a shared counter
+task_specs = st.lists(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=6),
+    min_size=1,
+    max_size=6,
+)
+
+
+def run_spec(spec):
+    sim = Simulator()
+    trace = []
+
+    def task(tid, delays):
+        for d in delays:
+            yield Delay(d)
+            trace.append((sim.now, tid))
+
+    for tid, delays in enumerate(spec):
+        sim.spawn(task(tid, delays), name=f"t{tid}")
+    final = sim.run()
+    return final, trace
+
+
+@given(task_specs)
+@settings(max_examples=60, deadline=None)
+def test_simulation_is_deterministic(spec):
+    assert run_spec(spec) == run_spec(spec)
+
+
+@given(task_specs)
+@settings(max_examples=60, deadline=None)
+def test_final_time_is_max_task_time(spec):
+    final, trace = run_spec(spec)
+    assert final == max(sum(delays) for delays in spec)
+    # time never goes backwards in the trace
+    times = [t for t, _ in trace]
+    assert times == sorted(times)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_futures_wake_all_waiters_with_the_value(delays):
+    sim = Simulator()
+    fut = Future()
+    got = []
+
+    def waiter(d):
+        yield Delay(d)
+        value = yield fut
+        got.append(value)
+
+    def resolver():
+        yield Delay(max(delays) + 1)
+        fut.resolve("v")
+
+    for d in delays:
+        sim.spawn(waiter(d))
+    sim.spawn(resolver())
+    sim.run()
+    assert got == ["v"] * len(delays)

@@ -1,0 +1,99 @@
+"""Protocol lifecycle: flush-to-base on Ace_ChangeProtocol for every
+shipped protocol, and cross-protocol data survival."""
+
+import pytest
+
+from repro.facade import run_spmd
+
+PROTOCOLS = ["SC", "Null", "DynamicUpdate", "StaticUpdate", "Migratory",
+             "HomeWrite", "Counter", "PipelinedWrite"]
+
+
+@pytest.mark.parametrize("old", PROTOCOLS)
+@pytest.mark.parametrize("new", ["SC", "StaticUpdate"])
+def test_data_survives_protocol_change(old, new):
+    """Write under protocol `old`, change to `new`, read the value back.
+
+    §3.1: the old protocol's flush leaves home data current, so any
+    successor sees the written values.
+    """
+    if old == new:
+        pytest.skip("no-op change")
+    boxes = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space(old)
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 2)
+        yield from ctx.barrier()
+        h = yield from ctx.map(boxes["rid"])
+        writer = 0 if old in ("Null", "StaticUpdate", "HomeWrite") else 1
+        if ctx.nid == writer:
+            yield from ctx.start_write(h)
+            h.data[:] = [4.0, 2.0]
+            yield from ctx.end_write(h)
+        yield from ctx.barrier(sid)
+        yield from ctx.change_protocol(sid, new)
+        h2 = yield from ctx.map(boxes["rid"])
+        data = yield from ctx.read_region(h2)
+        return list(data)
+
+    res = run_spmd(prog, backend="ace", n_procs=2)
+    assert res.results == [[4.0, 2.0]] * 2
+
+
+def test_migratory_flush_brings_data_home():
+    boxes = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("Migratory")
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 1)
+        yield from ctx.barrier()
+        h = yield from ctx.map(boxes["rid"])
+        if ctx.nid == 3:  # migrate the region far from home
+            yield from ctx.start_write(h)
+            h.data[0] = 77.0
+            yield from ctx.end_write(h)
+        yield from ctx.barrier()
+        yield from ctx.change_protocol(sid, "SC")
+        if ctx.nid == 0:
+            h2 = yield from ctx.map(boxes["rid"])
+            data = yield from ctx.read_region(h2)
+            return data[0]
+
+    res = run_spmd(prog, backend="ace", n_procs=4)
+    assert res.results[0] == 77.0
+
+
+def test_repeated_phase_switching_water_style():
+    """Null <-> PipelinedWrite every 'step', many times (§2.2 pattern)."""
+    boxes = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("SC")
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 1)
+        yield from ctx.barrier()
+        for _ in range(3):
+            yield from ctx.change_protocol(sid, "Null")
+            if ctx.nid == 0:
+                h = yield from ctx.map(boxes["rid"])
+                yield from ctx.start_write(h)
+                h.data[0] += 1
+                yield from ctx.end_write(h)
+            yield from ctx.barrier(sid)
+            yield from ctx.change_protocol(sid, "PipelinedWrite")
+            h = yield from ctx.map(boxes["rid"])
+            yield from ctx.start_write(h)
+            h.data[0] += 1
+            yield from ctx.end_write(h)
+            yield from ctx.barrier(sid)
+        yield from ctx.change_protocol(sid, "SC")
+        h = yield from ctx.map(boxes["rid"])
+        data = yield from ctx.read_region(h)
+        return data[0]
+
+    res = run_spmd(prog, backend="ace", n_procs=2)
+    # 3 steps x (1 null write by node 0 + 2 pipelined deltas) = 9
+    assert res.results == [9.0, 9.0]

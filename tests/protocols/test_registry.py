@@ -1,0 +1,105 @@
+"""Unit tests for protocol registration (the Figure 1 mechanism)."""
+
+import pytest
+
+from repro.protocols import Protocol, ProtocolRegistry, ProtocolSpec, default_registry
+from repro.protocols.base import HOOK_NAMES
+
+
+def test_default_registry_has_all_shipped_protocols():
+    assert default_registry.names() == [
+        "BufferedUpdate",
+        "Counter",
+        "DynamicUpdate",
+        "HomeWrite",
+        "HwSC",
+        "Migratory",
+        "Null",
+        "PipelinedWrite",
+        "RaceDetect",
+        "SC",
+        "StaticUpdate",
+    ]
+
+
+def test_sc_is_not_optimizable_updates_are():
+    assert not default_registry.spec("SC").optimizable
+    assert default_registry.spec("DynamicUpdate").optimizable
+    assert default_registry.spec("StaticUpdate").optimizable
+    assert default_registry.spec("Null").optimizable
+
+
+def test_config_table_shape():
+    table = default_registry.config_table()
+    for name, entry in table.items():
+        assert set(entry) == {"optimizable", "null_hooks", "routines"}
+        assert set(entry["routines"]) == set(HOOK_NAMES)
+    # Figure 1's derived-name convention: Protocol_ExecutionPoint
+    assert table["StaticUpdate"]["routines"]["start_read"] == "StaticUpdate_StartRead"
+    assert table["SC"]["routines"]["end_write"] == "SC_EndWrite"
+
+
+def test_static_update_registers_null_read_hooks():
+    spec = default_registry.spec("StaticUpdate")
+    assert spec.is_null("start_read")
+    assert spec.is_null("end_read")
+    assert not spec.is_null("end_write")
+    assert not spec.is_null("barrier")
+
+
+def test_register_rejects_non_protocol():
+    reg = ProtocolRegistry()
+    with pytest.raises(TypeError):
+        reg.register(int)
+
+
+def test_register_rejects_abstract_spec():
+    reg = ProtocolRegistry()
+
+    class NoSpec(Protocol):
+        pass
+
+    with pytest.raises(ValueError, match="concrete ProtocolSpec"):
+        reg.register(NoSpec)
+
+
+def test_register_rejects_duplicates():
+    reg = ProtocolRegistry()
+
+    class P1(Protocol):
+        spec = ProtocolSpec(name="Dup", optimizable=True)
+
+    class P2(Protocol):
+        spec = ProtocolSpec(name="Dup", optimizable=False)
+
+    reg.register(P1)
+    with pytest.raises(ValueError, match="registered twice"):
+        reg.register(P2)
+
+
+def test_unknown_protocol_lookup():
+    with pytest.raises(KeyError, match="unknown protocol"):
+        default_registry.get("Tempest")
+
+
+def test_spec_rejects_unknown_hooks():
+    with pytest.raises(ValueError, match="unknown hook names"):
+        ProtocolSpec(name="Bad", optimizable=True, null_hooks=frozenset({"teleport"}))
+
+
+def test_extensibility_user_protocol_is_usable():
+    """The §2.4 claim: adding a protocol is just registering a class."""
+    from repro.facade import run_spmd
+
+    reg = ProtocolRegistry()
+    reg.register(type(default_registry.get("SC").__name__, (default_registry.get("SC"),), {}))
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("SC")
+        rid = yield from ctx.gmalloc(sid, 1)
+        h = yield from ctx.map(rid)
+        yield from ctx.write_region(h, [3.0])
+        return h.data[0]
+
+    res = run_spmd(prog, backend="ace", n_procs=1, registry=reg)
+    assert res.results[0] == 3.0

@@ -1,0 +1,308 @@
+"""Behavioral tests for Migratory, HomeWrite, Counter, PipelinedWrite."""
+
+import pytest
+
+from repro.facade import run_spmd
+from repro.protocols.base import ProtocolMisuse
+
+
+# ---------------------------------------------------------------- Migratory
+def test_migratory_data_follows_accessors():
+    boxes = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("Migratory")
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 1)
+        yield from ctx.barrier()
+        h = yield from ctx.map(boxes["rid"])
+        # pass the region around the ring, each node incrementing in turn
+        for turn in range(ctx.n_procs):
+            if turn == ctx.nid:
+                yield from ctx.start_write(h)
+                h.data[0] += 1
+                yield from ctx.end_write(h)
+            yield from ctx.barrier()
+        yield from ctx.start_read(h)
+        out = h.data[0]
+        yield from ctx.end_read(h)
+        yield from ctx.barrier()
+        return out
+
+    res = run_spmd(prog, backend="ace", n_procs=4)
+    # After the ring, each read sees at least its own era's total; the
+    # final reader (wherever the copy settles) sees 4.
+    assert max(res.results) == 4.0
+    assert res.stats.get("proto.Migratory.migrate") >= 4
+
+
+def test_migratory_repeated_local_access_is_hit():
+    def prog(ctx):
+        sid = yield from ctx.new_space("Migratory")
+        rid = yield from ctx.gmalloc(sid, 1)
+        h = yield from ctx.map(rid)
+        for _ in range(10):
+            yield from ctx.start_write(h)
+            h.data[0] += 1
+            yield from ctx.end_write(h)
+        return h.data[0]
+
+    res = run_spmd(prog, backend="ace", n_procs=1)
+    assert res.results[0] == 10.0
+    assert res.stats.get("proto.Migratory.hit") == 10
+    assert res.stats.get("proto.Migratory.migrate") == 0
+
+
+def test_migratory_contention_serializes():
+    boxes = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("Migratory")
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 1)
+        yield from ctx.barrier()
+        h = yield from ctx.map(boxes["rid"])
+        for _ in range(5):
+            yield from ctx.start_write(h)
+            h.data[0] += 1
+            yield from ctx.end_write(h)
+        yield from ctx.barrier()
+        if ctx.nid == 0:
+            yield from ctx.start_read(h)
+            out = h.data[0]
+            yield from ctx.end_read(h)
+            return out
+
+    res = run_spmd(prog, backend="ace", n_procs=4)
+    assert res.results[0] == 20.0
+
+
+# ---------------------------------------------------------------- HomeWrite
+def test_home_write_version_revalidation():
+    boxes = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("HomeWrite")
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 8)
+        yield from ctx.barrier()
+        h = yield from ctx.map(boxes["rid"])  # fetches version 0
+        yield from ctx.barrier()
+        if ctx.nid == 0:
+            yield from ctx.start_write(h)
+            h.data[0] = 1.0
+            yield from ctx.end_write(h)
+        yield from ctx.barrier()
+        yield from ctx.start_read(h)
+        first = h.data[0]
+        yield from ctx.end_read(h)
+        # read again without intervening write: revalidation, no data
+        yield from ctx.start_read(h)
+        second = h.data[0]
+        yield from ctx.end_read(h)
+        yield from ctx.barrier()
+        return (first, second)
+
+    res = run_spmd(prog, backend="ace", n_procs=2)
+    assert res.results[1] == (1.0, 1.0)
+    assert res.stats.get("proto.HomeWrite.refetch") >= 1
+    assert res.stats.get("proto.HomeWrite.revalidate_hit") >= 1
+
+
+def test_home_write_rejects_remote_writer():
+    boxes = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("HomeWrite")
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 1)
+        yield from ctx.barrier()
+        h = yield from ctx.map(boxes["rid"])
+        if ctx.nid == 1:
+            yield from ctx.start_write(h)
+
+    with pytest.raises(ProtocolMisuse, match="creators own their data"):
+        run_spmd(prog, backend="ace", n_procs=2)
+
+
+def test_home_write_no_invalidation_traffic():
+    boxes = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("HomeWrite")
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 4)
+        yield from ctx.barrier()
+        h = yield from ctx.map(boxes["rid"])
+        for it in range(3):
+            if ctx.nid == 0:
+                yield from ctx.start_write(h)
+                h.data[0] = it
+                yield from ctx.end_write(h)
+            yield from ctx.barrier()
+            yield from ctx.start_read(h)
+            yield from ctx.end_read(h)
+            yield from ctx.barrier()
+
+    res = run_spmd(prog, backend="ace", n_procs=4)
+    # the whole point: zero invalidations / ownership messages
+    assert res.stats.with_prefix("msg.ace.sc") == {}
+
+
+# ---------------------------------------------------------------- Counter
+def test_counter_fetch_add_is_atomic():
+    boxes = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("Counter")
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 1)
+        yield from ctx.barrier()
+        h = yield from ctx.map(boxes["rid"])
+        taken = []
+        for _ in range(10):
+            yield from ctx.start_write(h)
+            taken.append(int(h.data[0]))
+            h.data[0] += 1
+            yield from ctx.end_write(h)
+        yield from ctx.barrier()
+        return taken
+
+    res = run_spmd(prog, backend="ace", n_procs=4)
+    all_taken = sorted(x for taken in res.results for x in taken)
+    assert all_taken == list(range(40))  # every ticket handed out exactly once
+
+
+def test_counter_read_sees_committed_value():
+    boxes = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("Counter")
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 1)
+        yield from ctx.barrier()
+        h = yield from ctx.map(boxes["rid"])
+        if ctx.nid == 1:
+            yield from ctx.start_write(h)
+            h.data[0] = 42.0
+            yield from ctx.end_write(h)
+        yield from ctx.barrier()
+        yield from ctx.start_read(h)
+        out = h.data[0]
+        yield from ctx.end_read(h)
+        return out
+
+    res = run_spmd(prog, backend="ace", n_procs=3)
+    assert res.results == [42.0] * 3
+
+
+def test_counter_cheaper_than_sc_lock_pattern():
+    """The §5.2 TSP claim: the counter protocol beats lock+SC-write."""
+    boxes = {}
+
+    def counter_prog(ctx):
+        sid = yield from ctx.new_space("Counter")
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 1)
+        yield from ctx.barrier()
+        h = yield from ctx.map(boxes["rid"])
+        for _ in range(20):
+            yield from ctx.start_write(h)
+            h.data[0] += 1
+            yield from ctx.end_write(h)
+        yield from ctx.barrier()
+
+    def sc_prog(ctx):
+        sid = yield from ctx.new_space("SC")
+        if ctx.nid == 0:
+            boxes["rid2"] = yield from ctx.gmalloc(sid, 1)
+        yield from ctx.barrier()
+        rid = boxes["rid2"]
+        h = yield from ctx.map(rid)
+        for _ in range(20):
+            yield from ctx.lock(rid)
+            yield from ctx.start_write(h)
+            h.data[0] += 1
+            yield from ctx.end_write(h)
+            yield from ctx.unlock(rid)
+        yield from ctx.barrier()
+
+    t_counter = run_spmd(counter_prog, backend="ace", n_procs=8).time
+    t_sc = run_spmd(sc_prog, backend="ace", n_procs=8).time
+    assert t_counter < t_sc
+
+
+# ------------------------------------------------------------ PipelinedWrite
+def test_pipelined_write_accumulates_deltas():
+    boxes = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("PipelinedWrite")
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 3)
+        yield from ctx.barrier()
+        h = yield from ctx.map(boxes["rid"])
+        # every node adds its contribution concurrently
+        yield from ctx.start_write(h)
+        h.data[ctx.nid % 3] += ctx.nid + 1
+        yield from ctx.end_write(h)
+        yield from ctx.barrier(sid)  # protocol barrier drains deltas
+        yield from ctx.start_read(h)
+        out = list(h.data)
+        yield from ctx.end_read(h)
+        return out
+
+    res = run_spmd(prog, backend="ace", n_procs=3)
+    assert res.results == [[1.0, 2.0, 3.0]] * 3
+
+
+def test_pipelined_write_writer_does_not_block():
+    """end_write returns before the delta lands (pipelining)."""
+    boxes = {}
+    times = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("PipelinedWrite")
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 64)
+        yield from ctx.barrier()
+        h = yield from ctx.map(boxes["rid"])
+        if ctx.nid == 1:
+            t0 = ctx.machine.sim.now
+            for _ in range(10):
+                yield from ctx.start_write(h)
+                h.data[0] += 1
+                yield from ctx.end_write(h)
+            times["write_loop"] = ctx.machine.sim.now - t0
+        yield from ctx.barrier(sid)
+
+    res = run_spmd(prog, backend="ace", n_procs=2)
+    cfg = res.machine.config
+    # 10 pipelined writes must cost well under 10 full round trips
+    round_trip = 2 * (cfg.am_send_overhead + cfg.message_cost(64) + cfg.am_receive_overhead)
+    assert times["write_loop"] < 10 * round_trip
+
+
+def test_pipelined_write_phase_refetch_after_barrier():
+    boxes = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("PipelinedWrite")
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, 1)
+        yield from ctx.barrier()
+        h = yield from ctx.map(boxes["rid"])
+        for it in range(3):
+            if ctx.nid == 1:
+                yield from ctx.start_write(h)
+                h.data[0] += 1
+                yield from ctx.end_write(h)
+            yield from ctx.barrier(sid)
+            yield from ctx.start_read(h)
+            val = h.data[0]
+            yield from ctx.end_read(h)
+            assert val == it + 1, f"node {ctx.nid} iter {it} saw {val}"
+        return True
+
+    res = run_spmd(prog, backend="ace", n_procs=3)
+    assert all(res.results)

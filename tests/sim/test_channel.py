@@ -1,0 +1,86 @@
+"""Unit tests for FIFO channels."""
+
+from repro.sim import Channel, Delay, Simulator
+
+
+def test_put_then_get_is_immediate():
+    sim = Simulator()
+    chan = Channel()
+    chan.put("x")
+
+    def task():
+        item = yield from chan.get()
+        return (sim.now, item)
+
+    t = sim.spawn(task())
+    sim.run()
+    assert t.done.result() == (0, "x")
+
+
+def test_get_blocks_until_put():
+    sim = Simulator()
+    chan = Channel()
+
+    def consumer():
+        item = yield from chan.get()
+        return (sim.now, item)
+
+    def producer():
+        yield Delay(25)
+        chan.put("late")
+
+    t = sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert t.done.result() == (25, "late")
+
+
+def test_fifo_order_preserved():
+    sim = Simulator()
+    chan = Channel()
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield from chan.get()
+            got.append(item)
+
+    def producer():
+        for i in range(3):
+            yield Delay(1)
+            chan.put(i)
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_multiple_waiters_served_in_order():
+    sim = Simulator()
+    chan = Channel()
+    got = []
+
+    def consumer(name):
+        item = yield from chan.get()
+        got.append((name, item))
+
+    def producer():
+        yield Delay(5)
+        chan.put("first")
+        chan.put("second")
+
+    sim.spawn(consumer("a"), name="a")
+    sim.spawn(consumer("b"), name="b")
+    sim.spawn(producer())
+    sim.run()
+    assert got == [("a", "first"), ("b", "second")]
+
+
+def test_try_get_nonblocking():
+    chan = Channel()
+    assert chan.try_get() is None
+    chan.put(1)
+    assert len(chan) == 1
+    assert chan.try_get() == 1
+    assert chan.try_get() is None

@@ -1,0 +1,237 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import DeadlockError, Delay, Future, SimulationError, Simulator
+
+
+def test_empty_run_returns_zero():
+    sim = Simulator()
+    assert sim.run() == 0
+
+
+def test_single_task_advances_time():
+    sim = Simulator()
+
+    def task():
+        yield Delay(10)
+        yield Delay(5)
+        return "done"
+
+    t = sim.spawn(task(), name="t")
+    assert sim.run() == 15
+    assert t.done.result() == "done"
+
+
+def test_zero_delay_is_legal():
+    sim = Simulator()
+
+    def task():
+        yield Delay(0)
+        return sim.now
+
+    t = sim.spawn(task())
+    sim.run()
+    assert t.done.result() == 0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Delay(-1)
+
+
+def test_tasks_interleave_by_time():
+    sim = Simulator()
+    order = []
+
+    def task(name, step):
+        for _ in range(3):
+            yield Delay(step)
+            order.append((sim.now, name))
+
+    sim.spawn(task("a", 10), name="a")
+    sim.spawn(task("b", 15), name="b")
+    sim.run()
+    # Tie at t=30 goes to the event scheduled first (b's, queued at t=15).
+    assert order == [
+        (10, "a"),
+        (15, "b"),
+        (20, "a"),
+        (30, "b"),
+        (30, "a"),
+        (45, "b"),
+    ]
+
+
+def test_future_blocks_until_resolved():
+    sim = Simulator()
+    fut = Future(name="f")
+    log = []
+
+    def waiter():
+        value = yield fut
+        log.append((sim.now, value))
+
+    def resolver():
+        yield Delay(42)
+        fut.resolve("hello")
+
+    sim.spawn(waiter(), name="w")
+    sim.spawn(resolver(), name="r")
+    sim.run()
+    assert log == [(42, "hello")]
+
+
+def test_already_resolved_future_resumes_immediately():
+    sim = Simulator()
+    fut = Future()
+    fut.resolve(7)
+
+    def task():
+        v = yield fut
+        return (sim.now, v)
+
+    t = sim.spawn(task())
+    sim.run()
+    assert t.done.result() == (0, 7)
+
+
+def test_failed_future_raises_inside_task():
+    sim = Simulator()
+    fut = Future()
+
+    def task():
+        try:
+            yield fut
+        except ValueError as e:
+            return f"caught {e}"
+
+    def failer():
+        yield Delay(1)
+        fut.fail(ValueError("boom"))
+
+    t = sim.spawn(task())
+    sim.spawn(failer())
+    sim.run()
+    assert t.done.result() == "caught boom"
+
+
+def test_task_exception_propagates_from_run():
+    sim = Simulator()
+
+    def task():
+        yield Delay(1)
+        raise RuntimeError("crash")
+
+    sim.spawn(task())
+    with pytest.raises(RuntimeError, match="crash"):
+        sim.run()
+
+
+def test_deadlock_detected():
+    sim = Simulator()
+    fut = Future(name="never")
+
+    def task():
+        yield fut
+
+    sim.spawn(task(), name="stuck")
+    with pytest.raises(DeadlockError) as exc:
+        sim.run()
+    assert "stuck" in str(exc.value)
+
+
+def test_join_on_task_done():
+    sim = Simulator()
+
+    def child():
+        yield Delay(30)
+        return 99
+
+    def parent():
+        t = sim.spawn(child(), name="child")
+        v = yield t.done
+        return (sim.now, v)
+
+    p = sim.spawn(parent(), name="parent")
+    sim.run()
+    assert p.done.result() == (30, 99)
+
+
+def test_bad_yield_type_is_an_error():
+    sim = Simulator()
+
+    def task():
+        yield 42
+
+    sim.spawn(task())
+    with pytest.raises(SimulationError, match="yielded 42"):
+        sim.run()
+
+
+def test_run_until_pauses_cleanly():
+    sim = Simulator()
+    hits = []
+
+    def task():
+        for _ in range(10):
+            yield Delay(10)
+            hits.append(sim.now)
+
+    sim.spawn(task())
+    sim.run(until=35)
+    assert sim.now == 35
+    assert hits == [10, 20, 30]
+    sim.run()
+    assert hits[-1] == 100
+
+
+def test_run_all_collects_results():
+    sim = Simulator()
+
+    def worker(i):
+        yield Delay(i)
+        return i * i
+
+    results = sim.run_all(worker(i) for i in range(5))
+    assert results == [0, 1, 4, 9, 16]
+
+
+def test_future_double_resolve_rejected():
+    fut = Future()
+    fut.resolve(1)
+    with pytest.raises(SimulationError):
+        fut.resolve(2)
+    with pytest.raises(SimulationError):
+        fut.fail(ValueError())
+
+
+def test_future_result_before_resolve_rejected():
+    fut = Future()
+    with pytest.raises(SimulationError):
+        fut.result()
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+
+    def task():
+        yield Delay(10)
+        sim.at(5, lambda: None)
+
+    sim.spawn(task())
+    with pytest.raises(SimulationError, match="past"):
+        sim.run()
+
+
+def test_trace_hook_records_events():
+    events = []
+    sim = Simulator(trace=lambda t, msg: events.append((t, msg)))
+
+    def task():
+        yield Delay(3)
+
+    sim.spawn(task(), name="traced")
+    sim.run()
+    assert any("traced" in msg and "delay" in msg for _, msg in events)
+    assert any("finished" in msg for _, msg in events)

@@ -1,0 +1,58 @@
+"""Schedule-fuzz the update-protocol family with a producer-consumer
+workload: whatever the interleaving, every consumer must observe the
+epoch's value after the space barrier."""
+
+import pytest
+
+from repro.verify import fuzz_schedules
+
+SEEDS = range(1, 11)
+
+
+def _producer_consumer_factory(protocol):
+    def factory():
+        boxes = {}
+
+        def prog(ctx):
+            sid = yield from ctx.new_space(protocol)
+            if ctx.nid == 0:
+                boxes["rid"] = yield from ctx.gmalloc(sid, 2)
+            yield from ctx.barrier(sid)
+            h = yield from ctx.map(boxes["rid"])
+            yield from ctx.barrier(sid)
+            seen = []
+            for epoch in range(4):
+                writer = 0 if protocol == "StaticUpdate" else epoch % ctx.n_procs
+                if ctx.nid == writer:
+                    yield from ctx.start_write(h)
+                    h.data[0] = epoch + 1
+                    h.data[1] = (epoch + 1) * 10
+                    yield from ctx.end_write(h)
+                yield from ctx.barrier(sid)
+                yield from ctx.start_read(h)
+                seen.append((h.data[0], h.data[1]))
+                yield from ctx.end_read(h)
+                yield from ctx.barrier(sid)
+            return seen
+
+        return prog
+
+    return factory
+
+
+def _invariant(result):
+    expected = [(float(e + 1), float((e + 1) * 10)) for e in range(4)]
+    for nid, seen in enumerate(result.results):
+        if seen != expected:
+            return f"node {nid} saw {seen}, expected {expected}"
+    return None
+
+
+@pytest.mark.parametrize(
+    "protocol", ["DynamicUpdate", "StaticUpdate", "BufferedUpdate", "PipelinedWrite", "RaceDetect"]
+)
+def test_update_protocols_survive_schedule_fuzzing(protocol):
+    report = fuzz_schedules(
+        _producer_consumer_factory(protocol), _invariant, n_procs=4, seeds=SEEDS
+    )
+    assert report.ok, f"{protocol}: {report.summary()}"
