@@ -18,6 +18,7 @@ Each body is one region: ``[x, y, z, vx, vy, vz, mass]``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -63,14 +64,21 @@ def init_bodies(workload: BHWorkload) -> np.ndarray:
 
 # ----------------------------------------------------------------- octree
 class _Cell:
-    """Internal octree cell: center of mass, total mass, children."""
+    """Internal octree cell: center of mass, total mass, children.
+
+    ``center`` is a plain ``(x, y, z)`` float tuple — it is only used
+    for insertion comparisons and child placement, where scalar floats
+    compare and add exactly like the numpy vectors they replaced.
+    ``com`` stays a numpy array: :func:`compute_force` needs vector
+    arithmetic (and its BLAS dot product) on it.
+    """
 
     __slots__ = ("center", "half", "com", "mass", "children", "body")
 
     def __init__(self, center, half):
         self.center = center
         self.half = half
-        self.com = np.zeros(3)
+        self.com = None
         self.mass = 0.0
         self.children: list | None = None
         self.body: int | None = None  # leaf body index
@@ -80,22 +88,21 @@ def build_tree(pos: np.ndarray, mass: np.ndarray) -> _Cell:
     """Build an octree over all bodies (positions (n,3), masses (n,))."""
     lo = pos.min(axis=0)
     hi = pos.max(axis=0)
-    center = (lo + hi) / 2.0
+    center = tuple(((lo + hi) / 2.0).tolist())
     half = float(max((hi - lo).max() / 2.0, 1e-9)) * 1.0001
     root = _Cell(center, half)
+    # Insertion runs on a plain nested list: per-element indexing of a
+    # numpy row materializes a numpy scalar per comparison, which
+    # dominates the build.  ``tolist`` keeps the exact float values,
+    # so every comparison (and therefore the tree shape) is unchanged.
+    pts = pos.tolist()
     for i in range(pos.shape[0]):
-        _insert(root, i, pos, mass)
-    _summarize(root, pos, mass)
+        _insert(root, i, pts)
+    _summarize(root, pts, mass.tolist())
     return root
 
 
-def _child_index(cell: _Cell, p) -> int:
-    return int(p[0] > cell.center[0]) | (int(p[1] > cell.center[1]) << 1) | (
-        int(p[2] > cell.center[2]) << 2
-    )
-
-
-def _insert(cell: _Cell, i: int, pos, mass, depth: int = 0) -> None:
+def _insert(cell: _Cell, i: int, pts, depth: int = 0) -> None:
     if cell.children is None and cell.body is None:
         cell.body = i
         return
@@ -103,61 +110,93 @@ def _insert(cell: _Cell, i: int, pos, mass, depth: int = 0) -> None:
         old = cell.body
         cell.body = None
         cell.children = [None] * 8
-        _insert_into_child(cell, old, pos, mass, depth)
-    _insert_into_child(cell, i, pos, mass, depth)
+        _insert_into_child(cell, old, pts, depth)
+    _insert_into_child(cell, i, pts, depth)
 
 
-def _insert_into_child(cell: _Cell, i: int, pos, mass, depth: int) -> None:
+def _insert_into_child(cell: _Cell, i: int, pts, depth: int) -> None:
     if depth > 64:  # coincident points: merge into this leaf chain
         idx = 0
     else:
-        idx = _child_index(cell, pos[i])
+        p = pts[i]
+        cx, cy, cz = cell.center
+        idx = (p[0] > cx) | ((p[1] > cy) << 1) | ((p[2] > cz) << 2)
     child = cell.children[idx]
     if child is None:
         q = cell.half / 2.0
-        offs = np.array([q if (idx >> b) & 1 else -q for b in range(3)])
-        child = _Cell(cell.center + offs, q)
+        cx, cy, cz = cell.center
+        child = _Cell(
+            (
+                cx + (q if idx & 1 else -q),
+                cy + (q if idx & 2 else -q),
+                cz + (q if idx & 4 else -q),
+            ),
+            q,
+        )
         cell.children[idx] = child
-    _insert(child, i, pos, mass, depth + 1)
+    _insert(child, i, pts, depth + 1)
 
 
-def _summarize(cell: _Cell, pos, mass) -> None:
+def _summarize(cell: _Cell, pts, masses) -> None:
     if cell.body is not None:
-        cell.mass = float(mass[cell.body])
-        cell.com = pos[cell.body].copy()
+        cell.mass = masses[cell.body]
+        cell.com = np.array(pts[cell.body])
         return
     total = 0.0
-    com = np.zeros(3)
+    comx = comy = comz = 0.0
     for child in cell.children or ():
         if child is None:
             continue
-        _summarize(child, pos, mass)
-        total += child.mass
-        com += child.mass * child.com
+        _summarize(child, pts, masses)
+        m = child.mass
+        total += m
+        ccx, ccy, ccz = child.com.tolist()
+        comx += m * ccx
+        comy += m * ccy
+        comz += m * ccz
     cell.mass = total
-    cell.com = com / total if total > 0 else cell.center.copy()
+    if total > 0:
+        cell.com = np.array([comx / total, comy / total, comz / total])
+    else:
+        cell.com = np.array(cell.center)
 
 
 def compute_force(root: _Cell, i: int, pos, theta: float, eps: float):
     """Barnes-Hut force on body i; returns (force_vec, n_interactions)."""
+    # The force accumulation is scalar component math instead of
+    # 3-vector numpy ops: each numpy call costs far more than the
+    # arithmetic at this size, and per-component operations are
+    # IEEE-identical to their element-wise counterparts.  The opening
+    # criterion keeps the numpy dot product — BLAS may contract it
+    # with FMA, which plain Python arithmetic cannot reproduce
+    # bit-for-bit, and the interaction count (hence the simulated
+    # cycle charges) must not move.
     p = pos[i]
-    force = np.zeros(3)
+    fx = fy = fz = 0.0
+    ee = eps * eps
+    tt = theta * theta
     count = 0
     stack = [root]
+    sqrt = math.sqrt
     while stack:
         cell = stack.pop()
-        if cell.mass == 0.0:
+        mass = float(cell.mass)
+        if mass == 0.0:
             continue
         if cell.body == i:
             continue
         d = cell.com - p
-        r2 = float(d @ d) + eps * eps
-        if cell.body is not None or (2.0 * cell.half) ** 2 < theta * theta * r2:
+        r2 = float(d @ d) + ee
+        if cell.body is not None or (2.0 * cell.half) ** 2 < tt * r2:
             count += 1
-            force += cell.mass * d / (r2 * np.sqrt(r2))
+            dx, dy, dz = d.tolist()
+            denom = r2 * sqrt(r2)
+            fx += (mass * dx) / denom
+            fy += (mass * dy) / denom
+            fz += (mass * dz) / denom
         else:
             stack.extend(c for c in cell.children if c is not None)
-    return force, count
+    return np.array([fx, fy, fz]), count
 
 
 def reference(workload: BHWorkload) -> np.ndarray:
@@ -199,28 +238,36 @@ def bh_program(workload: BHWorkload, plan: dict):
             yield from ctx.write_region(handles[i], init[i])
         yield from ctx.barrier(body_space)
 
+        # Hoisted access calls: the read sweep touches every body each
+        # step, so each attribute lookup shaved here is paid n times.
+        start_read = ctx.start_read
+        end_read = ctx.end_read
+        start_write = ctx.start_write
+        end_write = ctx.end_write
+        compute = ctx.compute
+
         for _ in range(workload.n_steps):
             # read the entire body set (tree build input)
             pos = np.zeros((n, 3))
             mass = np.zeros(n)
             for i in range(n):
                 h = handles[i]
-                yield from ctx.start_read(h)
+                yield from start_read(h)
                 pos[i] = h.data[POS]
                 mass[i] = h.data[MASS]
-                yield from ctx.end_read(h)
+                yield from end_read(h)
             # replicated local tree build
-            yield from ctx.compute(COST_TREE_PER_BODY * n)
+            yield from compute(COST_TREE_PER_BODY * n)
             root = build_tree(pos, mass)
             # forces + integration for own bodies
             for i in my_bodies:
                 force, cnt = compute_force(root, i, pos, workload.theta, workload.eps)
-                yield from ctx.compute(COST_PER_INTERACTION * cnt)
+                yield from compute(COST_PER_INTERACTION * cnt)
                 h = handles[i]
-                yield from ctx.start_write(h)
+                yield from start_write(h)
                 h.data[VEL] += workload.dt * force
                 h.data[POS] += workload.dt * h.data[VEL]
-                yield from ctx.end_write(h)
+                yield from end_write(h)
             yield from ctx.barrier(body_space)
 
         out = {}

@@ -87,10 +87,19 @@ def reference(workload: TSPWorkload) -> float:
 def _solve_job(d: np.ndarray, prefix: list[int], bound: float):
     """Sequential DFS under ``bound``; returns (best_len, best_tour, expansions)."""
     n = d.shape[0]
+    # Work on plain nested lists: ``d[i, j]`` materializes a numpy
+    # scalar per probe, which dominates the search loop.  ``tolist``
+    # preserves the exact float values, so the search (and therefore
+    # the expansion count the cycle costs are charged from) is
+    # unchanged.
+    dl = d.tolist()
     best_len = bound
     best_tour = None
     expansions = 0
-    prefix_cost = d[0, prefix[0]] + sum(d[prefix[i], prefix[i + 1]] for i in range(len(prefix) - 1))
+    row0 = dl[0]
+    prefix_cost = row0[prefix[0]] + sum(
+        dl[prefix[i]][prefix[i + 1]] for i in range(len(prefix) - 1)
+    )
     remaining0 = [c for c in range(1, n) if c not in prefix]
 
     stack = [(prefix[-1], prefix_cost, list(prefix), remaining0)]
@@ -99,16 +108,17 @@ def _solve_job(d: np.ndarray, prefix: list[int], bound: float):
         expansions += 1
         if cost >= best_len:
             continue
+        row = dl[city]
         if not remaining:
-            total = cost + d[city, 0]
+            total = cost + row[0]
             if total < best_len:
                 best_len = total
                 best_tour = [0, *path]
             continue
         # visit nearest-first so good tours are found early
-        order = sorted(remaining, key=lambda c: d[city, c], reverse=True)
+        order = sorted(remaining, key=row.__getitem__, reverse=True)
         for nxt in order:
-            nxt_cost = cost + d[city, nxt]
+            nxt_cost = cost + row[nxt]
             if nxt_cost < best_len:
                 stack.append((nxt, nxt_cost, path + [nxt], [c for c in remaining if c != nxt]))
     return best_len, best_tour, expansions

@@ -120,6 +120,15 @@ def water_program(workload: WaterWorkload, plan: dict):
             for i in range(n):
                 handles[i] = yield from ctx.map(shared["rids"][i])
 
+        # The access calls are hoisted to locals: the inter phase
+        # touches every (i, j) pair, so each attribute lookup shaved
+        # here is paid O(n^2) times per step.
+        start_read = ctx.start_read
+        end_read = ctx.end_read
+        start_write = ctx.start_write
+        end_write = ctx.end_write
+        compute = ctx.compute
+
         # pair ownership: proc owning i handles pairs (i, j>i)
         for step in range(workload.n_steps):
             # ---- intra phase: own molecules only --------------------
@@ -127,12 +136,12 @@ def water_program(workload: WaterWorkload, plan: dict):
             yield from remap_all()
             for i in my_mols:
                 h = handles[i]
-                yield from ctx.start_write(h)
+                yield from start_write(h)
                 h.data[VEL] += 0.5 * workload.dt * h.data[FRC]
                 h.data[POS] += workload.dt * h.data[VEL]
                 h.data[FRC] = 0.0
-                yield from ctx.end_write(h)
-                yield from ctx.compute(COST_PER_INTRA)
+                yield from end_write(h)
+                yield from compute(COST_PER_INTRA)
             yield from ctx.barrier(mol_space)
 
             # ---- inter phase: accumulate pair forces ----------------
@@ -140,24 +149,24 @@ def water_program(workload: WaterWorkload, plan: dict):
             yield from remap_all()
             for i in my_mols:
                 hi = handles[i]
-                yield from ctx.start_read(hi)
+                yield from start_read(hi)
                 pi = hi.data[POS].copy()
-                yield from ctx.end_read(hi)
+                yield from end_read(hi)
                 for j in range(i + 1, n):
                     hj = handles[j]
-                    yield from ctx.start_read(hj)
+                    yield from start_read(hj)
                     pj = hj.data[POS].copy()
-                    yield from ctx.end_read(hj)
+                    yield from end_read(hj)
                     f = _pair_force(pi, pj, cutoff)
-                    yield from ctx.compute(COST_PER_PAIR)
+                    yield from compute(COST_PER_PAIR)
                     if f is None:
                         continue
-                    yield from ctx.start_write(hi)
+                    yield from start_write(hi)
                     hi.data[FRC] += f
-                    yield from ctx.end_write(hi)
-                    yield from ctx.start_write(hj)
+                    yield from end_write(hi)
+                    yield from start_write(hj)
                     hj.data[FRC] -= f
-                    yield from ctx.end_write(hj)
+                    yield from end_write(hj)
             yield from ctx.barrier(mol_space)
 
             # ---- second half-kick on own molecules ------------------
@@ -165,9 +174,9 @@ def water_program(workload: WaterWorkload, plan: dict):
             yield from remap_all()
             for i in my_mols:
                 h = handles[i]
-                yield from ctx.start_write(h)
+                yield from start_write(h)
                 h.data[VEL] += 0.5 * workload.dt * h.data[FRC]
-                yield from ctx.end_write(h)
+                yield from end_write(h)
             yield from ctx.barrier(mol_space)
 
         # collect own final states (fresh from home)

@@ -23,6 +23,21 @@ class CRLRuntime:
         self.engine = DirectoryEngine(machine, self.regions, CRL_COSTS, stats_prefix="crl")
         self.locks = LockService(machine, self.regions, stats_prefix="crl.lock")
         self._barrier = BarrierService(machine, algorithm=barrier_algorithm)
+        # The rgn_* methods below are pure delegations; bind the engine
+        # generators directly so every CRL access costs one generator
+        # frame fewer (``yield from`` passthroughs propagate returns).
+        eng = self.engine
+        self.rgn_create = eng.create
+        self.rgn_map = eng.map
+        self.rgn_unmap = eng.unmap
+        self.rgn_start_read = eng.start_read
+        self.rgn_end_read = eng.end_read
+        self.rgn_start_write = eng.start_write
+        self.rgn_end_write = eng.end_write
+        self.rgn_flush = eng.flush
+        self.barrier = self._barrier.wait
+        self.lock = self.locks.acquire
+        self.unlock = self.locks.release
 
     def rgn_create(self, nid: int, size: int):
         """Generator: allocate a region homed at ``nid``; returns rid."""

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.dsm.costs import DSMCosts
 from repro.machine import Machine
+from repro.machine.stats import intern_key
 from repro.memory import Region, RegionCopy, RegionDirectory
 from repro.sim import Delay, Future
 from repro.sim.errors import SimulationError
@@ -83,6 +84,50 @@ class DirectoryEngine:
         self._key = f"dir:{stats_prefix}"
         # per-node cache of copies: node id -> {rid: RegionCopy}
         self._copies: list[dict[int, RegionCopy]] = [dict() for _ in range(machine.n_procs)]
+        # Stat keys and message categories are interned once here so the
+        # per-access path never builds an f-string (see machine.stats).
+        self._counts = machine.stats.counter_ref()
+        self._stat_keys: dict[str, str] = {}
+        p = stats_prefix
+        self._cat_map_lookup = intern_key(p, "map_lookup")
+        self._cat_map_reply = intern_key(p, "map_reply")
+        self._cat_read_req = intern_key(p, "read_req")
+        self._cat_write_req = intern_key(p, "write_req")
+        self._cat_read_data = intern_key(p, "read_data")
+        self._cat_write_data = intern_key(p, "write_data")
+        self._cat_upgrade_ack = intern_key(p, "upgrade_ack")
+        self._cat_grant_ack = intern_key(p, "grant_ack")
+        self._cat_inval = intern_key(p, "inval")
+        self._cat_inval_ack = intern_key(p, "inval_ack")
+        self._cat_flush = intern_key(p, "flush")
+        self._cat_flush_ack = intern_key(p, "flush_ack")
+        # Counters the per-access fast path bumps directly.
+        self._k_read_hit = intern_key(p, "read_hit")
+        self._k_read_miss = intern_key(p, "read_miss")
+        self._k_write_hit = intern_key(p, "write_hit")
+        self._k_write_miss = intern_key(p, "write_miss")
+        self._k_map_hit = intern_key(p, "map_hit")
+        self._k_unmap = intern_key(p, "unmap")
+        # Delay singletons per cost-table entry: the dominant yields of
+        # every access allocate and validate nothing.
+        self._d_create = Delay(costs.create)
+        self._d_map_hit = Delay(costs.map_hit)
+        self._d_map_cold = Delay(costs.map_cold)
+        self._d_unmap = Delay(costs.unmap)
+        self._d_start_hit = Delay(costs.start_hit)
+        self._d_start_miss = Delay(costs.start_miss)
+        self._d_end_op = Delay(costs.end_op)
+        self._d_flush = Delay(costs.flush)
+        # Stable bound-method handler objects: message sends fetch an
+        # attribute instead of materializing a bound method per call,
+        # and the machine's handler-stat cache hits on identity.
+        self._h_map_lookup = self._on_map_lookup
+        self._h_read_req = self._on_read_req
+        self._h_write_req = self._on_write_req
+        self._h_grant_ack = self._on_grant_ack
+        self._h_inval_req = self._on_inval_req
+        self._h_inval_ack = self._on_inval_ack
+        self._h_flush = self._on_flush
 
     # ------------------------------------------------------------------
     # helpers
@@ -95,7 +140,10 @@ class DirectoryEngine:
         return ent
 
     def _count(self, event: str, n: int = 1) -> None:
-        self.machine.stats.count(f"{self.prefix}.{event}", n)
+        key = self._stat_keys.get(event)
+        if key is None:
+            key = self._stat_keys[event] = intern_key(self.prefix, event)
+        self._counts[key] += n
 
     def copy_of(self, nid: int, rid: int) -> RegionCopy | None:
         """The node's cached copy of ``rid``, if any (None otherwise)."""
@@ -106,7 +154,7 @@ class DirectoryEngine:
     # ------------------------------------------------------------------
     def create(self, nid: int, size: int):
         """Generator: allocate a region homed at ``nid``; returns the rid."""
-        yield Delay(self.costs.create)
+        yield self._d_create
         region = self.regions.alloc(home=nid, size=size)
         self._ent(region)
         copy = RegionCopy(region, nid)
@@ -124,20 +172,20 @@ class DirectoryEngine:
         """Generator: map ``rid`` on node ``nid``; returns the RegionCopy."""
         copy = self._copies[nid].get(rid)
         if copy is not None:
-            yield Delay(self.costs.map_hit)
-            self._count("map_hit")
+            yield self._d_map_hit
+            self._counts[self._k_map_hit] += 1
         else:
-            yield Delay(self.costs.map_cold)
+            yield self._d_map_cold
             region = self.regions.get(rid)
             if region.home != nid and self.costs.map_needs_lookup:
                 # CRL-style: learn the region's metadata from its home.
                 yield from self.machine.rpc(
                     nid,
                     region.home,
-                    self._on_map_lookup,
+                    self._h_map_lookup,
                     rid,
                     payload_words=self.costs.meta_words,
-                    category=f"{self.prefix}.map_lookup",
+                    category=self._cat_map_lookup,
                 )
             copy = RegionCopy(region, nid)
             if region.home == nid:  # pragma: no cover - home copy made in create
@@ -156,7 +204,7 @@ class DirectoryEngine:
     def _on_map_lookup(self, node, src, fut, rid):
         region = self.regions.get(rid)
         self.machine.reply(
-            fut, region.size, payload_words=self.costs.meta_words, category=f"{self.prefix}.map_reply"
+            fut, region.size, payload_words=self.costs.meta_words, category=self._cat_map_reply
         )
 
     def unmap(self, nid: int, copy: RegionCopy):
@@ -165,10 +213,10 @@ class DirectoryEngine:
             raise ProtocolError(f"unmap of unmapped region {copy.rid} on node {nid}")
         if copy.meta["read_count"] or copy.meta["write_count"]:
             raise ProtocolError(f"unmap of region {copy.rid} with open accesses on node {nid}")
-        yield Delay(self.costs.unmap)
+        yield self._d_unmap
         copy.meta["map_count"] -= 1
         copy.mapped = copy.meta["map_count"] > 0
-        self._count("unmap")
+        self._counts[self._k_unmap] += 1
 
     # ------------------------------------------------------------------
     # read / write entry points (called from node tasks)
@@ -176,18 +224,30 @@ class DirectoryEngine:
     def start_read(self, nid: int, copy: RegionCopy):
         """Generator: acquire a readable copy (blocks on a miss)."""
         region = copy.region
-        yield Delay(self.costs.start_hit)
-        ent = self._ent(region)
-        if copy.state in ("shared", "excl") or (
-            copy.state == "home" and ent.owner is None and not ent.busy
+        yield self._d_start_hit
+        # The directory entry is cached on the copy itself (it is
+        # created once per region and never replaced), so the hot path
+        # here (and in the other three access primitives) is a single
+        # dict probe on a dict we need anyway.
+        meta = copy.meta
+        key = self._key
+        ent = meta.get(key)
+        if ent is None:
+            ent = region.meta.get(key)
+            if ent is None:
+                ent = self._ent(region)
+            meta[key] = ent
+        state = copy.state
+        if state in ("shared", "excl") or (
+            state == "home" and ent.owner is None and not ent.busy
         ):
-            if copy.state == "home":
+            if state == "home":
                 ent.home_readers += 1
-            copy.meta["read_count"] += 1
-            self._count("read_hit")
+            meta["read_count"] += 1
+            self._counts[self._k_read_hit] += 1
             return
-        self._count("read_miss")
-        yield Delay(self.costs.start_miss)
+        self._counts[self._k_read_miss] += 1
+        yield self._d_start_miss
         fut = Future(name=f"read:{region.rid}@{nid}")
         if nid == region.home:
             self._on_read_req(self.machine.nodes[nid], nid, fut, region.rid)
@@ -196,45 +256,57 @@ class DirectoryEngine:
             data = yield from self.machine.rpc(
                 nid,
                 region.home,
-                self._on_read_req,
+                self._h_read_req,
                 region.rid,
                 payload_words=self.costs.meta_words,
-                category=f"{self.prefix}.read_req",
+                category=self._cat_read_req,
             )
             np.copyto(copy.data, data)
             copy.state = "shared"
             self._send_grant_ack(nid, region)
-        copy.meta["read_count"] += 1
+        meta["read_count"] += 1
 
     def end_read(self, nid: int, copy: RegionCopy):
         """Generator: release a read; may fire deferred invalidations."""
-        if copy.meta["read_count"] <= 0:
+        meta = copy.meta
+        if meta["read_count"] <= 0:
             raise ProtocolError(f"end_read without start_read on region {copy.rid} node {nid}")
-        yield Delay(self.costs.end_op)
-        copy.meta["read_count"] -= 1
+        yield self._d_end_op
+        meta["read_count"] -= 1
         if copy.state == "home":
-            ent = self._ent(copy.region)
+            key = self._key
+            ent = meta.get(key)
+            if ent is None:
+                ent = meta[key] = self._ent(copy.region)
             ent.home_readers -= 1
             if ent.home_readers == 0:
                 self._drain(copy.region, ent)
-        elif copy.meta["read_count"] == 0:
+        elif meta["read_count"] == 0:
             self._fire_deferred(copy)
 
     def start_write(self, nid: int, copy: RegionCopy):
         """Generator: acquire an exclusive copy (blocks until granted)."""
         region = copy.region
-        yield Delay(self.costs.start_hit)
-        ent = self._ent(region)
-        if copy.state == "excl" or (
-            copy.state == "home" and ent.owner is None and not ent.sharers and not ent.busy
+        yield self._d_start_hit
+        meta = copy.meta
+        key = self._key
+        ent = meta.get(key)
+        if ent is None:
+            ent = region.meta.get(key)
+            if ent is None:
+                ent = self._ent(region)
+            meta[key] = ent
+        state = copy.state
+        if state == "excl" or (
+            state == "home" and ent.owner is None and not ent.sharers and not ent.busy
         ):
-            if copy.state == "home":
+            if state == "home":
                 ent.home_writing = True
-            copy.meta["write_count"] += 1
-            self._count("write_hit")
+            meta["write_count"] += 1
+            self._counts[self._k_write_hit] += 1
             return
-        self._count("write_miss")
-        yield Delay(self.costs.start_miss)
+        self._counts[self._k_write_miss] += 1
+        yield self._d_start_miss
         fut = Future(name=f"write:{region.rid}@{nid}")
         if nid == region.home:
             self._on_write_req(self.machine.nodes[nid], nid, fut, region.rid)
@@ -243,29 +315,33 @@ class DirectoryEngine:
             data = yield from self.machine.rpc(
                 nid,
                 region.home,
-                self._on_write_req,
+                self._h_write_req,
                 region.rid,
                 payload_words=self.costs.meta_words,
-                category=f"{self.prefix}.write_req",
+                category=self._cat_write_req,
             )
             if data is not None:
                 np.copyto(copy.data, data)
             copy.state = "excl"
             self._send_grant_ack(nid, region)
-        copy.meta["write_count"] += 1
+        meta["write_count"] += 1
 
     def end_write(self, nid: int, copy: RegionCopy):
         """Generator: release a write (copy stays dirty-exclusive; lazy write-back)."""
-        if copy.meta["write_count"] <= 0:
+        meta = copy.meta
+        if meta["write_count"] <= 0:
             raise ProtocolError(f"end_write without start_write on region {copy.rid} node {nid}")
-        yield Delay(self.costs.end_op)
-        copy.meta["write_count"] -= 1
+        yield self._d_end_op
+        meta["write_count"] -= 1
         if copy.state == "home":
-            ent = self._ent(copy.region)
-            if copy.meta["write_count"] == 0:
+            key = self._key
+            ent = meta.get(key)
+            if ent is None:
+                ent = meta[key] = self._ent(copy.region)
+            if meta["write_count"] == 0:
                 ent.home_writing = False
                 self._drain(copy.region, ent)
-        elif copy.meta["write_count"] == 0:
+        elif meta["write_count"] == 0:
             self._fire_deferred(copy)
 
     def flush(self, nid: int, rid: int):
@@ -279,7 +355,7 @@ class DirectoryEngine:
         region = self.regions.get(rid)
         if copy is None or nid == region.home or copy.state == "invalid":
             return
-        yield Delay(self.costs.flush)
+        yield self._d_flush
         dirty = copy.state == "excl"
         payload = region.size if dirty else self.costs.meta_words
         data = copy.data.copy() if dirty else None
@@ -287,11 +363,11 @@ class DirectoryEngine:
         yield from self.machine.rpc(
             nid,
             region.home,
-            self._on_flush,
+            self._h_flush,
             rid,
             data,
             payload_words=payload,
-            category=f"{self.prefix}.flush",
+            category=self._cat_flush,
         )
         self._count("flush")
 
@@ -303,7 +379,7 @@ class DirectoryEngine:
         if ent.owner == src:
             ent.owner = None
         ent.sharers.discard(src)
-        self.machine.reply(fut, None, payload_words=1, category=f"{self.prefix}.flush_ack")
+        self.machine.reply(fut, None, payload_words=1, category=self._cat_flush_ack)
 
     # ------------------------------------------------------------------
     # home-side admission (atomic handler context)
@@ -339,7 +415,8 @@ class DirectoryEngine:
         targets = []
         if ent.owner is not None and ent.owner != src:
             targets.append((ent.owner, "invalidate"))
-        targets.extend((s, "invalidate") for s in sorted(ent.sharers) if s != src)
+        if ent.sharers:
+            targets.extend((s, "invalidate") for s in sorted(ent.sharers) if s != src)
         if targets:
             self._begin_recall(region, ent, kind, src, fut, targets=targets)
             return True
@@ -360,7 +437,7 @@ class DirectoryEngine:
                 fut,
                 region.home_data.copy(),
                 payload_words=region.size,
-                category=f"{self.prefix}.read_data",
+                category=self._cat_read_data,
             )
 
     def _serve_write(self, region: Region, ent: DirEntry, src: int, fut: Future) -> None:
@@ -373,13 +450,13 @@ class DirectoryEngine:
         ent.owner = src
         ent.busy = True  # until grant-ack; see _serve_read
         if had_copy:  # upgrade: requester's shared data is current
-            self.machine.reply(fut, None, payload_words=1, category=f"{self.prefix}.upgrade_ack")
+            self.machine.reply(fut, None, payload_words=1, category=self._cat_upgrade_ack)
         else:
             self.machine.reply(
                 fut,
                 region.home_data.copy(),
                 payload_words=region.size,
-                category=f"{self.prefix}.write_data",
+                category=self._cat_write_data,
             )
 
     def _on_grant_ack(self, node, src, rid):
@@ -392,10 +469,10 @@ class DirectoryEngine:
         self.machine.post(
             nid,
             region.home,
-            self._on_grant_ack,
+            self._h_grant_ack,
             region.rid,
             payload_words=1,
-            category=f"{self.prefix}.grant_ack",
+            category=self._cat_grant_ack,
         )
 
     # ------------------------------------------------------------------
@@ -409,11 +486,11 @@ class DirectoryEngine:
             self.machine.post(
                 region.home,
                 target,
-                self._on_inval_req,
+                self._h_inval_req,
                 region.rid,
                 mode,
                 payload_words=self.costs.meta_words,
-                category=f"{self.prefix}.inval",
+                category=self._cat_inval,
             )
 
     def _on_inval_req(self, node, src_home, rid, mode):
@@ -441,13 +518,13 @@ class DirectoryEngine:
             lambda: self.machine.post(
                 copy.node,
                 region.home,
-                self._on_inval_ack,
+                self._h_inval_ack,
                 region.rid,
                 copy.node,
                 mode,
                 data,
                 payload_words=payload,
-                category=f"{self.prefix}.inval_ack",
+                category=self._cat_inval_ack,
             ),
         )
 

@@ -14,8 +14,9 @@ from __future__ import annotations
 from collections import deque
 
 from repro.machine import Machine
+from repro.machine.stats import intern_key
 from repro.memory import RegionDirectory
-from repro.sim import Delay
+from repro.sim import Delay, Future
 from repro.sim.errors import SimulationError
 
 
@@ -41,6 +42,17 @@ class LockService:
         self.regions = regions
         self.prefix = stats_prefix
         self._key = f"lock:{stats_prefix}"
+        # Interned once; the acquire/release path builds no f-strings.
+        self._k_acquire = intern_key(stats_prefix, "acquire")
+        self._k_release = intern_key(stats_prefix, "release")
+        self._k_contended = intern_key(stats_prefix, "contended")
+        self._cat_req = intern_key(stats_prefix, "req")
+        self._cat_rel = intern_key(stats_prefix, "rel")
+        self._cat_grant = intern_key(stats_prefix, "grant")
+        self._counts = machine.stats.counter_ref()
+        self._d_handler = Delay(self.LOCK_HANDLER_COST)
+        self._h_acquire = self._on_acquire
+        self._h_release = self._on_release
 
     def _state(self, region) -> _LockState:
         st = region.meta.get(self._key)
@@ -52,30 +64,28 @@ class LockService:
     def acquire(self, nid: int, rid: int):
         """Generator: block until this node holds the lock on ``rid``."""
         region = self.regions.get(rid)
-        yield Delay(self.LOCK_HANDLER_COST)
-        self.machine.stats.count(f"{self.prefix}.acquire")
+        yield self._d_handler
+        self._counts[self._k_acquire] += 1
         if nid == region.home:
             # Local fast path still goes through the same grant logic.
-            from repro.sim import Future
-
             fut = Future(name=f"lock:{rid}@{nid}")
             self._on_acquire(self.machine.nodes[nid], nid, fut, rid)
             yield fut
         else:
             yield from self.machine.rpc(
-                nid, region.home, self._on_acquire, rid, payload_words=2, category=f"{self.prefix}.req"
+                nid, region.home, self._h_acquire, rid, payload_words=2, category=self._cat_req
             )
 
     def release(self, nid: int, rid: int):
         """Generator: release the lock; the next FIFO waiter is granted."""
         region = self.regions.get(rid)
-        yield Delay(self.LOCK_HANDLER_COST)
-        self.machine.stats.count(f"{self.prefix}.release")
+        yield self._d_handler
+        self._counts[self._k_release] += 1
         if nid == region.home:
             self._on_release(self.machine.nodes[nid], nid, rid)
         else:
             yield from self.machine.am_request(
-                nid, region.home, self._on_release, rid, payload_words=2, category=f"{self.prefix}.rel"
+                nid, region.home, self._h_release, rid, payload_words=2, category=self._cat_rel
             )
 
     # -- home-side handlers -------------------------------------------
@@ -88,7 +98,7 @@ class LockService:
             fut.fail(LockError(f"node {src} re-acquired lock on region {rid}"))
         else:
             st.waiters.append((src, fut))
-            self.machine.stats.count(f"{self.prefix}.contended")
+            self.machine.stats.count(self._k_contended)
 
     def _on_release(self, node, src, rid):
         st = self._state(self.regions.get(rid))
@@ -108,4 +118,4 @@ class LockService:
         if dst == home:
             fut.resolve(None)
         else:
-            self.machine.reply(fut, None, payload_words=2, category=f"{self.prefix}.grant")
+            self.machine.reply(fut, None, payload_words=2, category=self._cat_grant)

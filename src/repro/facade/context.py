@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Generator
 
 from repro.core import AceRuntime
@@ -15,55 +16,36 @@ SPMDProgram = Callable[["NodeContext"], Generator]
 
 
 class AceBackend:
-    """Facade backend running the Ace runtime (spaces + protocols)."""
+    """Facade backend running the Ace runtime (spaces + protocols).
+
+    Calls whose signature matches the runtime exactly are bound
+    straight to the runtime generator in ``__init__`` — the facade
+    adds zero generator frames on the per-access path.  Only
+    ``barrier`` (which multiplexes on ``sid``) needs an adapter.
+    """
 
     name = "ace"
 
     def __init__(self, machine: Machine, **runtime_kwargs):
         self.machine = machine
-        self.runtime = AceRuntime(machine, **runtime_kwargs)
-
-    def new_space(self, nid, protocol):
-        sid = yield from self.runtime.new_space(nid, protocol)
-        return sid
-
-    def gmalloc(self, nid, sid, size):
-        rid = yield from self.runtime.gmalloc(nid, sid, size)
-        return rid
-
-    def change_protocol(self, nid, sid, protocol):
-        yield from self.runtime.change_protocol(nid, sid, protocol)
-
-    def map(self, nid, rid):
-        handle = yield from self.runtime.map(nid, rid)
-        return handle
-
-    def unmap(self, nid, handle):
-        yield from self.runtime.unmap(nid, handle)
-
-    def start_read(self, nid, handle):
-        yield from self.runtime.start_read(nid, handle)
-
-    def end_read(self, nid, handle):
-        yield from self.runtime.end_read(nid, handle)
-
-    def start_write(self, nid, handle):
-        yield from self.runtime.start_write(nid, handle)
-
-    def end_write(self, nid, handle):
-        yield from self.runtime.end_write(nid, handle)
+        rt = self.runtime = AceRuntime(machine, **runtime_kwargs)
+        self.new_space = rt.new_space
+        self.gmalloc = rt.gmalloc
+        self.change_protocol = rt.change_protocol
+        self.map = rt.map
+        self.unmap = rt.unmap
+        self.start_read = rt.start_read
+        self.end_read = rt.end_read
+        self.start_write = rt.start_write
+        self.end_write = rt.end_write
+        self.lock = rt.lock
+        self.unlock = rt.unlock
 
     def barrier(self, nid, sid=None):
         if sid is None:
             yield from self.runtime.rendezvous(nid)
         else:
             yield from self.runtime.barrier(nid, sid)
-
-    def lock(self, nid, rid):
-        yield from self.runtime.lock(nid, rid)
-
-    def unlock(self, nid, rid):
-        yield from self.runtime.unlock(nid, rid)
 
 
 class CRLBackend:
@@ -78,8 +60,18 @@ class CRLBackend:
 
     def __init__(self, machine: Machine, **runtime_kwargs):
         self.machine = machine
-        self.runtime = CRLRuntime(machine, **runtime_kwargs)
+        rt = self.runtime = CRLRuntime(machine, **runtime_kwargs)
         self._space_ctr = [0] * machine.n_procs
+        # Per-access calls bind straight to the CRL runtime (see
+        # AceBackend): the facade frame disappears from the hot path.
+        self.map = rt.rgn_map
+        self.unmap = rt.rgn_unmap
+        self.start_read = rt.rgn_start_read
+        self.end_read = rt.rgn_end_read
+        self.start_write = rt.rgn_start_write
+        self.end_write = rt.rgn_end_write
+        self.lock = rt.lock
+        self.unlock = rt.unlock
 
     def new_space(self, nid, protocol):
         self._require_sc(protocol)
@@ -103,41 +95,37 @@ class CRLBackend:
                 f"CRL has a single fixed protocol; cannot use {protocol!r}"
             )
 
-    def map(self, nid, rid):
-        handle = yield from self.runtime.rgn_map(nid, rid)
-        return handle
-
-    def unmap(self, nid, handle):
-        yield from self.runtime.rgn_unmap(nid, handle)
-
-    def start_read(self, nid, handle):
-        yield from self.runtime.rgn_start_read(nid, handle)
-
-    def end_read(self, nid, handle):
-        yield from self.runtime.rgn_end_read(nid, handle)
-
-    def start_write(self, nid, handle):
-        yield from self.runtime.rgn_start_write(nid, handle)
-
-    def end_write(self, nid, handle):
-        yield from self.runtime.rgn_end_write(nid, handle)
-
     def barrier(self, nid, sid=None):
         yield from self.runtime.barrier(nid)
 
-    def lock(self, nid, rid):
-        yield from self.runtime.lock(nid, rid)
-
-    def unlock(self, nid, rid):
-        yield from self.runtime.unlock(nid, rid)
-
 
 class NodeContext:
-    """One node's view of the DSM: what a benchmark program codes against."""
+    """One node's view of the DSM: what a benchmark program codes against.
+
+    The per-access calls (``map``/``unmap``/``start_*``/``end_*``,
+    ``gmalloc``, ``change_protocol``, ``lock``/``unlock``) are bound in
+    ``__init__`` as partials of the backend generators with this node's
+    id pre-applied.  ``handle = yield from ctx.map(rid)`` therefore
+    drives the runtime generator *directly* — the context adds no
+    generator frame and no allocation beyond the one the runtime makes.
+    Signatures and return values are exactly those of the class-level
+    wrappers they replace (the backend generator's ``return`` value
+    propagates through ``yield from`` unchanged).
+    """
 
     def __init__(self, backend, nid: int):
         self.backend = backend
         self.nid = nid
+        self.gmalloc = partial(backend.gmalloc, nid)  # (sid, size) -> rid
+        self.change_protocol = partial(backend.change_protocol, nid)  # (sid, protocol)
+        self.map = partial(backend.map, nid)  # (rid) -> handle
+        self.unmap = partial(backend.unmap, nid)  # (handle)
+        self.start_read = partial(backend.start_read, nid)  # (handle)
+        self.end_read = partial(backend.end_read, nid)  # (handle)
+        self.start_write = partial(backend.start_write, nid)  # (handle)
+        self.end_write = partial(backend.end_write, nid)  # (handle)
+        self.lock = partial(backend.lock, nid)  # (rid)
+        self.unlock = partial(backend.unlock, nid)  # (rid)
 
     @property
     def n_procs(self) -> int:
@@ -151,46 +139,14 @@ class NodeContext:
         """Generator: charge local computation time."""
         yield Delay(cycles)
 
-    # All remaining methods simply forward to the backend with this
-    # node's id; each is a generator to drive with ``yield from``.
+    # The remaining forwards keep an adapter frame: ``new_space`` and
+    # ``barrier`` supply defaults the backend signature does not have.
     def new_space(self, protocol: str = "SC"):
         sid = yield from self.backend.new_space(self.nid, protocol)
         return sid
 
-    def gmalloc(self, sid: int, size: int):
-        rid = yield from self.backend.gmalloc(self.nid, sid, size)
-        return rid
-
-    def change_protocol(self, sid: int, protocol: str):
-        yield from self.backend.change_protocol(self.nid, sid, protocol)
-
-    def map(self, rid: int):
-        handle = yield from self.backend.map(self.nid, rid)
-        return handle
-
-    def unmap(self, handle):
-        yield from self.backend.unmap(self.nid, handle)
-
-    def start_read(self, handle):
-        yield from self.backend.start_read(self.nid, handle)
-
-    def end_read(self, handle):
-        yield from self.backend.end_read(self.nid, handle)
-
-    def start_write(self, handle):
-        yield from self.backend.start_write(self.nid, handle)
-
-    def end_write(self, handle):
-        yield from self.backend.end_write(self.nid, handle)
-
     def barrier(self, sid: int | None = None):
         yield from self.backend.barrier(self.nid, sid)
-
-    def lock(self, rid: int):
-        yield from self.backend.lock(self.nid, rid)
-
-    def unlock(self, rid: int):
-        yield from self.backend.unlock(self.nid, rid)
 
     # -- conveniences used all over the benchmarks ----------------------
     def read_region(self, handle):
@@ -227,19 +183,21 @@ def run_spmd(
     n_procs: int = 8,
     machine_config: MachineConfig | None = None,
     jitter_seed: int | None = None,
+    trace: Callable[[int, str], None] | None = None,
     **backend_kwargs,
 ) -> RunResult:
     """Run an SPMD program on a fresh simulated machine; returns :class:`RunResult`.
 
     ``backend`` is ``"ace"`` or ``"crl"``.  ``jitter_seed`` enables
-    schedule fuzzing (see :mod:`repro.verify`).
+    schedule fuzzing (see :mod:`repro.verify`).  ``trace`` is forwarded
+    to the :class:`~repro.sim.Simulator` event trace hook.
     """
     factories = {"ace": AceBackend, "crl": CRLBackend}
     try:
         factory = factories[backend]
     except KeyError:
         raise ValueError(f"unknown backend {backend!r}; choose from {sorted(factories)}") from None
-    sim = Simulator(jitter_seed=jitter_seed)
+    sim = Simulator(trace=trace, jitter_seed=jitter_seed)
     cfg = machine_config or MachineConfig(n_procs=n_procs)
     if cfg.n_procs != n_procs:
         cfg = cfg.with_(n_procs=n_procs)

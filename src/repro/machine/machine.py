@@ -25,10 +25,12 @@ benchmarks print):
 
 from __future__ import annotations
 
+from functools import partial
+from heapq import heappush as _heappush
 from typing import Callable
 
 from repro.machine.config import MachineConfig
-from repro.machine.stats import Stats
+from repro.machine.stats import Stats, intern_key
 from repro.sim import Delay, Future, Simulator
 
 
@@ -68,6 +70,24 @@ class Machine:
         self._barrier_count = 0
         self._barrier_gen = 0
         self._barrier_fut = Future(name="hw_barrier:0")
+        # Hot-path caches: stat keys are built once per distinct
+        # category/handler (not one f-string per message), counters are
+        # bumped through the raw mapping, and the fixed parts of the
+        # message-cost formula are hoisted out of the dataclass.
+        self._counts = self.stats.counter_ref()
+        self._msg_keys: dict = {}
+        self._handler_keys: dict = {}
+        self._rpc_names: dict = {}
+        self._recv_base = self.config.network_latency + self.config.am_receive_overhead
+        self._reply_base = self.config.am_send_overhead + self._recv_base
+        self._per_word = self.config.per_word_transfer
+        self._d_send = Delay(self.config.am_send_overhead)
+
+    def _msg_key(self, category: str) -> str:
+        key = self._msg_keys.get(category)
+        if key is None:
+            key = self._msg_keys[category] = intern_key("msg", category)
+        return key
 
     @property
     def n_procs(self) -> int:
@@ -89,7 +109,7 @@ class Machine:
         ``handler(dst_node, src, *args)`` after the network latency.
         Returns as soon as the message is injected (one-way send).
         """
-        yield Delay(self.config.am_send_overhead)
+        yield self._d_send
         self._deliver(src, dst, handler, args, payload_words, category)
 
     def post(
@@ -108,26 +128,50 @@ class Machine:
         """
         self.sim.schedule(
             self.config.am_send_overhead,
-            lambda: self._deliver(src, dst, handler, args, payload_words, category),
+            partial(self._deliver, src, dst, handler, args, payload_words, category),
         )
 
     def _deliver(self, src, dst, handler, args, payload_words, category) -> None:
         if not (0 <= dst < self.n_procs):
             raise ValueError(f"bad destination node {dst}")
-        self.stats.count(f"msg.{category}")
-        self.stats.count("msg.total")
-        self.stats.count("msg.words", payload_words)
-        delay = self.config.message_cost(payload_words) + self.config.am_receive_overhead
-        node = self.nodes[dst]
+        counts = self._counts
+        key = self._msg_keys.get(category)
+        if key is None:
+            key = self._msg_keys[category] = intern_key("msg", category)
+        counts[key] += 1
+        counts["msg.total"] += 1
+        counts["msg.words"] += payload_words
+        delay = self._recv_base + self._per_word * payload_words
+        # The arrival event is a C-level partial rather than a closure:
+        # closing over seven variables would turn them all into cells
+        # and slow the whole delivery path down.
+        fn = partial(self._arrive, self.nodes[dst], src, handler, args)
+        # sim.schedule(delay, fn), inlined — delivery is the hottest
+        # scheduling site outside the kernel itself.  delay is always
+        # positive (recv_base includes the network latency), so the
+        # same-cycle ring never applies here.
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        jitter = sim._jitter
+        if jitter is not None:
+            _heappush(sim._queue, (sim.now + delay, jitter.random(), seq, fn))
+        else:
+            _heappush(sim._queue, (sim.now + delay, seq, fn))
 
-        def arrive():
-            self.stats.count(f"handler.{getattr(handler, '__name__', 'anon')}")
-            result = handler(node, src, *args)
-            if result is not None and hasattr(result, "send"):
-                # Handler needs to block (rare): promote it to a task.
-                self.sim.spawn(result, name=f"handler@{dst}")
-
-        self.sim.schedule(delay, arrive)
+    def _arrive(self, node, src, handler, args) -> None:
+        # Handler stats are keyed by the handler object itself: callers
+        # pass pre-bound methods, so the probe is an identity hit.
+        handler_keys = self._handler_keys
+        hkey = handler_keys.get(handler)
+        if hkey is None:
+            hname = getattr(handler, "__name__", "anon")
+            hkey = handler_keys[handler] = intern_key("handler", hname)
+        self._counts[hkey] += 1
+        result = handler(node, src, *args)
+        if result is not None and hasattr(result, "send"):
+            # Handler needs to block (rare): promote it to a task.
+            self.sim.spawn(result, name=f"handler@{node.nid}")
 
     def rpc(
         self,
@@ -144,24 +188,38 @@ class Machine:
         argument and must eventually call :meth:`reply` on it (possibly
         from a later handler on another node).
         """
-        fut = Future(name=f"rpc:{category}")
-        yield from self.am_request(
-            src, dst, handler, fut, *args, payload_words=payload_words, category=category
-        )
+        name = self._rpc_names.get(category)
+        if name is None:
+            name = self._rpc_names[category] = intern_key("rpc:" + category)
+        fut = Future(name=name)
+        # am_request, inlined: the delegation frame would otherwise sit
+        # on the resume path of every round trip in the system.
+        yield self._d_send
+        self._deliver(src, dst, handler, (fut, *args), payload_words, category)
         value = yield fut
         return value
 
     def reply(self, fut: Future, value=None, payload_words: int = 0, category: str = "am.reply") -> None:
         """From handler context: resolve an RPC future after the reply latency."""
-        self.stats.count(f"msg.{category}")
-        self.stats.count("msg.total")
-        self.stats.count("msg.words", payload_words)
-        delay = (
-            self.config.am_send_overhead
-            + self.config.message_cost(payload_words)
-            + self.config.am_receive_overhead
-        )
-        self.sim.schedule(delay, lambda: fut.resolve(value))
+        counts = self._counts
+        key = self._msg_keys.get(category)
+        if key is None:
+            key = self._msg_keys[category] = intern_key("msg", category)
+        counts[key] += 1
+        counts["msg.total"] += 1
+        counts["msg.words"] += payload_words
+        delay = self._reply_base + self._per_word * payload_words
+        fn = fut.resolve if value is None else partial(fut.resolve, value)
+        # sim.schedule(delay, fn), inlined; delay > 0 (it includes a
+        # full send + receive overhead), so the ring never applies.
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        jitter = sim._jitter
+        if jitter is not None:
+            _heappush(sim._queue, (sim.now + delay, jitter.random(), seq, fn))
+        else:
+            _heappush(sim._queue, (sim.now + delay, seq, fn))
 
     # -- control network ---------------------------------------------------
     def hw_barrier(self, nid: int):

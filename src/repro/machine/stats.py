@@ -5,11 +5,29 @@ runtimes and protocols increment named counters (message categories,
 protocol transitions, stall cycles) and the benchmark harness renders
 them next to execution times.  Counters are plain integers keyed by
 string so new layers never need schema changes.
+
+Counter keys on hot paths should be built **once** — with
+:func:`intern_key` at engine-construction time — not via an f-string
+per call: interning makes every later dict probe an identity-fast
+hash hit and keeps key construction off the per-event path.  Layers
+that bump several counters per simulated message may also grab the
+raw mapping via :meth:`Stats.counter_ref` and update it in place,
+trading a method call per bump for a plain dict operation.
 """
 
 from __future__ import annotations
 
+import sys
 from collections import Counter
+
+
+def intern_key(*parts: str) -> str:
+    """Join ``parts`` with dots and intern the result.
+
+    Call at setup time (engine/runtime ``__init__``) to pre-build the
+    stat keys a hot path will use, e.g. ``intern_key(prefix, "read_hit")``.
+    """
+    return sys.intern(".".join(parts))
 
 
 class Stats:
@@ -21,6 +39,13 @@ class Stats:
     def count(self, key: str, n: int = 1) -> None:
         """Add ``n`` to counter ``key``."""
         self._counts[key] += n
+
+    def counter_ref(self) -> Counter:
+        """The live underlying mapping, for hot paths that bump several
+        counters per event.  Mutate only by incrementing values; the
+        reference stays valid for the lifetime of this object
+        (:meth:`reset` clears it in place)."""
+        return self._counts
 
     def get(self, key: str) -> int:
         """Current value of ``key`` (0 if never counted)."""

@@ -107,6 +107,9 @@ class Protocol:
         self.space = space
         self.machine = runtime.machine
         self.regions = runtime.regions
+        # Pre-computed dispatch flag: the access primitives test it on
+        # every shared access, so one attribute probe beats two.
+        self.soft = not self.spec.hardware
 
     # -- identity -------------------------------------------------------
     @property

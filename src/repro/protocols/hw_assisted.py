@@ -54,10 +54,6 @@ class HwAssistedSCProtocol(SCProtocol):
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
-        self._engine = DirectoryEngine(
-            runtime.machine, runtime.regions, HW_SC_COSTS, stats_prefix="ace.hwsc"
+        self._bind_engine(
+            DirectoryEngine(runtime.machine, runtime.regions, HW_SC_COSTS, stats_prefix="ace.hwsc")
         )
-
-    @property
-    def engine(self):
-        return self._engine

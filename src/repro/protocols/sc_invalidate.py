@@ -30,34 +30,34 @@ class SCProtocol(Protocol):
         description="home-based MSI invalidation; sequentially consistent",
     )
 
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._bind_engine(runtime.sc_engine)
+
+    def _bind_engine(self, engine) -> None:
+        """Bind the data-management hooks straight to ``engine``.
+
+        Every hook here is a pure passthrough, so the protocol object
+        exposes the engine generators as instance attributes instead of
+        wrapper generators: ``yield from protocol.start_read(...)``
+        drives the engine frame directly, and each resume of a blocked
+        access traverses one generator frame fewer.  Subclasses with
+        their own engine (:class:`HwAssistedSCProtocol`) re-bind.
+        """
+        self._engine = engine
+        self.create = engine.create
+        self.map = engine.map
+        self.unmap = engine.unmap
+        self.start_read = engine.start_read
+        self.end_read = engine.end_read
+        self.start_write = engine.start_write
+        self.end_write = engine.end_write
+
     @property
     def engine(self):
-        return self.runtime.sc_engine
-
-    def create(self, nid: int, size: int):
-        rid = yield from self.engine.create(nid, size)
-        return rid
-
-    def map(self, nid: int, rid: int):
-        handle = yield from self.engine.map(nid, rid)
-        return handle
-
-    def unmap(self, nid: int, handle):
-        yield from self.engine.unmap(nid, handle)
-
-    def start_read(self, nid: int, handle):
-        yield from self.engine.start_read(nid, handle)
-
-    def end_read(self, nid: int, handle):
-        yield from self.engine.end_read(nid, handle)
-
-    def start_write(self, nid: int, handle):
-        yield from self.engine.start_write(nid, handle)
-
-    def end_write(self, nid: int, handle):
-        yield from self.engine.end_write(nid, handle)
+        return self._engine
 
     def flush_node(self, nid: int):
         """Flush every cached member region home (§3.1's change semantics)."""
         for rid in self.space.regions:
-            yield from self.engine.flush(nid, rid)
+            yield from self._engine.flush(nid, rid)

@@ -23,13 +23,16 @@ class Future:
         Optional label used in deadlock reports and traces.
     """
 
-    __slots__ = ("name", "_value", "_exc", "_callbacks")
+    __slots__ = ("name", "_value", "_exc", "_callbacks", "_fail_hook")
 
     def __init__(self, name: str = ""):
         self.name = name
         self._value = _UNSET
         self._exc: BaseException | None = None
         self._callbacks: list = []
+        # Set by the kernel on task ``done`` futures: lets a crash be
+        # reported fail-fast instead of scanning every task per event.
+        self._fail_hook = None
 
     # -- inspection ---------------------------------------------------
     @property
@@ -54,16 +57,25 @@ class Future:
     # -- resolution ---------------------------------------------------
     def resolve(self, value=None) -> None:
         """Store ``value`` and invoke all registered callbacks once."""
-        if self.resolved:
+        # ``resolved`` and ``_fire`` inlined: resolution is on the
+        # critical path of every RPC round trip in the system.
+        if self._value is not _UNSET or self._exc is not None:
             raise SimulationError(f"future {self.name!r} resolved twice")
         self._value = value
-        self._fire()
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for fn in callbacks:
+                fn(self)
 
     def fail(self, exc: BaseException) -> None:
         """Store an exception; waiters will re-raise it when resumed."""
         if self.resolved:
             raise SimulationError(f"future {self.name!r} resolved twice")
         self._exc = exc
+        hook = self._fail_hook
+        if hook is not None:
+            hook(exc)
         self._fire()
 
     def add_callback(self, fn) -> None:

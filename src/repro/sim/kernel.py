@@ -16,28 +16,106 @@ Time is an integer cycle count.  Events at equal times fire in the
 order they were scheduled (a monotone sequence number breaks ties), so
 a run is a pure function of its inputs — the property the hypothesis
 determinism tests pin down.
+
+Fast path
+---------
+Per-event overhead bounds every experiment in the repository, so the
+hot path is engineered to allocate nothing beyond what the event model
+requires (see DESIGN.md §6 for the full story):
+
+* **Same-cycle ring.**  ``schedule(0, fn)`` — by far the most common
+  call — appends ``(seq, fn)`` to a FIFO deque instead of paying a
+  ``heapq`` push/pop of a 4-tuple.  Ring and heap entries are merged
+  by the global ``(time, seq)`` order at pop time, so event order is
+  bit-identical to the single-heap implementation.
+* **Pre-bound resume thunks.**  Each :class:`Task` carries its resume
+  callables (and its generator's ``send``/``throw`` methods), built
+  once at spawn; the kernel never allocates a closure or bound method
+  per yield, and the whole step — wait-value unpacking, generator
+  advance, re-schedule — is one Python call per event.
+* **Lean heap entries.**  Canonical (non-fuzzed) runs store 3-tuples
+  ``(time, seq, fn)``; only fuzzed runs pay for the 4-tuple with the
+  random tie-breaker.  Ordering is ``(time, seq)`` either way.
+* **Inline trampoline.**  When a task yields ``Delay(0)`` or an
+  already-resolved :class:`Future` and *no other event is pending at
+  the current cycle*, its continuation would be the very next event —
+  so the kernel steps the generator again immediately (bounded by
+  ``_TRAMPOLINE_MAX``), skipping the queue round-trip.  The pending
+  check makes this unobservable: ordering is exactly what the queue
+  would have produced.
+* **Fail-fast flag.**  A task crash used to be detected by scanning
+  every task after every event; now ``Future.fail`` on a task's
+  ``done`` future records the first failure on the simulator directly.
+* **Pooled delays.**  ``Delay(n)`` for small ``n`` returns a shared
+  immutable singleton, so the dominant yield type costs no allocation.
+
+Schedule fuzzing (``jitter_seed``) disables the ring and the
+trampoline: fuzzed runs draw one random tie-breaker per ``schedule``
+call, and both shortcuts would perturb that stream.  Fuzzed schedules
+therefore replay exactly as they always have.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass
+from collections import deque
 from typing import Callable, Generator, Iterable
 
 from repro.sim.errors import DeadlockError, SimulationError
-from repro.sim.future import Future
+from repro.sim.future import _UNSET, Future
+
+_heappush = heapq.heappush
 
 
-@dataclass(frozen=True)
 class Delay:
-    """Yield ``Delay(n)`` from a task to advance simulated time by ``n`` cycles."""
+    """Yield ``Delay(n)`` from a task to advance simulated time by ``n`` cycles.
 
-    cycles: int
+    Instances are immutable and compare/hash by ``cycles``.  Small
+    non-negative integer delays return pooled singletons, so the hot
+    path (``yield Delay(cost)``) performs no allocation.
+    """
 
-    def __post_init__(self):
-        if self.cycles < 0:
-            raise SimulationError(f"negative delay: {self.cycles}")
+    __slots__ = ("cycles",)
+
+    def __new__(cls, cycles: int = 0):
+        if cls is Delay and type(cycles) is int and 0 <= cycles < _DELAY_POOL_SIZE:
+            return _DELAY_POOL[cycles]
+        if cycles < 0:
+            raise SimulationError(f"negative delay: {cycles}")
+        self = object.__new__(cls)
+        object.__setattr__(self, "cycles", cycles)
+        return self
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"Delay is immutable; cannot set {name!r}")
+
+    def __eq__(self, other):
+        return other.__class__ is self.__class__ and other.cycles == self.cycles
+
+    def __hash__(self):
+        return hash((self.cycles,))
+
+    def __repr__(self) -> str:
+        return f"Delay(cycles={self.cycles})"
+
+
+def _build_delay_pool(size: int) -> tuple:
+    pool = []
+    for n in range(size):
+        d = object.__new__(Delay)
+        object.__setattr__(d, "cycles", n)
+        pool.append(d)
+    return tuple(pool)
+
+
+_DELAY_POOL_SIZE = 512
+_DELAY_POOL = _build_delay_pool(_DELAY_POOL_SIZE)
+
+#: Max generator steps taken inline before falling back to the queue.
+#: Purely a safety valve — inlining is only attempted when the queue
+#: has nothing else at the current cycle, so any bound preserves order.
+_TRAMPOLINE_MAX = 64
 
 
 class Task:
@@ -48,13 +126,176 @@ class Task:
     one another by yielding it.
     """
 
-    __slots__ = ("name", "gen", "done", "blocked_on")
+    __slots__ = (
+        "name",
+        "gen",
+        "done",
+        "blocked_on",
+        "_sim",
+        "_wait_fut",
+        "_resume",
+        "_wake",
+        "_send",
+        "_throw",
+        "_queue",
+        "_ring",
+        "_jitter",
+    )
 
-    def __init__(self, gen: Generator, name: str):
+    def __init__(self, gen: Generator, name: str, sim: "Simulator"):
         self.gen = gen
         self.name = name
         self.done = Future(name=f"done:{name}")
         self.blocked_on: Future | None = None
+        self._sim = sim
+        self._wait_fut: Future | None = None
+        # Resume thunks and generator entry points pre-bound once per
+        # task: the scheduler stores these directly in events instead
+        # of allocating a fresh closure (or bound method) every yield.
+        self._resume = self._step
+        self._wake = self._on_resolved
+        self._send = gen.send
+        self._throw = gen.throw
+        # The simulator's event structures never get reassigned, so
+        # each task keeps direct references and skips three attribute
+        # loads per step.
+        self._queue = sim._queue
+        self._ring = sim._ring
+        self._jitter = sim._jitter
+
+    def _step(self) -> None:
+        """Advance the generator one yield (plus inline trampolining).
+
+        This is the entire per-event hot path — wait-value unpacking,
+        ``gen.send``, and re-scheduling are merged into one call so an
+        event costs a single Python frame beyond the generator itself.
+        """
+        fut = self._wait_fut
+        if fut is None:
+            value = exc = None
+        else:
+            self._wait_fut = None
+            exc = fut._exc
+            value = None if exc is not None else fut._value
+        sim = self._sim
+        send = self._send
+        resume = self._resume
+        trace = sim._trace
+        queue = self._queue
+        ring = self._ring
+        jitter = self._jitter
+        now = sim.now  # time cannot advance while a task is stepping
+        self.blocked_on = None
+        steps = _TRAMPOLINE_MAX
+        while True:
+            try:
+                item = send(value) if exc is None else self._throw(exc)
+            except StopIteration as stop:
+                if trace:
+                    trace(now, f"{self.name} finished")
+                self.done.resolve(stop.value)
+                return
+            except BaseException as err:  # task crashed: propagate via its future
+                if trace:
+                    trace(now, f"{self.name} raised {err!r}")
+                self.done.fail(err)
+                return
+            cls = item.__class__
+            if cls is not Delay and cls is not Future:
+                # Rare: a Delay/Future subclass, or an illegal yield.
+                if isinstance(item, Delay):
+                    cls = Delay
+                elif isinstance(item, Future):
+                    cls = Future
+                else:
+                    self.done.fail(
+                        SimulationError(
+                            f"task {self.name} yielded {item!r}; only Delay or Future "
+                            "may reach the kernel (use 'yield from' for sub-operations)"
+                        )
+                    )
+                    return
+            if cls is Delay:
+                cycles = item.cycles
+                if trace:
+                    trace(now, f"{self.name} delay {cycles}")
+                if (
+                    cycles == 0
+                    and steps > 0
+                    and not ring
+                    and jitter is None
+                    and sim._failure is None
+                    and (not queue or queue[0][0] > now)
+                ):
+                    # This continuation would be the sole next event;
+                    # run it now and skip the queue round-trip.
+                    steps -= 1
+                    sim.events += 1
+                    value = exc = None
+                    continue
+                # schedule(cycles, resume), inlined — one call per
+                # yield is a measurable share of the event loop.  Delay
+                # guarantees cycles >= 0, so the negative check is moot.
+                seq = sim._seq
+                sim._seq = seq + 1
+                if jitter is not None:
+                    _heappush(queue, (now + cycles, jitter.random(), seq, resume))
+                elif cycles == 0 and (not ring or sim._ring_time == now):
+                    sim._ring_time = now
+                    ring.append((seq, resume))
+                else:
+                    _heappush(queue, (now + cycles, seq, resume))
+                return
+            if item._value is not _UNSET or item._exc is not None:
+                if (
+                    steps > 0
+                    and not ring
+                    and jitter is None
+                    and sim._failure is None
+                    and (not queue or queue[0][0] > now)
+                ):
+                    steps -= 1
+                    sim.events += 1
+                    exc = item._exc
+                    value = None if exc is not None else item._value
+                    continue
+                # Resume this cycle but *after* already-queued
+                # events, so a resolved future never lets a task
+                # jump the queue (schedule(0, ...), inlined).
+                self._wait_fut = item
+                seq = sim._seq
+                sim._seq = seq + 1
+                if jitter is not None:
+                    _heappush(queue, (now, jitter.random(), seq, resume))
+                elif not ring or sim._ring_time == now:
+                    sim._ring_time = now
+                    ring.append((seq, resume))
+                else:
+                    _heappush(queue, (now, seq, resume))
+                return
+            self.blocked_on = item
+            if trace:
+                trace(now, f"{self.name} waits on {item.name}")
+            item._callbacks.append(self._wake)
+            return
+
+    def _on_resolved(self, fut: Future) -> None:
+        # Equivalent to sim.schedule(0, self._resume), inlined: future
+        # resolution is one of the two hottest kernel entry points.
+        self._wait_fut = fut
+        sim = self._sim
+        now = sim.now
+        seq = sim._seq
+        sim._seq = seq + 1
+        jitter = self._jitter
+        ring = self._ring
+        if jitter is not None:
+            _heappush(self._queue, (now, jitter.random(), seq, self._resume))
+        elif not ring or sim._ring_time == now:
+            sim._ring_time = now
+            ring.append((seq, self._resume))
+        else:
+            _heappush(self._queue, (now, seq, self._resume))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Task {self.name}>"
@@ -71,6 +312,21 @@ class Simulator:
         print(sim.now)   # total simulated cycles
     """
 
+    __slots__ = (
+        "now",
+        "events",
+        "_queue",
+        "_ring",
+        "_ring_time",
+        "_seq",
+        "_tasks",
+        "_names",
+        "_trace",
+        "_running",
+        "_failure",
+        "_jitter",
+    )
+
     def __init__(
         self,
         trace: Callable[[int, str], None] | None = None,
@@ -82,11 +338,19 @@ class Simulator:
         :mod:`repro.verify` fuzzer sweeps seeds to hunt protocol races
         that one canonical schedule would never exhibit."""
         self.now: int = 0
-        self._queue: list = []  # heap of (time, jitter, seq, fn)
+        self.events: int = 0  # events executed (queue pops + inline steps)
+        # Heap of (time, seq, fn) — canonical runs — or
+        # (time, jitter, seq, fn) under schedule fuzzing.  Both orders
+        # reduce to (time, seq); fn is always entry[-1].
+        self._queue: list = []
+        self._ring: deque = deque()  # FIFO of (seq, fn) at time _ring_time
+        self._ring_time: int = 0
         self._seq = 0
         self._tasks: list[Task] = []
+        self._names: dict[str, int] = {}
         self._trace = trace
         self._running = False
+        self._failure: BaseException | None = None
         self._jitter = random.Random(jitter_seed) if jitter_seed is not None else None
 
     # -- low-level event interface -------------------------------------
@@ -94,9 +358,18 @@ class Simulator:
         """Run ``fn()`` after ``delay`` cycles (0 means "later this cycle")."""
         if delay < 0:
             raise SimulationError(f"negative schedule delay: {delay}")
-        jitter = self._jitter.random() if self._jitter is not None else 0.0
-        heapq.heappush(self._queue, (self.now + delay, jitter, self._seq, fn))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        if self._jitter is not None:
+            # Fuzzing draws one tie-breaker per schedule call; keep the
+            # stream (and thus every fuzzed schedule) exactly as before
+            # the same-cycle ring existed.
+            heapq.heappush(self._queue, (self.now + delay, self._jitter.random(), seq, fn))
+        elif delay == 0 and (not self._ring or self._ring_time == self.now):
+            self._ring_time = self.now
+            self._ring.append((seq, fn))
+        else:
+            heapq.heappush(self._queue, (self.now + delay, seq, fn))
 
     def at(self, time: int, fn: Callable[[], None]) -> None:
         """Run ``fn()`` at absolute ``time`` (must not be in the past)."""
@@ -106,61 +379,42 @@ class Simulator:
 
     # -- task interface -------------------------------------------------
     def spawn(self, gen: Generator, name: str = "task") -> Task:
-        """Register a generator as a task and start it at the current time."""
-        task = Task(gen, name=f"{name}#{len(self._tasks)}" if name == "task" else name)
+        """Register a generator as a task and start it at the current time.
+
+        Duplicate names get a ``~<n>`` suffix so every task (and its
+        ``done:`` future) stays distinguishable in traces and deadlock
+        reports — spawning ``name="worker"`` three times yields
+        ``worker``, ``worker~1``, ``worker~2``.
+        """
+        if name == "task":
+            name = f"task#{len(self._tasks)}"
+        n = self._names.get(name, 0)
+        if n:
+            base = name
+            name = f"{base}~{n}"
+            while name in self._names:
+                n += 1
+                name = f"{base}~{n}"
+            self._names[base] = n + 1
+            self._names[name] = 1
+        else:
+            self._names[name] = 1
+        task = Task(gen, name=name, sim=self)
+        task.done._fail_hook = self._note_failure
         self._tasks.append(task)
-        self.schedule(0, lambda: self._step(task, None, None))
+        self.schedule(0, task._resume)
         return task
 
-    def _step(self, task: Task, value, exc: BaseException | None) -> None:
-        task.blocked_on = None
-        try:
-            if exc is not None:
-                item = task.gen.throw(exc)
-            else:
-                item = task.gen.send(value)
-        except StopIteration as stop:
-            if self._trace:
-                self._trace(self.now, f"{task.name} finished")
-            task.done.resolve(stop.value)
-            return
-        except BaseException as err:  # task crashed: propagate via its future
-            if self._trace:
-                self._trace(self.now, f"{task.name} raised {err!r}")
-            task.done.fail(err)
-            return
-        self._dispatch_yield(task, item)
-
-    def _dispatch_yield(self, task: Task, item) -> None:
-        if isinstance(item, Delay):
-            if self._trace:
-                self._trace(self.now, f"{task.name} delay {item.cycles}")
-            self.schedule(item.cycles, lambda: self._step(task, None, None))
-        elif isinstance(item, Future):
-            if item.resolved:
-                # Resume this cycle but *after* already-queued events, so a
-                # resolved future never lets a task jump the queue.
-                self.schedule(0, lambda: self._resume_from(task, item))
-            else:
-                task.blocked_on = item
-                if self._trace:
-                    self._trace(self.now, f"{task.name} waits on {item.name}")
-                item.add_callback(lambda fut: self.schedule(0, lambda: self._resume_from(task, fut)))
-        else:
-            task.done.fail(
-                SimulationError(
-                    f"task {task.name} yielded {item!r}; only Delay or Future "
-                    "may reach the kernel (use 'yield from' for sub-operations)"
-                )
-            )
-
-    def _resume_from(self, task: Task, fut: Future) -> None:
-        try:
-            value = fut.result()
-        except BaseException as err:
-            self._step(task, None, err)
-            return
-        self._step(task, value, None)
+    def _note_failure(self, exc: BaseException) -> None:
+        # Fail fast: the first task crash aborts the run by raising
+        # straight through the event that caused it, so the run loop
+        # pays no per-event "did anything crash?" check.  Events the
+        # crash had already scheduled (e.g. waking joiners) simply
+        # never execute — exactly as before, when the loop stopped
+        # before reaching them.
+        if self._failure is None:
+            self._failure = exc
+            raise exc
 
     # -- execution --------------------------------------------------------
     def run(self, until: int | None = None) -> int:
@@ -176,28 +430,63 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        queue = self._queue
+        ring = self._ring
+        heappop = heapq.heappop
+        fired = 0  # queue pops this run; folded into self.events on exit
         try:
-            while self._queue:
-                time, jitter, seq, fn = heapq.heappop(self._queue)
-                if until is not None and time > until:
-                    heapq.heappush(self._queue, (time, jitter, seq, fn))
-                    self.now = until
-                    return self.now
-                self.now = time
-                fn()
-                self._raise_task_failure()
+            if until is None:
+                # Hot loop: no pause check per event.  Next event =
+                # global (time, seq) minimum across both structures;
+                # ring entries all share time _ring_time.
+                while queue or ring:
+                    # A non-empty ring implies a canonical run, so the
+                    # heap holds 3-tuples and seq sits at index 1.
+                    if ring and (
+                        not queue
+                        or queue[0][0] > self._ring_time
+                        or (queue[0][0] == self._ring_time and queue[0][1] > ring[0][0])
+                    ):
+                        self.now = self._ring_time
+                        fn = ring.popleft()[1]
+                    else:
+                        entry = heappop(queue)
+                        self.now = entry[0]
+                        fn = entry[-1]
+                    fired += 1
+                    fn()
+            else:
+                while queue or ring:
+                    if ring:
+                        time = self._ring_time
+                        use_ring = not queue or (
+                            queue[0][0] > time
+                            or (queue[0][0] == time and queue[0][1] > ring[0][0])
+                        )
+                        if not use_ring:
+                            time = queue[0][0]
+                    else:
+                        use_ring = False
+                        time = queue[0][0]
+                    if time > until:
+                        self.now = until
+                        return self.now
+                    if use_ring:
+                        fn = ring.popleft()[1]
+                    else:
+                        fn = heappop(queue)[-1]
+                    self.now = time
+                    fired += 1
+                    fn()
         finally:
+            self.events += fired
             self._running = False
-        self._raise_task_failure()
+        if self._failure is not None:
+            raise self._failure
         blocked = [t for t in self._tasks if t.blocked_on is not None]
         if blocked:
             raise DeadlockError(blocked)
         return self.now
-
-    def _raise_task_failure(self) -> None:
-        for task in self._tasks:
-            if task.done.resolved and task.done._exc is not None:
-                raise task.done._exc
 
     # -- helpers ----------------------------------------------------------
     def run_all(self, gens: Iterable[Generator], prefix: str = "proc") -> list:

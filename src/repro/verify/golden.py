@@ -1,0 +1,180 @@
+"""Golden-trace capture: pin the kernel's observable behavior bit-for-bit.
+
+The simulator promises that a run is a pure function of its inputs:
+same program, same ``jitter_seed`` ⇒ same event order, same simulated
+cycle counts, same stats.  Performance work on the kernel hot path is
+only legal while that promise holds, so this module captures a compact
+fingerprint of representative runs — final simulated time, an
+order-sensitive hash of the full event trace, and the complete stats
+snapshot — which ``tests/verify/test_golden_trace.py`` compares against
+the checked-in ``tests/verify/golden_traces.json`` (captured from the
+pre-fast-path kernel).
+
+Regenerate (only when an *intentional* semantic change is made)::
+
+    PYTHONPATH=src python -m repro.verify.golden tests/verify/golden_traces.json
+
+Task names are normalized by stripping the ``~<n>`` duplicate-name
+suffix :meth:`~repro.sim.kernel.Simulator.spawn` appends, so the
+spawn-collision fix does not perturb the fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+
+from repro.facade import run_spmd
+from repro.sim import Channel, Delay, Future, Simulator
+
+_DUP_SUFFIX = re.compile(r"~\d+")
+
+
+def normalize_trace(lines: list[str]) -> list[str]:
+    """Strip duplicate-name suffixes so golden traces survive renames."""
+    return [_DUP_SUFFIX.sub("", line) for line in lines]
+
+
+def trace_digest(lines: list[str]) -> str:
+    """Order-sensitive sha256 over the normalized trace."""
+    h = hashlib.sha256()
+    for line in normalize_trace(lines):
+        h.update(line.encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------- cases
+def _spmd_fingerprint(app: str, backend: str, n_procs: int, seed: int | None) -> dict:
+    # Imported lazily: the harness pulls in every app module.
+    from repro.harness import experiments as E
+
+    program_fn, sc_plan, _ = E._PROGRAMS[app]
+    wl = E.FIG7_WORKLOADS[app]()
+    lines: list[str] = []
+    res = run_spmd(
+        program_fn(wl, sc_plan),
+        backend=backend,
+        n_procs=n_procs,
+        jitter_seed=seed,
+        trace=lambda t, msg: lines.append(f"{t} {msg}"),
+    )
+    return {
+        "time": res.time,
+        "n_trace": len(lines),
+        "trace_sha256": trace_digest(lines),
+        "stats": {k: int(v) for k, v in sorted(res.stats.snapshot().items())},
+    }
+
+
+def _kernel_micro(seed: int | None) -> dict:
+    """Small pure-kernel scenario whose *full* trace is stored.
+
+    Exercises every scheduling shape the fast path touches: Delay(0)
+    bursts, already-resolved futures, blocking futures, channels,
+    task joins, ``at``, and a ``run(until=...)`` pause/resume.
+    """
+    lines: list[str] = []
+    sim = Simulator(trace=lambda t, msg: lines.append(f"{t} {msg}"), jitter_seed=seed)
+    chan = Channel("c")
+    ready = Future(name="ready")
+    ready.resolve("early")
+    log: list = []
+
+    def producer():
+        for i in range(4):
+            yield Delay(0)
+            chan.put(i)
+            yield Delay(3)
+        return "produced"
+
+    def consumer():
+        total = 0
+        for _ in range(4):
+            item = yield from chan.get()
+            total += item
+            yield Delay(0)
+        return total
+
+    def joiner(t):
+        v = yield ready  # resolved future: resumes this cycle
+        log.append(v)
+        got = yield t.done
+        yield Delay(0)
+        yield Delay(2)
+        return got
+
+    def ticker():
+        for _ in range(5):
+            yield Delay(4)
+            log.append(sim.now)
+
+    prod = sim.spawn(producer(), name="prod")
+    cons = sim.spawn(consumer(), name="cons")
+    sim.spawn(joiner(cons), name="join")
+    sim.spawn(ticker(), name="tick")
+    sim.at(7, lambda: log.append("at7"))
+    sim.run(until=5)
+    paused_at = sim.now
+    sim.run()
+    return {
+        "time": sim.now,
+        "paused_at": paused_at,
+        "results": [prod.done.result(), cons.done.result()],
+        "log": [str(x) for x in log],
+        "trace": normalize_trace(lines),
+    }
+
+
+def _fuzz_corpus(n_procs: int = 4, seeds=range(1, 9)) -> dict:
+    """Final simulated times for a seed sweep — pins the jitter schedules."""
+    from repro.apps import em3d
+    from repro.harness import experiments as E
+
+    times = {}
+    for seed in seeds:
+        wl = E.FIG7_WORKLOADS["EM3D"]()
+        res = run_spmd(
+            em3d.em3d_program(wl, em3d.SC_PLAN),
+            backend="ace",
+            n_procs=n_procs,
+            jitter_seed=seed,
+        )
+        times[str(seed)] = res.time
+    return {"times": times}
+
+
+def _table4_tsp() -> dict:
+    """Compiler-driven run (interp layer) cycle counts stay pinned too."""
+    from repro.harness import experiments as E
+
+    rows = E.table4_rows(apps=["TSP"], n_procs=4)
+    return {"rows": [[r.app, r.variant, r.cycles] for r in rows]}
+
+
+CASES = {
+    "kernel_micro": lambda: _kernel_micro(None),
+    "kernel_micro_seed7": lambda: _kernel_micro(7),
+    "em3d_ace": lambda: _spmd_fingerprint("EM3D", "ace", 4, None),
+    "em3d_ace_seed7": lambda: _spmd_fingerprint("EM3D", "ace", 4, 7),
+    "tsp_crl": lambda: _spmd_fingerprint("TSP", "crl", 4, None),
+    "water_ace": lambda: _spmd_fingerprint("Water", "ace", 4, None),
+    "fuzz_corpus": _fuzz_corpus,
+    "table4_tsp": _table4_tsp,
+}
+
+
+def capture_all() -> dict:
+    return {name: make() for name, make in CASES.items()}
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration entry point
+    import sys
+
+    path = sys.argv[1] if len(sys.argv) > 1 else "tests/verify/golden_traces.json"
+    data = capture_all()
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}: {', '.join(sorted(data))}")

@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark harness for the simulation core.
+
+Runs the paper workload suites (fig7a, fig7b, table4) end to end and
+records, per suite:
+
+* ``wall_s`` — wall-clock seconds for the whole suite;
+* ``events`` — kernel events executed (queue pops + inline trampoline
+  steps; see ``Simulator.events``), summed over the suite's runs;
+* ``events_per_s`` — the headline throughput number;
+* ``rows`` — the simulated-cycle tables the suite produces, exactly as
+  the experiments report them.  These must be bit-identical across
+  kernel optimizations (the golden-trace tests pin the same property);
+  the bench records them so a perf regression hunt can double as a
+  correctness check.
+
+Output goes to ``BENCH_<stamp>.json`` (override with ``--out``), so the
+repository accumulates a performance trajectory over time.  Compare two
+files with ``--baseline``::
+
+    PYTHONPATH=src python tools/bench.py                  # full run
+    PYTHONPATH=src python tools/bench.py --smoke          # CI sanity run
+    PYTHONPATH=src python tools/bench.py --baseline BENCH_seed.json
+
+``--smoke`` runs a single small workload (TSP on 2 nodes) — enough to
+prove the harness and the JSON schema work without burning CI minutes.
+
+The harness tolerates kernels that predate the ``Simulator.events``
+counter (it records ``events: null``), so it can be pointed at an old
+checkout to capture a baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+
+def _events(res) -> int | None:
+    """Kernel event count for one run (None on pre-counter kernels)."""
+    return getattr(res.machine.sim, "events", None)
+
+
+def _acc(total, n):
+    if total is None or n is None:
+        return None
+    return total + n
+
+
+def suite_fig7a(n_procs: int, apps: list[str] | None = None) -> dict:
+    """Ace vs CRL under SC — the paper's headline comparison."""
+    from repro.facade import run_spmd
+    from repro.harness.experiments import _PROGRAMS, FIG7_WORKLOADS
+
+    rows, events = [], 0
+    t0 = time.perf_counter()
+    for app, make_wl in FIG7_WORKLOADS.items():
+        if apps is not None and app not in apps:
+            continue
+        program_fn, sc_plan, _ = _PROGRAMS[app]
+        wl = make_wl()
+        for backend in ("crl", "ace"):
+            res = run_spmd(program_fn(wl, sc_plan), backend=backend, n_procs=n_procs)
+            rows.append([app, backend, res.time])
+            events = _acc(events, _events(res))
+    return _result(rows, events, time.perf_counter() - t0)
+
+
+def suite_fig7b(n_procs: int) -> dict:
+    """SC vs application-specific protocols, on Ace."""
+    from repro.facade import run_spmd
+    from repro.harness.experiments import _PROGRAMS, FIG7_WORKLOADS
+
+    rows, events = [], 0
+    t0 = time.perf_counter()
+    for app, make_wl in FIG7_WORKLOADS.items():
+        program_fn, sc_plan, custom_plan = _PROGRAMS[app]
+        wl = make_wl()
+        for variant, plan in (("SC", sc_plan), ("custom", custom_plan)):
+            res = run_spmd(program_fn(wl, plan), backend="ace", n_procs=n_procs)
+            rows.append([app, variant, res.time])
+            events = _acc(events, _events(res))
+    return _result(rows, events, time.perf_counter() - t0)
+
+
+def suite_table4(n_procs: int) -> dict:
+    """The compiler-optimization ladder (acec → simulator)."""
+    from repro.compiler import OPT_BASE, compile_source, run_compiled
+    from repro.harness.experiments import TABLE4_KERNELS, TABLE4_LEVELS
+
+    rows, events = [], 0
+    t0 = time.perf_counter()
+    for app, spec in TABLE4_KERNELS.items():
+        wl = spec["wl"]
+        host = spec["host"](wl)
+        src = spec["source"](wl)
+        for level in TABLE4_LEVELS:
+            run = run_compiled(compile_source(src, opt=level), n_procs=n_procs, host_data=host)
+            rows.append([app, level.name, run.time])
+            events = _acc(events, _events(run.run_result))
+        hand = run_compiled(
+            compile_source(spec["hand"](wl), opt=OPT_BASE), n_procs=n_procs, host_data=host
+        )
+        rows.append([app, "hand", hand.time])
+        events = _acc(events, _events(hand.run_result))
+    return _result(rows, events, time.perf_counter() - t0)
+
+
+def _result(rows: list, events: int | None, wall: float) -> dict:
+    return {
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_s": round(events / wall) if events else None,
+        "rows": rows,
+    }
+
+
+SUITES = {"fig7a": suite_fig7a, "fig7b": suite_fig7b, "table4": suite_table4}
+
+
+def run_bench(suites: list[str], n_procs: int, smoke: bool = False) -> dict:
+    report = {
+        "stamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "n_procs": n_procs,
+        "smoke": smoke,
+        "suites": {},
+    }
+    if smoke:
+        report["suites"]["smoke"] = suite_fig7a(n_procs=2, apps=["TSP"])
+        return report
+    for name in suites:
+        print(f"running suite {name} ...", file=sys.stderr)
+        report["suites"][name] = SUITES[name](n_procs=n_procs)
+    return report
+
+
+def compare(report: dict, baseline: dict) -> list[str]:
+    """Human-readable speedup lines for suites present in both reports.
+
+    Simulated-cycle rows must match exactly — a kernel change that
+    alters them is a correctness bug, and the comparison says so.
+    """
+    lines = []
+    for name, cur in report["suites"].items():
+        base = baseline.get("suites", {}).get(name)
+        if base is None:
+            continue
+        speedup = base["wall_s"] / cur["wall_s"] if cur["wall_s"] else float("inf")
+        cycles_ok = base["rows"] == cur["rows"]
+        lines.append(
+            f"{name}: {base['wall_s']:.3f}s -> {cur['wall_s']:.3f}s "
+            f"({speedup:.2f}x)  cycles {'identical' if cycles_ok else 'DIFFER (BUG)'}"
+        )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suites", nargs="+", choices=sorted(SUITES), default=sorted(SUITES))
+    parser.add_argument("--procs", type=int, default=4, help="simulated processors (default 4)")
+    parser.add_argument("--smoke", action="store_true", help="tiny CI run: one small workload")
+    parser.add_argument("--out", type=Path, default=None, help="output path (default BENCH_<stamp>.json)")
+    parser.add_argument("--baseline", type=Path, default=None, help="earlier BENCH_*.json to compare against")
+    args = parser.parse_args(argv)
+
+    # Read the baseline up front: a bad path should fail before the
+    # suites burn minutes, not after.
+    baseline = json.loads(args.baseline.read_text()) if args.baseline else None
+    report = run_bench(args.suites, n_procs=args.procs, smoke=args.smoke)
+    out = args.out or Path(f"BENCH_{report['stamp'].replace(':', '')}.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    for name, suite in report["suites"].items():
+        eps = suite["events_per_s"]
+        print(
+            f"  {name}: {suite['wall_s']:.3f}s, {suite['events']} events"
+            + (f", {eps} events/s" if eps else "")
+        )
+    if baseline is not None:
+        lines = compare(report, baseline)
+        print(f"vs {args.baseline}:")
+        for line in lines:
+            print("  " + line)
+        if any("DIFFER" in line for line in lines):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
