@@ -108,6 +108,9 @@ def em3d_program(workload: EM3DWorkload, plan: dict):
 
     def program(ctx):
         nid, n_procs = ctx.nid, ctx.n_procs
+        # Phase marks are host-side observability only (node 0 drives;
+        # zero cycles, zero counters) — see NodeContext.push_phase.
+        ctx.push_phase("setup")
         if nid == 0:
             graph.update(zip(
                 ("e_owner", "h_owner", "e_nbrs", "h_nbrs", "e_w", "h_w", "e0", "h0"),
@@ -204,13 +207,18 @@ def em3d_program(workload: EM3DWorkload, plan: dict):
                 h.data[0] = v
                 yield from end_write(h)
 
+        ctx.pop_phase()
+
         # Main loop (Figure 2 lines 12-17).
+        ctx.push_phase("iterate")
         for _ in range(workload.n_iters):
             yield from compute_side(my_e, e_pairs, e_cost, e_h)
             yield from ctx.barrier(e_space)
             yield from compute_side(my_h, h_pairs, h_cost, h_h)
             yield from ctx.barrier(h_space)
+        ctx.pop_phase()
 
+        ctx.push_phase("collect")
         e_final = {}
         h_final = {}
         for i in my_e:
@@ -219,6 +227,7 @@ def em3d_program(workload: EM3DWorkload, plan: dict):
         for i in my_h:
             data = yield from ctx.read_region(h_h[i])
             h_final[i] = data[0]
+        ctx.pop_phase()
         return e_final, h_final
 
     return program

@@ -61,6 +61,12 @@ class AceRuntime:
         self._barrier = BarrierService(machine, algorithm=barrier_algorithm)
         self._space_ctr = [0] * machine.n_procs
         self._counts = machine.stats.counter_ref()  # hot-path counter access
+        # Observability: protocol lifecycle is rare, so the runtime only
+        # emits space creation / protocol swap events — the per-access
+        # dispatch fast path below carries no tracing branches at all
+        # (message-level detail comes from the machine layer).
+        tracer = machine.tracer
+        self._obs = tracer.tracer("runtime") if tracer is not None else None
         # Delay singletons for the fixed runtime charges (see sim.kernel:
         # pooled anyway, but a pre-bound attribute also skips __new__).
         self._d_dispatch = Delay(self.config.dispatch_cost)
@@ -84,6 +90,13 @@ class AceRuntime:
             space = Space(sid=idx)
             space.protocol = self.registry.create(protocol_name, self, space)
             self.spaces.append(space)
+            if self._obs is not None:
+                self._obs.emit(
+                    self.machine.sim.now,
+                    "space.new",
+                    node=nid,
+                    data={"sid": idx, "protocol": protocol_name},
+                )
         space = self.spaces[idx]
         if space.protocol.name != protocol_name:
             raise ProtocolMisuse(
@@ -126,6 +139,13 @@ class AceRuntime:
             space.protocol = self.registry.create(protocol_name, self, space)
             space.generation += 1
             self.machine.stats.count("ace.change_protocol")
+            if self._obs is not None:
+                self._obs.emit(
+                    self.machine.sim.now,
+                    "space.protocol",
+                    node=nid,
+                    data={"sid": sid, "protocol": protocol_name},
+                )
         yield from self.rendezvous(nid)
         yield from space.protocol.init_space(nid)
 

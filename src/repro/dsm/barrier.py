@@ -27,6 +27,12 @@ class BarrierService:
         # dissemination state: per round, per node, count of notifies seen
         self._flags = [[0] * n for _ in range(self._rounds)]
         self._waiting: list[list[Future | None]] = [[None] * n for _ in range(self._rounds)]
+        # Observability: the hw path's epochs are traced by the machine
+        # itself; the dissemination path emits its own arrive/release
+        # (per-node epochs, since there is no global release instant).
+        tracer = machine.tracer
+        self._obs = tracer.tracer("barrier") if tracer is not None else None
+        self._epochs = [0] * n
 
     def wait(self, nid: int):
         """Generator: block until all ``n_procs`` nodes have arrived."""
@@ -37,6 +43,13 @@ class BarrierService:
         yield from self._dissemination(nid)
 
     def _dissemination(self, nid: int):
+        obs = self._obs
+        if obs is not None:
+            epoch = self._epochs[nid]
+            self._epochs[nid] = epoch + 1
+            obs.emit(
+                self.machine.sim.now, "barrier.arrive", node=nid, data={"epoch": epoch}
+            )
         n = self.machine.n_procs
         for r in range(self._rounds):
             peer = (nid + (1 << r)) % n
@@ -50,6 +63,8 @@ class BarrierService:
                 self._waiting[r][nid] = fut
                 yield fut
                 self._waiting[r][nid] = None
+        if obs is not None:
+            obs.emit(self.machine.sim.now, "barrier.release", node=nid, data={"epoch": epoch})
 
     def _on_notify(self, node, src, r):
         nid = node.nid

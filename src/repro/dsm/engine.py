@@ -82,6 +82,11 @@ class DirectoryEngine:
         self.costs = costs
         self.prefix = stats_prefix
         self._key = f"dir:{stats_prefix}"
+        # Observability handle (None when tracing is off): region state
+        # transitions are emitted from the miss/invalidate paths only —
+        # hits change no state, so the hot hit path stays untouched.
+        tracer = machine.tracer
+        self._obs = tracer.tracer("dsm." + stats_prefix) if tracer is not None else None
         # per-node cache of copies: node id -> {rid: RegionCopy}
         self._copies: list[dict[int, RegionCopy]] = [dict() for _ in range(machine.n_procs)]
         # Stat keys and message categories are interned once here so the
@@ -145,6 +150,12 @@ class DirectoryEngine:
             key = self._stat_keys[event] = intern_key(self.prefix, event)
         self._counts[key] += n
 
+    def _trace_state(self, nid: int, rid: int, state: str) -> None:
+        """Emit a region state transition (callers gate on ``self._obs``)."""
+        self._obs.emit(
+            self.machine.sim.now, "region.state", node=nid, data={"rid": rid, "state": state}
+        )
+
     def copy_of(self, nid: int, rid: int) -> RegionCopy | None:
         """The node's cached copy of ``rid``, if any (None otherwise)."""
         return self._copies[nid].get(rid)
@@ -166,6 +177,8 @@ class DirectoryEngine:
         copy.meta["deferred"] = []
         self._copies[nid][region.rid] = copy
         self._count("create")
+        if self._obs is not None:
+            self._trace_state(nid, region.rid, "home")
         return region.rid
 
     def map(self, nid: int, rid: int):
@@ -263,6 +276,8 @@ class DirectoryEngine:
             )
             np.copyto(copy.data, data)
             copy.state = "shared"
+            if self._obs is not None:
+                self._trace_state(nid, region.rid, "shared")
             self._send_grant_ack(nid, region)
         meta["read_count"] += 1
 
@@ -323,6 +338,8 @@ class DirectoryEngine:
             if data is not None:
                 np.copyto(copy.data, data)
             copy.state = "excl"
+            if self._obs is not None:
+                self._trace_state(nid, region.rid, "excl")
             self._send_grant_ack(nid, region)
         meta["write_count"] += 1
 
@@ -360,6 +377,8 @@ class DirectoryEngine:
         payload = region.size if dirty else self.costs.meta_words
         data = copy.data.copy() if dirty else None
         copy.state = "invalid"
+        if self._obs is not None:
+            self._trace_state(nid, rid, "invalid")
         yield from self.machine.rpc(
             nid,
             region.home,
@@ -511,6 +530,8 @@ class DirectoryEngine:
             copy.state = "invalid"
         else:  # downgrade
             copy.state = "shared" if dirty else copy.state
+        if self._obs is not None:
+            self._trace_state(copy.node, region.rid, copy.state)
         payload = region.size if dirty else self.costs.meta_words
         # handler work before the ack leaves the node
         self.machine.sim.schedule(

@@ -53,6 +53,13 @@ class LockService:
         self._d_handler = Delay(self.LOCK_HANDLER_COST)
         self._h_acquire = self._on_acquire
         self._h_release = self._on_release
+        # Observability: lock grant/release events plus a hold-time
+        # histogram, measured home-side (grant issued → release
+        # received) so both endpoints share one clock.  None when off.
+        tracer = machine.tracer
+        self._obs = tracer.tracer(stats_prefix) if tracer is not None else None
+        self._hold_hist = tracer.hist(stats_prefix + ".hold") if tracer is not None else None
+        self._grant_at: dict = {}
 
     def _state(self, region) -> _LockState:
         st = region.meta.get(self._key)
@@ -66,6 +73,8 @@ class LockService:
         region = self.regions.get(rid)
         yield self._d_handler
         self._counts[self._k_acquire] += 1
+        if self._obs is not None:
+            self._obs.emit(self.machine.sim.now, "lock.request", node=nid, data={"rid": rid})
         if nid == region.home:
             # Local fast path still goes through the same grant logic.
             fut = Future(name=f"lock:{rid}@{nid}")
@@ -106,6 +115,11 @@ class LockService:
             raise LockError(f"release of free lock on region {rid}")
         if st.holder != src:
             raise LockError(f"node {src} released lock on region {rid} held by {st.holder}")
+        if self._obs is not None:
+            now = self.machine.sim.now
+            held = now - self._grant_at.pop((rid, src), now)
+            self._hold_hist.add(held)
+            self._obs.emit(now, "lock.release", node=src, data={"rid": rid, "held": held})
         if st.waiters:
             nxt, fut = st.waiters.popleft()
             st.holder = nxt
@@ -114,6 +128,10 @@ class LockService:
             st.holder = None
 
     def _grant(self, dst: int, fut, rid) -> None:
+        if self._obs is not None:
+            now = self.machine.sim.now
+            self._grant_at[(rid, dst)] = now
+            self._obs.emit(now, "lock.grant", node=dst, data={"rid": rid})
         home = self.regions.get(rid).home
         if dst == home:
             fut.resolve(None)

@@ -139,6 +139,34 @@ class NodeContext:
         """Generator: charge local computation time."""
         yield Delay(cycles)
 
+    # -- phase scoping (observability; DESIGN.md §7) --------------------
+    # Phases are machine-global, so in an SPMD program only node 0's
+    # calls take effect — every node can call these unconditionally at
+    # the same program points (typically around barriers).  Both calls
+    # are host-side only: they charge no cycles, bump no counters, and
+    # are no-ops in the stats when nothing is counted inside them, so
+    # adding them to an app never moves simulated time.
+    def push_phase(self, name: str) -> None:
+        """Begin a named stats/trace phase (node 0 only; others no-op)."""
+        if self.nid != 0:
+            return
+        machine = self.backend.machine
+        machine.stats.push_phase(name)
+        tracer = machine.tracer
+        if tracer is not None:
+            tracer.emit(machine.sim.now, "phase", "phase.begin", data=name)
+
+    def pop_phase(self) -> None:
+        """End the innermost phase (node 0 only; others no-op)."""
+        if self.nid != 0:
+            return
+        machine = self.backend.machine
+        name = machine.stats.current_phase
+        machine.stats.pop_phase()
+        tracer = machine.tracer
+        if tracer is not None:
+            tracer.emit(machine.sim.now, "phase", "phase.end", data=name)
+
     # The remaining forwards keep an adapter frame: ``new_space`` and
     # ``barrier`` supply defaults the backend signature does not have.
     def new_space(self, protocol: str = "SC"):
@@ -176,6 +204,11 @@ class RunResult:
     def stats(self):
         return self.machine.stats
 
+    @property
+    def tracer(self):
+        """The run's :class:`~repro.obs.TraceBuffer` (None when tracing off)."""
+        return self.machine.tracer
+
 
 def run_spmd(
     program: SPMDProgram,
@@ -184,24 +217,28 @@ def run_spmd(
     machine_config: MachineConfig | None = None,
     jitter_seed: int | None = None,
     trace: Callable[[int, str], None] | None = None,
+    tracer=None,
     **backend_kwargs,
 ) -> RunResult:
     """Run an SPMD program on a fresh simulated machine; returns :class:`RunResult`.
 
     ``backend`` is ``"ace"`` or ``"crl"``.  ``jitter_seed`` enables
     schedule fuzzing (see :mod:`repro.verify`).  ``trace`` is forwarded
-    to the :class:`~repro.sim.Simulator` event trace hook.
+    to the :class:`~repro.sim.Simulator` event trace hook.  ``tracer``
+    is an optional :class:`repro.obs.TraceBuffer` wired through the
+    kernel, machine, and every DSM layer; simulated cycles are
+    bit-identical with and without it (see DESIGN.md §7).
     """
     factories = {"ace": AceBackend, "crl": CRLBackend}
     try:
         factory = factories[backend]
     except KeyError:
         raise ValueError(f"unknown backend {backend!r}; choose from {sorted(factories)}") from None
-    sim = Simulator(trace=trace, jitter_seed=jitter_seed)
+    sim = Simulator(trace=trace, jitter_seed=jitter_seed, tracer=tracer)
     cfg = machine_config or MachineConfig(n_procs=n_procs)
     if cfg.n_procs != n_procs:
         cfg = cfg.with_(n_procs=n_procs)
-    machine = Machine(sim, cfg)
+    machine = Machine(sim, cfg, tracer=tracer)
     be = factory(machine, **backend_kwargs)
     ctxs = [NodeContext(be, i) for i in range(n_procs)]
     results = sim.run_all((program(ctx) for ctx in ctxs), prefix="proc")

@@ -80,6 +80,46 @@ class Row:
         return iter((self.app, self.variant, self.cycles))
 
 
+# --------------------------------------------------------------- tracing
+def plan_for(app: str, variant: str) -> dict:
+    """Resolve a plan by short name: ``SC``/``custom`` for every app,
+    plus ``dynamic``/``static`` for EM3D (the §3.3 ladder)."""
+    program_fn, sc_plan, custom_plan = _PROGRAMS[app]
+    plans = {"SC": sc_plan, "custom": custom_plan}
+    if app == "EM3D":
+        plans["dynamic"] = em3d.DYNAMIC_PLAN
+        plans["static"] = em3d.STATIC_PLAN
+    try:
+        return plans[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {variant!r} for {app}; choose from {sorted(plans)}"
+        ) from None
+
+
+def trace_run(
+    app: str,
+    variant: str = "SC",
+    backend: str = "ace",
+    n_procs: int = BENCH_PROCS,
+    capacity: int = 1 << 18,
+):
+    """Run one (app, plan) with observability on; returns ``(RunResult, TraceBuffer)``.
+
+    This is the recording entry point ``tools/trace.py`` and the
+    examples build on: same workloads as fig7a/fig7b, but with a
+    :class:`repro.obs.TraceBuffer` wired through every layer.
+    """
+    from repro.obs import TraceBuffer
+
+    program_fn, _, _ = _PROGRAMS[app]
+    plan = plan_for(app, variant)
+    wl = FIG7_WORKLOADS[app]()
+    buf = TraceBuffer(capacity=capacity)
+    res = run_spmd(program_fn(wl, plan), backend=backend, n_procs=n_procs, tracer=buf)
+    return res, buf
+
+
 # --------------------------------------------------------------- figure 7a
 def fig7a_rows(n_procs: int = BENCH_PROCS) -> list[Row]:
     """Ace runtime vs CRL, both running the SC invalidation protocol."""

@@ -58,11 +58,20 @@ class Machine:
         The simulator driving this machine.
     config:
         Cycle-cost model; defaults to the CM-5-flavoured constants.
+    tracer:
+        Optional :class:`repro.obs.TraceBuffer`.  When given, message
+        delivery, RPC, and reply paths are **swapped at construction**
+        for traced variants that emit causal ``msg.send``/``msg.recv``
+        and ``rpc.call``/``rpc.return`` events, feed per-category
+        round-trip latency histograms, and bump per-node
+        ``node<i>.msg.*`` counters.  With ``tracer=None`` the class
+        methods run unchanged — the disabled path is byte-for-byte the
+        pre-observability fast path, so it costs nothing.
     """
 
     HW_BARRIER_COST = 170  # ~5us on a 33MHz node: CM-5 control network barrier
 
-    def __init__(self, sim: Simulator, config: MachineConfig | None = None):
+    def __init__(self, sim: Simulator, config: MachineConfig | None = None, tracer=None):
         self.sim = sim
         self.config = config or MachineConfig()
         self.nodes = [Node(self, i) for i in range(self.config.n_procs)]
@@ -82,6 +91,24 @@ class Machine:
         self._reply_base = self.config.am_send_overhead + self._recv_base
         self._per_word = self.config.per_word_transfer
         self._d_send = Delay(self.config.am_send_overhead)
+        # Observability (DESIGN.md §7): decided once, here.  Traced
+        # variants shadow the class methods via instance attributes;
+        # their scheduling (delay, seq) streams are identical to the
+        # fast path, so simulated cycles do not move.
+        self.tracer = tracer
+        if tracer is not None:
+            self._obs = tracer.tracer("machine")
+            self._deliver = self._deliver_traced
+            self.rpc = self._rpc_traced
+            self.reply = self._reply_traced
+            self._node_sent = [
+                self.stats.node(i).key("msg.sent") for i in range(self.config.n_procs)
+            ]
+            self._node_recv = [
+                self.stats.node(i).key("msg.recv") for i in range(self.config.n_procs)
+            ]
+        else:
+            self._obs = None
 
     def _msg_key(self, category: str) -> str:
         key = self._msg_keys.get(category)
@@ -173,6 +200,112 @@ class Machine:
             # Handler needs to block (rare): promote it to a task.
             self.sim.spawn(result, name=f"handler@{node.nid}")
 
+    # -- traced variants (installed over the fast path by __init__) -----
+    # Each mirrors its untraced twin exactly — same counter bumps, same
+    # inlined schedule with the same (delay, seq) draws — plus causal
+    # event emission.  Keeping them separate (instead of branching
+    # inside the fast path) is what makes tracing-off literally free.
+    def _deliver_traced(self, src, dst, handler, args, payload_words, category, parent=-1):
+        if not (0 <= dst < self.n_procs):
+            raise ValueError(f"bad destination node {dst}")
+        counts = self._counts
+        key = self._msg_keys.get(category)
+        if key is None:
+            key = self._msg_keys[category] = intern_key("msg", category)
+        counts[key] += 1
+        counts["msg.total"] += 1
+        counts["msg.words"] += payload_words
+        counts[self._node_sent[src]] += 1
+        counts[self._node_recv[dst]] += 1
+        eid = self._obs.emit(
+            self.sim.now,
+            "msg.send",
+            node=src,
+            parent=parent,
+            data={"dst": dst, "category": category, "words": payload_words},
+        )
+        delay = self._recv_base + self._per_word * payload_words
+        fn = partial(self._arrive_traced, eid, self.nodes[dst], src, handler, args)
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        jitter = sim._jitter
+        if jitter is not None:
+            _heappush(sim._queue, (sim.now + delay, jitter.random(), seq, fn))
+        else:
+            _heappush(sim._queue, (sim.now + delay, seq, fn))
+
+    def _arrive_traced(self, parent_eid, node, src, handler, args) -> None:
+        handler_keys = self._handler_keys
+        hkey = handler_keys.get(handler)
+        if hkey is None:
+            hname = getattr(handler, "__name__", "anon")
+            hkey = handler_keys[handler] = intern_key("handler", hname)
+        self._counts[hkey] += 1
+        self._obs.emit(
+            self.sim.now,
+            "msg.recv",
+            node=node.nid,
+            parent=parent_eid,
+            data={"src": src, "handler": hkey[len("handler."):]},
+        )
+        result = handler(node, src, *args)
+        if result is not None and hasattr(result, "send"):
+            self.sim.spawn(result, name=f"handler@{node.nid}")
+
+    def _rpc_traced(self, src, dst, handler, *args, payload_words: int = 0, category: str = "am.rpc"):
+        name = self._rpc_names.get(category)
+        if name is None:
+            name = self._rpc_names[category] = intern_key("rpc:" + category)
+        obs = self._obs
+        t0 = self.sim.now
+        eid = obs.emit(t0, "rpc.call", node=src, data={"dst": dst, "category": category})
+        fut = Future(name=name)
+        yield self._d_send
+        self._deliver_traced(src, dst, handler, (fut, *args), payload_words, category, parent=eid)
+        value = yield fut
+        # Round trip as the caller experienced it (send overhead, both
+        # wire legs, handler work) — the trace-level "stall time".
+        self.tracer.hist("rpc." + category).add(self.sim.now - t0)
+        obs.emit(self.sim.now, "rpc.return", node=src, parent=eid, data={"category": category})
+        return value
+
+    def _reply_traced(self, fut: Future, value=None, payload_words: int = 0, category: str = "am.reply") -> None:
+        counts = self._counts
+        key = self._msg_keys.get(category)
+        if key is None:
+            key = self._msg_keys[category] = intern_key("msg", category)
+        counts[key] += 1
+        counts["msg.total"] += 1
+        counts["msg.words"] += payload_words
+        # Replies carry no explicit src/dst (the future is the address),
+        # so the events sit on the global track; the flow arrow still
+        # links send to receive.
+        eid = self._obs.emit(
+            self.sim.now,
+            "msg.send",
+            data={"category": category, "words": payload_words},
+        )
+        delay = self._reply_base + self._per_word * payload_words
+        fn = partial(self._reply_arrive_traced, eid, category, fut, value)
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        jitter = sim._jitter
+        if jitter is not None:
+            _heappush(sim._queue, (sim.now + delay, jitter.random(), seq, fn))
+        else:
+            _heappush(sim._queue, (sim.now + delay, seq, fn))
+
+    def _reply_arrive_traced(self, parent_eid, category, fut, value) -> None:
+        self._obs.emit(
+            self.sim.now,
+            "msg.recv",
+            parent=parent_eid,
+            data={"category": category, "future": fut.name},
+        )
+        fut.resolve(value)
+
     def rpc(
         self,
         src: int,
@@ -228,14 +361,24 @@ class Machine:
         Every node must call this the same number of times; the cost is
         a fixed ``HW_BARRIER_COST`` after the last arrival.
         """
-        del nid  # participation is global; the id only documents the caller
         self._barrier_count += 1
         self.stats.count("barrier.hw_arrive")
+        obs = self._obs
+        epoch = self._barrier_gen
+        if obs is not None:
+            obs.emit(self.sim.now, "barrier.arrive", node=nid, data={"epoch": epoch})
         fut = self._barrier_fut
         if self._barrier_count == self.n_procs:
             self._barrier_count = 0
             self._barrier_gen += 1
             self._barrier_fut = Future(name=f"hw_barrier:{self._barrier_gen}")
             released = fut
-            self.sim.schedule(self.HW_BARRIER_COST, lambda: released.resolve(None))
+            if obs is None:
+                self.sim.schedule(self.HW_BARRIER_COST, lambda: released.resolve(None))
+            else:
+                def _release():
+                    obs.emit(self.sim.now, "barrier.release", data={"epoch": epoch})
+                    released.resolve(None)
+
+                self.sim.schedule(self.HW_BARRIER_COST, _release)
         yield fut

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import sys
 from collections import Counter
+from contextlib import contextmanager
 
 
 def intern_key(*parts: str) -> str:
@@ -30,11 +31,60 @@ def intern_key(*parts: str) -> str:
     return sys.intern(".".join(parts))
 
 
+class _NodeStats:
+    """Per-node counting adapter: ``stats.node(3).count("msg.sent")``
+    bumps ``node3.msg.sent`` in the owning :class:`Stats`.
+
+    Keys are interned once per (node, key) pair and cached, so a layer
+    that keeps the adapter around pays one dict probe per bump — the
+    same discipline as :func:`intern_key`.  The adapter writes through
+    to the owner's live mapping, so it composes with
+    :meth:`Stats.counter_ref` and survives :meth:`Stats.reset`.
+    """
+
+    __slots__ = ("_counts", "_prefix", "_keys")
+
+    def __init__(self, stats: "Stats", nid: int):
+        self._counts = stats._counts
+        self._prefix = f"node{nid}."
+        self._keys: dict[str, str] = {}
+
+    def count(self, key: str, n: int = 1) -> None:
+        k = self._keys.get(key)
+        if k is None:
+            k = self._keys[key] = sys.intern(self._prefix + key)
+        self._counts[k] += n
+
+    def key(self, key: str) -> str:
+        """The full interned key this adapter bumps for ``key``."""
+        k = self._keys.get(key)
+        if k is None:
+            k = self._keys[key] = sys.intern(self._prefix + key)
+        return k
+
+
 class Stats:
-    """Hierarchical string-keyed counters (convention: ``layer.event``)."""
+    """Hierarchical string-keyed counters (convention: ``layer.event``).
+
+    Beyond flat counting, two scoping mechanisms feed the
+    observability layer (DESIGN.md §7) without touching the hot path:
+
+    * **Phases** — :meth:`push_phase`/:meth:`pop_phase` bracket a
+      program region; the pop computes the counter delta across the
+      region and accumulates it under the phase name in :attr:`phases`.
+      Scoping is snapshot-based, so counting itself never checks for
+      an active phase: a phase costs two dict copies total, zero per
+      event.
+    * **Per node** — :meth:`node` returns a cached adapter that counts
+      under a ``node<i>.`` prefix with interned keys.
+    """
 
     def __init__(self):
         self._counts: Counter = Counter()
+        self._phase_stack: list[tuple[str, dict]] = []
+        self._node_scopes: dict[int, _NodeStats] = {}
+        #: accumulated per-phase counter deltas: {name: Counter}
+        self.phases: dict[str, Counter] = {}
 
     def count(self, key: str, n: int = 1) -> None:
         """Add ``n`` to counter ``key``."""
@@ -52,18 +102,71 @@ class Stats:
         return self._counts[key]
 
     def with_prefix(self, prefix: str) -> dict:
-        """All counters whose key starts with ``prefix`` (dot-joined)."""
-        if not prefix.endswith("."):
-            prefix = prefix + "."
-        return {k: v for k, v in self._counts.items() if k.startswith(prefix)}
+        """All counters under ``prefix`` in the dot hierarchy.
+
+        The prefix matches **whole dot-separated tokens**: it selects
+        the bare key ``prefix`` itself and every ``prefix.<rest>``,
+        and never crosses a token boundary (``with_prefix("crl")``
+        does *not* match ``crlx.y``).  A trailing dot is a pure
+        spelling variant: ``with_prefix("crl.")`` ≡
+        ``with_prefix("crl")``, bare key included.
+        """
+        bare = prefix.rstrip(".")
+        dotted = bare + "."
+        return {
+            k: v for k, v in self._counts.items() if k == bare or k.startswith(dotted)
+        }
+
+    # -- scoping --------------------------------------------------------
+    def node(self, nid: int) -> _NodeStats:
+        """Cached per-node counting adapter (keys under ``node<nid>.``)."""
+        scope = self._node_scopes.get(nid)
+        if scope is None:
+            scope = self._node_scopes[nid] = _NodeStats(self, nid)
+        return scope
+
+    @property
+    def current_phase(self) -> str | None:
+        """Name of the innermost open phase (None outside any phase)."""
+        return self._phase_stack[-1][0] if self._phase_stack else None
+
+    def push_phase(self, name: str) -> None:
+        """Begin a named phase (nestable; pops must match pushes)."""
+        self._phase_stack.append((name, dict(self._counts)))
+
+    def pop_phase(self) -> dict:
+        """End the innermost phase; accumulate and return its delta."""
+        if not self._phase_stack:
+            raise ValueError("pop_phase with no phase pushed")
+        name, base = self._phase_stack.pop()
+        get = base.get
+        delta = {k: d for k, v in self._counts.items() if (d := v - get(k, 0))}
+        self.phases.setdefault(name, Counter()).update(delta)
+        return delta
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager form of :meth:`push_phase`/:meth:`pop_phase`."""
+        self.push_phase(name)
+        try:
+            yield self
+        finally:
+            self.pop_phase()
 
     def snapshot(self) -> dict:
         """Copy of every counter, for diffing before/after a phase."""
         return dict(self._counts)
 
     def reset(self) -> None:
-        """Zero all counters."""
+        """Zero all counters and forget phases.
+
+        The mapping handed out by :meth:`counter_ref` is cleared **in
+        place**, so references held by engines stay live and later
+        bumps remain visible through :meth:`get`.
+        """
         self._counts.clear()
+        self._phase_stack.clear()
+        self.phases.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         body = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))

@@ -1,0 +1,31 @@
+"""Observability: structured causal tracing, latency histograms, exporters.
+
+See :mod:`repro.obs.trace` for the recording model and the
+zero-cost-when-disabled design, :mod:`repro.obs.export` for JSONL /
+Perfetto output and summaries, and DESIGN.md §7 for the full story.
+"""
+
+from repro.obs.export import (
+    message_mix,
+    mix_delta,
+    per_node_messages,
+    run_summary,
+    stall_cycles,
+    to_jsonl,
+    to_perfetto,
+)
+from repro.obs.trace import Histogram, TraceBuffer, TraceEvent, Tracer
+
+__all__ = [
+    "Histogram",
+    "TraceBuffer",
+    "TraceEvent",
+    "Tracer",
+    "message_mix",
+    "mix_delta",
+    "per_node_messages",
+    "run_summary",
+    "stall_cycles",
+    "to_jsonl",
+    "to_perfetto",
+]

@@ -1,0 +1,224 @@
+"""Exporters and summarizers for :class:`~repro.obs.trace.TraceBuffer`.
+
+Three consumers, three formats:
+
+* :func:`to_jsonl` — one JSON object per event, for grep/jq/pandas;
+* :func:`to_perfetto` — Chrome ``trace_event`` JSON that loads in
+  https://ui.perfetto.dev (or ``chrome://tracing``): one track per
+  node, instant events for messages and state transitions, flow
+  arrows for the causal send→receive edges, complete slices for RPC
+  round trips, and B/E slices for application phases.  Simulated
+  cycles map 1:1 to the viewer's microseconds;
+* :func:`message_mix` / :func:`run_summary` — the per-(app, protocol)
+  breakdown ``tools/trace.py`` prints: message counts and words by
+  category, stall cycles spent blocked on RPC round trips, and
+  latency-histogram digests.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.obs.trace import TraceBuffer, TraceEvent
+
+#: A node id of -1 means "no single node"; Perfetto still needs a track.
+GLOBAL_TRACK = "global"
+
+
+def event_dict(ev: TraceEvent) -> dict:
+    """JSON-friendly view of one event (omits empty parent/data)."""
+    d = {"id": ev.eid, "ts": ev.ts, "layer": ev.layer, "kind": ev.kind, "node": ev.node}
+    if ev.parent != -1:
+        d["parent"] = ev.parent
+    if ev.data is not None:
+        d["data"] = ev.data
+    return d
+
+
+def to_jsonl(buf: TraceBuffer, path) -> int:
+    """Write the buffer as JSON Lines; returns the number of events written.
+
+    The first line is a header record (``{"trace": ...}``) carrying the
+    drop count and histogram digests, so a ``.trace.jsonl`` file is
+    self-describing.
+    """
+    events = buf.events()
+    header = {
+        "trace": {
+            "events": len(events),
+            "dropped": buf.dropped,
+            "hists": {name: h.summary() for name, h in sorted(buf.hists.items()) if h.count},
+        }
+    }
+    with open(path, "w") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for ev in events:
+            fh.write(json.dumps(event_dict(ev)) + "\n")
+    return len(events)
+
+
+# ---------------------------------------------------------------- perfetto
+def _tid(node: int, n_tracks: int) -> int:
+    return node if node >= 0 else n_tracks
+
+
+def to_perfetto(buf: TraceBuffer, path) -> int:
+    """Write Chrome/Perfetto ``trace_event`` JSON; returns event count.
+
+    Mapping (1 simulated cycle = 1 viewer microsecond):
+
+    * every event → an instant (``ph: "i"``) on its node's track;
+    * ``msg.send`` → matching ``msg.recv`` (by causal parent) → a flow
+      arrow (``ph: "s"`` / ``"f"``) between the two tracks;
+    * ``rpc.call``/``rpc.return`` pairs → a complete slice
+      (``ph: "X"``) whose duration is the round-trip latency;
+    * ``phase.begin``/``phase.end`` → B/E slices on the global track.
+    """
+    events = buf.events()
+    n_tracks = max((ev.node for ev in events), default=-1) + 1
+    out: list[dict] = []
+    for tid in range(n_tracks):
+        out.append(
+            {"ph": "M", "name": "thread_name", "pid": 0, "tid": tid,
+             "args": {"name": f"node{tid}"}}
+        )
+    out.append(
+        {"ph": "M", "name": "thread_name", "pid": 0, "tid": n_tracks,
+         "args": {"name": GLOBAL_TRACK}}
+    )
+
+    sends: dict[int, TraceEvent] = {}
+    calls: dict[int, TraceEvent] = {}
+    for ev in events:
+        if ev.kind == "msg.send":
+            sends[ev.eid] = ev
+        elif ev.kind == "rpc.call":
+            calls[ev.eid] = ev
+
+    for ev in events:
+        tid = _tid(ev.node, n_tracks)
+        args = ev.data if isinstance(ev.data, dict) else ({"data": ev.data} if ev.data is not None else {})
+        kind = ev.kind
+        if kind == "phase.begin":
+            out.append({"ph": "B", "name": str(ev.data), "cat": ev.layer,
+                        "ts": ev.ts, "pid": 0, "tid": n_tracks})
+            continue
+        if kind == "phase.end":
+            out.append({"ph": "E", "name": str(ev.data), "cat": ev.layer,
+                        "ts": ev.ts, "pid": 0, "tid": n_tracks})
+            continue
+        if kind == "rpc.return" and ev.parent in calls:
+            call = calls[ev.parent]
+            out.append({
+                "ph": "X", "name": f"rpc:{call.data.get('category', 'rpc')}",
+                "cat": call.layer, "ts": call.ts, "dur": max(ev.ts - call.ts, 1),
+                "pid": 0, "tid": _tid(call.node, n_tracks), "args": dict(call.data),
+            })
+            continue
+        name = kind
+        if isinstance(ev.data, dict) and "category" in ev.data:
+            name = f"{kind}:{ev.data['category']}"
+        out.append({"ph": "i", "name": name, "cat": ev.layer, "ts": ev.ts,
+                    "pid": 0, "tid": tid, "s": "t", "args": args})
+        if kind == "msg.recv" and ev.parent in sends:
+            send = sends[ev.parent]
+            flow = {"cat": ev.layer, "name": name, "id": ev.parent, "pid": 0}
+            out.append({**flow, "ph": "s", "ts": send.ts, "tid": _tid(send.node, n_tracks)})
+            out.append({**flow, "ph": "f", "bp": "e", "ts": ev.ts, "tid": tid})
+
+    doc = {"traceEvents": out, "displayTimeUnit": "ms",
+           "otherData": {"dropped": buf.dropped, "clock": "simulated cycles (as us)"}}
+    Path(path).write_text(json.dumps(doc) + "\n")
+    return len(events)
+
+
+# ---------------------------------------------------------------- summaries
+def message_mix(buf: TraceBuffer) -> dict:
+    """Per-category message counts/words from the surviving trace events.
+
+    Returns ``{category: {"count": n, "words": w}}``.  Prefer the
+    machine's counters for exact totals on long runs (the ring may have
+    dropped early events); this view exists for trace-only analysis
+    and for diffing two traces.
+    """
+    mix: dict[str, dict] = {}
+    for ev in buf.events():
+        if ev.kind != "msg.send" or not isinstance(ev.data, dict):
+            continue
+        cat = ev.data.get("category", "?")
+        slot = mix.get(cat)
+        if slot is None:
+            slot = mix[cat] = {"count": 0, "words": 0}
+        slot["count"] += 1
+        slot["words"] += ev.data.get("words", 0)
+    return mix
+
+
+def stall_cycles(buf: TraceBuffer) -> dict:
+    """Cycles tasks spent blocked on RPC round trips, by category.
+
+    Fed from the ``rpc.*`` histograms the traced machine records; the
+    total is the trace-level analogue of the paper's "stall time".
+    """
+    return {
+        name[len("rpc."):]: h.total
+        for name, h in sorted(buf.hists.items())
+        if name.startswith("rpc.")
+    }
+
+
+def per_node_messages(stats) -> dict:
+    """Per-node sent/received message counts from the traced counters.
+
+    The traced delivery path bumps ``node<i>.msg.sent`` /
+    ``node<i>.msg.recv`` (see :class:`~repro.machine.machine.Machine`);
+    returns ``{nid: {"sent": s, "recv": r}}`` for nodes that appear.
+    """
+    out: dict[int, dict] = {}
+    for key, v in stats.snapshot().items():
+        if not key.startswith("node"):
+            continue
+        head, _, rest = key.partition(".")
+        nid = head[4:]
+        if not nid.isdigit() or not rest.startswith("msg."):
+            continue
+        slot = out.setdefault(int(nid), {"sent": 0, "recv": 0})
+        slot[rest[4:]] = v
+    return out
+
+
+def run_summary(result, buf: TraceBuffer) -> dict:
+    """The full per-run digest ``tools/trace.py`` renders.
+
+    ``result`` is a :class:`~repro.facade.context.RunResult` from a run
+    with ``tracer=buf``.
+    """
+    stats = result.stats
+    msg = {k[len("msg."):]: v for k, v in stats.with_prefix("msg").items()
+           if k not in ("msg.total", "msg.words")}
+    stalls = stall_cycles(buf)
+    return {
+        "cycles": result.time,
+        "msg_total": stats.get("msg.total"),
+        "msg_words": stats.get("msg.words"),
+        "mix": dict(sorted(msg.items(), key=lambda kv: -kv[1])),
+        "stall_cycles": stalls,
+        "stall_total": sum(stalls.values()),
+        "per_node": per_node_messages(stats),
+        "hists": {name: h.summary() for name, h in sorted(buf.hists.items()) if h.count},
+        "events": len(buf),
+        "dropped": buf.dropped,
+        "phases": {name: dict(delta) for name, delta in stats.phases.items()},
+    }
+
+
+def mix_delta(a: dict, b: dict) -> dict:
+    """Per-category count difference between two :func:`message_mix` views."""
+    delta: Counter = Counter()
+    for cat, slot in a.items():
+        delta[cat] += slot["count"]
+    for cat, slot in b.items():
+        delta[cat] -= slot["count"]
+    return {cat: n for cat, n in sorted(delta.items()) if n}

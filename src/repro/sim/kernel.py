@@ -140,6 +140,7 @@ class Task:
         "_queue",
         "_ring",
         "_jitter",
+        "_obs",
     )
 
     def __init__(self, gen: Generator, name: str, sim: "Simulator"):
@@ -162,6 +163,10 @@ class Task:
         self._queue = sim._queue
         self._ring = sim._ring
         self._jitter = sim._jitter
+        # Structured tracing handle, resolved once at spawn: None when
+        # observability is off, so the per-step cost of the disabled
+        # path is one slot load and branch (see repro.obs.trace).
+        self._obs = sim._obs
 
     def _step(self) -> None:
         """Advance the generator one yield (plus inline trampolining).
@@ -185,6 +190,9 @@ class Task:
         ring = self._ring
         jitter = self._jitter
         now = sim.now  # time cannot advance while a task is stepping
+        obs = self._obs
+        if obs is not None:
+            obs.emit(now, "task.step", data=self.name)
         self.blocked_on = None
         steps = _TRAMPOLINE_MAX
         while True:
@@ -193,11 +201,15 @@ class Task:
             except StopIteration as stop:
                 if trace:
                     trace(now, f"{self.name} finished")
+                if obs is not None:
+                    obs.emit(now, "task.finish", data=self.name)
                 self.done.resolve(stop.value)
                 return
             except BaseException as err:  # task crashed: propagate via its future
                 if trace:
                     trace(now, f"{self.name} raised {err!r}")
+                if obs is not None:
+                    obs.emit(now, "task.crash", data=f"{self.name}: {err!r}")
                 self.done.fail(err)
                 return
             cls = item.__class__
@@ -325,18 +337,26 @@ class Simulator:
         "_running",
         "_failure",
         "_jitter",
+        "_obs",
     )
 
     def __init__(
         self,
         trace: Callable[[int, str], None] | None = None,
         jitter_seed: int | None = None,
+        tracer=None,
     ):
         """``jitter_seed`` enables *schedule fuzzing*: same-time events
         fire in a seed-determined shuffled order instead of insertion
         order.  Each seed is still fully deterministic — the
         :mod:`repro.verify` fuzzer sweeps seeds to hunt protocol races
-        that one canonical schedule would never exhibit."""
+        that one canonical schedule would never exhibit.
+
+        ``tracer`` is an optional :class:`repro.obs.TraceBuffer`;
+        when given, the kernel emits structured ``task.*`` events
+        (spawn/step/finish/crash) into it.  Tracing is pure
+        observation: event order and simulated cycles are bit-identical
+        with and without it."""
         self.now: int = 0
         self.events: int = 0  # events executed (queue pops + inline steps)
         # Heap of (time, seq, fn) — canonical runs — or
@@ -352,6 +372,9 @@ class Simulator:
         self._running = False
         self._failure: BaseException | None = None
         self._jitter = random.Random(jitter_seed) if jitter_seed is not None else None
+        # Per-layer tracer handle, or None: resolved once here so the
+        # disabled path never probes or formats anything.
+        self._obs = tracer.tracer("kernel") if tracer is not None else None
 
     # -- low-level event interface -------------------------------------
     def schedule(self, delay: int, fn: Callable[[], None]) -> None:
@@ -402,6 +425,8 @@ class Simulator:
         task = Task(gen, name=name, sim=self)
         task.done._fail_hook = self._note_failure
         self._tasks.append(task)
+        if self._obs is not None:
+            self._obs.emit(self.now, "task.spawn", data=name)
         self.schedule(0, task._resume)
         return task
 

@@ -1,5 +1,7 @@
 """Unit tests for the stats counters."""
 
+import pytest
+
 from repro.machine import Stats
 
 
@@ -21,6 +23,86 @@ def test_prefix_filtering():
     assert s.with_prefix("tempest") == {}
 
 
+def test_prefix_includes_bare_key():
+    # with_prefix("crl") selects the bare key "crl" itself, and the
+    # trailing-dot spelling is equivalent.
+    s = Stats()
+    s.count("crl", 7)
+    s.count("crl.read_miss", 2)
+    expected = {"crl": 7, "crl.read_miss": 2}
+    assert s.with_prefix("crl") == expected
+    assert s.with_prefix("crl.") == expected
+
+
+def test_prefix_respects_token_boundaries():
+    # "crl" must not match "crlx.y": the prefix is a whole dot token.
+    s = Stats()
+    s.count("crl.read_miss")
+    s.count("crlx.read_miss")
+    s.count("crl_extra")
+    assert s.with_prefix("crl") == {"crl.read_miss": 1}
+
+
+def test_counter_ref_is_live_and_survives_reset():
+    s = Stats()
+    ref = s.counter_ref()
+    ref["hot.key"] += 3
+    assert s.get("hot.key") == 3  # in-place bumps visible via get
+    s.count("hot.key")
+    assert ref["hot.key"] == 4  # and vice versa
+    s.reset()
+    assert s.get("hot.key") == 0
+    ref["hot.key"] += 2  # the pre-reset reference is still the live mapping
+    assert s.get("hot.key") == 2
+    assert s.counter_ref() is ref
+
+
+def test_node_scoping():
+    s = Stats()
+    n3 = s.node(3)
+    n3.count("msg.sent")
+    n3.count("msg.sent", 2)
+    s.node(0).count("msg.sent")
+    assert s.get("node3.msg.sent") == 3
+    assert s.get("node0.msg.sent") == 1
+    assert s.node(3) is n3  # adapters are cached
+    assert n3.key("msg.sent") == "node3.msg.sent"
+    # write-through composes with counter_ref
+    s.counter_ref()[n3.key("msg.sent")] += 1
+    assert s.get("node3.msg.sent") == 4
+
+
+def test_phase_scoping_accumulates_deltas():
+    s = Stats()
+    s.count("before", 5)
+    s.push_phase("iterate")
+    s.count("msg.total", 10)
+    delta = s.pop_phase()
+    assert delta == {"msg.total": 10}  # pre-phase counts excluded
+    s.push_phase("iterate")
+    s.count("msg.total", 4)
+    s.pop_phase()
+    assert s.phases["iterate"] == {"msg.total": 14}  # re-entry accumulates
+    assert s.get("msg.total") == 14  # global counters unaffected by scoping
+
+
+def test_phase_nesting_and_context_manager():
+    s = Stats()
+    with s.phase("outer"):
+        s.count("a")
+        assert s.current_phase == "outer"
+        with s.phase("inner"):
+            s.count("b")
+        assert s.phases["inner"] == {"b": 1}
+    assert s.phases["outer"] == {"a": 1, "b": 1}  # inner counts roll up
+    assert s.current_phase is None
+
+
+def test_pop_phase_without_push_raises():
+    with pytest.raises(ValueError):
+        Stats().pop_phase()
+
+
 def test_snapshot_is_a_copy():
     s = Stats()
     s.count("a")
@@ -33,6 +115,12 @@ def test_snapshot_is_a_copy():
 def test_reset():
     s = Stats()
     s.count("a", 10)
+    s.push_phase("p")
+    s.count("b")
+    s.pop_phase()
+    s.push_phase("open")
     s.reset()
     assert s.get("a") == 0
     assert s.snapshot() == {}
+    assert s.phases == {}
+    assert s.current_phase is None

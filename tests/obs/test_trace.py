@@ -1,0 +1,92 @@
+"""Unit tests for the trace ring and histograms (repro.obs.trace)."""
+
+import pytest
+
+from repro.obs import Histogram, TraceBuffer
+
+
+def test_emit_assigns_monotonic_ids_and_orders_events():
+    buf = TraceBuffer(capacity=8)
+    a = buf.emit(0, "kernel", "task.spawn", data="t0")
+    b = buf.emit(5, "machine", "msg.send", node=1)
+    assert (a, b) == (0, 1)
+    evs = buf.events()
+    assert [ev.eid for ev in evs] == [0, 1]
+    assert evs[0].layer == "kernel" and evs[0].kind == "task.spawn"
+    assert evs[1].node == 1 and evs[1].parent == -1
+
+
+def test_ring_drops_oldest_and_counts_drops():
+    buf = TraceBuffer(capacity=3)
+    for i in range(5):
+        buf.emit(i, "l", "k")
+    assert len(buf) == 3
+    assert buf.dropped == 2
+    assert [ev.eid for ev in buf.events()] == [2, 3, 4]  # oldest evicted
+    # ids keep increasing across drops
+    assert buf.emit(9, "l", "k") == 5
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceBuffer(capacity=0)
+
+
+def test_tracer_handle_curries_layer():
+    buf = TraceBuffer()
+    t = buf.tracer("dsm.ace")
+    eid = t.emit(42, "region.state", node=2, data={"rid": 7, "state": "shared"})
+    child = t.emit(43, "region.state", node=2, parent=eid)
+    evs = buf.events()
+    assert all(ev.layer == "dsm.ace" for ev in evs)
+    assert evs[1].parent == eid
+
+
+def test_clear_keeps_id_sequence():
+    buf = TraceBuffer()
+    buf.emit(0, "l", "k")
+    buf.hist("h").add(1)
+    buf.clear()
+    assert len(buf) == 0 and buf.hists == {} and buf.dropped == 0
+    assert buf.emit(1, "l", "k") == 1
+
+
+def test_hist_is_created_once_per_name():
+    buf = TraceBuffer()
+    assert buf.hist("rpc.read") is buf.hist("rpc.read")
+    assert buf.hist("rpc.read") is not buf.hist("rpc.write")
+
+
+def test_histogram_exact_moments():
+    h = Histogram()
+    for v in (0, 1, 5, 100):
+        h.add(v)
+    assert h.count == 4
+    assert h.total == 106
+    assert h.min == 0 and h.max == 100
+    s = h.summary()
+    assert s["mean"] == 26.5
+    assert s["min"] == 0 and s["max"] == 100
+
+
+def test_histogram_percentiles_bucketed_and_clamped():
+    h = Histogram()
+    for _ in range(99):
+        h.add(4)  # bucket 3: [4, 7]
+    h.add(20)  # bucket 5: [16, 31]
+    assert h.percentile(0.50) == 7  # bucket upper bound
+    assert h.percentile(0.99) == 7
+    assert h.percentile(1.0) == 20  # clamped to observed max, not 31
+
+
+def test_histogram_of_zeros():
+    h = Histogram()
+    h.add(0)
+    h.add(0)
+    assert h.percentile(0.5) == 0
+    assert h.summary()["p99"] == 0
+
+
+def test_empty_histogram_summary():
+    s = Histogram().summary()
+    assert s["count"] == 0 and s["mean"] == 0 and s["p50"] == 0

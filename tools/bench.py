@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -51,8 +52,13 @@ def _acc(total, n):
     return total + n
 
 
-def suite_fig7a(n_procs: int, apps: list[str] | None = None) -> dict:
-    """Ace vs CRL under SC — the paper's headline comparison."""
+def suite_fig7a(n_procs: int, apps: list[str] | None = None, tracer_factory=None) -> dict:
+    """Ace vs CRL under SC — the paper's headline comparison.
+
+    ``tracer_factory`` (used by ``--trace-overhead``) builds a fresh
+    :class:`repro.obs.TraceBuffer` per run; simulated cycles must be
+    bit-identical with and without one.
+    """
     from repro.facade import run_spmd
     from repro.harness.experiments import _PROGRAMS, FIG7_WORKLOADS
 
@@ -64,7 +70,8 @@ def suite_fig7a(n_procs: int, apps: list[str] | None = None) -> dict:
         program_fn, sc_plan, _ = _PROGRAMS[app]
         wl = make_wl()
         for backend in ("crl", "ace"):
-            res = run_spmd(program_fn(wl, sc_plan), backend=backend, n_procs=n_procs)
+            tracer = tracer_factory() if tracer_factory is not None else None
+            res = run_spmd(program_fn(wl, sc_plan), backend=backend, n_procs=n_procs, tracer=tracer)
             rows.append([app, backend, res.time])
             events = _acc(events, _events(res))
     return _result(rows, events, time.perf_counter() - t0)
@@ -122,11 +129,24 @@ def _result(rows: list, events: int | None, wall: float) -> dict:
 SUITES = {"fig7a": suite_fig7a, "fig7b": suite_fig7b, "table4": suite_table4}
 
 
+def host_fingerprint() -> dict:
+    """Who produced these numbers: wall-clock comparisons across hosts
+    or interpreters are meaningless without this block."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
 def run_bench(suites: list[str], n_procs: int, smoke: bool = False) -> dict:
     report = {
         "stamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "host": host_fingerprint(),
         "n_procs": n_procs,
         "smoke": smoke,
         "suites": {},
@@ -160,14 +180,41 @@ def compare(report: dict, baseline: dict) -> list[str]:
     return lines
 
 
+def trace_overhead(n_procs: int) -> int:
+    """Run fig7a with tracing off, then on; report the wall-clock delta.
+
+    The simulated-cycle rows must be bit-identical — tracing is pure
+    observation.  Returns a nonzero exit code if they differ.
+    """
+    from repro.obs import TraceBuffer
+
+    print("fig7a with tracing off ...", file=sys.stderr)
+    off = suite_fig7a(n_procs=n_procs)
+    print("fig7a with tracing on ...", file=sys.stderr)
+    on = suite_fig7a(n_procs=n_procs, tracer_factory=lambda: TraceBuffer(capacity=1 << 18))
+    overhead = (on["wall_s"] - off["wall_s"]) / off["wall_s"] * 100 if off["wall_s"] else 0.0
+    identical = off["rows"] == on["rows"]
+    print(
+        f"trace overhead (fig7a, {n_procs} procs): "
+        f"{off['wall_s']:.3f}s off -> {on['wall_s']:.3f}s on "
+        f"({overhead:+.1f}% wall)  cycles {'identical' if identical else 'DIFFER (BUG)'}"
+    )
+    return 0 if identical else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suites", nargs="+", choices=sorted(SUITES), default=sorted(SUITES))
     parser.add_argument("--procs", type=int, default=4, help="simulated processors (default 4)")
     parser.add_argument("--smoke", action="store_true", help="tiny CI run: one small workload")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="run fig7a off+on tracing, report wall delta, check cycles identical")
     parser.add_argument("--out", type=Path, default=None, help="output path (default BENCH_<stamp>.json)")
     parser.add_argument("--baseline", type=Path, default=None, help="earlier BENCH_*.json to compare against")
     args = parser.parse_args(argv)
+
+    if args.trace_overhead:
+        return trace_overhead(n_procs=args.procs)
 
     # Read the baseline up front: a bad path should fail before the
     # suites burn minutes, not after.

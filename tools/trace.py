@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Record traced workload runs; export JSONL + Perfetto; print summaries.
+
+For each requested (app, protocol-variant) pair this runs the bench
+workload with the observability layer on (``repro.obs``), writes
+
+* ``<out>/<app>-<variant>.trace.jsonl`` — structured events, one JSON
+  object per line (header line carries drop counts and histograms);
+* ``<out>/<app>-<variant>.perfetto.json`` — load it at
+  https://ui.perfetto.dev: one track per node, flow arrows on the
+  causal send→receive edges, RPC round trips as slices, phases as
+  spans;
+
+and prints a per-(app, protocol) message-mix / stall summary — the
+trace-level view of the paper's Table 4 story (why a custom protocol
+wins: fewer messages, fewer misses, less stall time).
+
+    PYTHONPATH=src python tools/trace.py                       # EM3D + TSP, SC vs custom
+    PYTHONPATH=src python tools/trace.py --apps EM3D --variants SC static --procs 8
+    PYTHONPATH=src python tools/trace.py --summary-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def summary_rows(label: tuple[str, str], summary: dict) -> list:
+    """One table row per (app, variant) from an obs.run_summary dict."""
+    top = ", ".join(f"{cat.rsplit('.', 1)[-1]}:{n}" for cat, n in list(summary["mix"].items())[:3])
+    return [
+        label[0],
+        label[1],
+        summary["cycles"],
+        summary["msg_total"],
+        summary["msg_words"],
+        summary["stall_total"],
+        top,
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", nargs="+", default=["EM3D", "TSP"],
+                        help="bench apps to record (default: EM3D TSP)")
+    parser.add_argument("--variants", nargs="+", default=["SC", "custom"],
+                        help="protocol variants: SC, custom; EM3D also dynamic, static")
+    parser.add_argument("--backend", default="ace", choices=["ace", "crl"])
+    parser.add_argument("--procs", type=int, default=4, help="simulated processors (default 4)")
+    parser.add_argument("--capacity", type=int, default=1 << 18,
+                        help="trace ring capacity in events (default 262144)")
+    parser.add_argument("--out", type=Path, default=Path("traces"),
+                        help="output directory (default ./traces)")
+    parser.add_argument("--summary-only", action="store_true",
+                        help="print summaries without writing trace files")
+    args = parser.parse_args(argv)
+
+    from repro.harness.experiments import format_table, trace_run
+    from repro.obs import run_summary, to_jsonl, to_perfetto
+
+    if not args.summary_only:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    rows = []
+    details = []
+    for app in args.apps:
+        for variant in args.variants:
+            res, buf = trace_run(
+                app, variant, backend=args.backend, n_procs=args.procs,
+                capacity=args.capacity,
+            )
+            summary = run_summary(res, buf)
+            proto = "SC" if variant == "SC" else f"{variant}"
+            rows.append(summary_rows((app, proto), summary))
+            details.append((app, proto, summary))
+            if not args.summary_only:
+                stem = f"{app.lower()}-{variant.lower()}"
+                jsonl = args.out / f"{stem}.trace.jsonl"
+                perfetto = args.out / f"{stem}.perfetto.json"
+                n = to_jsonl(buf, jsonl)
+                to_perfetto(buf, perfetto)
+                print(f"wrote {jsonl} and {perfetto} ({n} events, "
+                      f"{buf.dropped} dropped)", file=sys.stderr)
+
+    print(format_table(
+        f"Message mix / stall summary ({args.backend}, {args.procs} procs)",
+        ["app", "protocol", "cycles", "msgs", "words", "stall_cyc", "top categories"],
+        rows,
+    ))
+    for app, proto, summary in details:
+        if summary["hists"]:
+            print(f"\n{app} [{proto}] latency histograms (cycles):")
+            for name, digest in summary["hists"].items():
+                print(f"  {name:32s} n={digest['count']:<6d} mean={digest['mean']:<9} "
+                      f"p50={digest['p50']:<7d} p99={digest['p99']:<7d} max={digest['max']}")
+        if summary["phases"]:
+            print(f"{app} [{proto}] per-phase message totals:")
+            for phase, delta in summary["phases"].items():
+                msgs = delta.get("msg.total", 0)
+                words = delta.get("msg.words", 0)
+                print(f"  {phase:12s} msgs={msgs:<8d} words={words}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    raise SystemExit(main())
