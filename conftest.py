@@ -3,9 +3,22 @@
 Allows ``pytest tests/`` and ``pytest benchmarks/`` to run straight
 from a checkout (including fully offline environments where
 ``pip install -e .`` cannot build an editable wheel).
+
+Also applies the two-tier markers (see ``pyproject.toml``): every test
+not explicitly marked ``slow`` is ``tier1``, so ``-m tier1`` and
+``-m slow`` partition the suite exactly and a plain ``pytest`` run is
+always the union of both tiers.
 """
 
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.tier1)

@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from repro.core.config import AceConfig
 from repro.core.space import Space
-from repro.dsm import ACE_SC_COSTS, BarrierService, DirectoryEngine, LockService
-from repro.machine import Machine
+from repro.dsm import ACE_SC_COSTS, BarrierService, CoherenceEngine, LockService, as_transport
 from repro.memory import RegionDirectory
 from repro.protocols.base import ProtocolMisuse
 from repro.protocols.registry import ProtocolRegistry, default_registry
@@ -31,8 +30,8 @@ class AceRuntime:
 
     Parameters
     ----------
-    machine:
-        The simulated multicomputer.
+    fabric:
+        The simulated multicomputer (or any coherence-core transport).
     registry:
         Protocol registry (defaults to the library's
         :data:`~repro.protocols.registry.default_registry`).
@@ -44,28 +43,34 @@ class AceRuntime:
 
     def __init__(
         self,
-        machine: Machine,
+        fabric,
         registry: ProtocolRegistry | None = None,
         config: AceConfig | None = None,
         barrier_algorithm: str = "hw",
     ):
-        self.machine = machine
+        transport = as_transport(fabric)
+        self.transport = transport
+        self.machine = transport.machine
         self.registry = registry or default_registry
         self.config = config or AceConfig()
         self.regions = RegionDirectory()
         self.spaces: list[Space] = []
         self.region_space: dict[int, Space] = {}
-        # Shared services protocols delegate to.
-        self.sc_engine = DirectoryEngine(machine, self.regions, ACE_SC_COSTS, stats_prefix="ace.sc")
-        self.locks = LockService(machine, self.regions, stats_prefix="ace.lock")
-        self._barrier = BarrierService(machine, algorithm=barrier_algorithm)
-        self._space_ctr = [0] * machine.n_procs
-        self._counts = machine.stats.counter_ref()  # hot-path counter access
+        # Shared services protocols delegate to — all built over the one
+        # transport, so every layer sees the same fabric (and the same
+        # traced message path when observability is on).
+        self.sc_engine = CoherenceEngine(transport, self.regions, ACE_SC_COSTS, stats_prefix="ace.sc")
+        self.locks = LockService(transport, self.regions, stats_prefix="ace.lock")
+        self._barrier = BarrierService(transport, algorithm=barrier_algorithm)
+        self._space_ctr = [0] * transport.n_procs
+        self._stats = transport.stats
+        self._sim = transport.sim
+        self._counts = transport.stats.counter_ref()  # hot-path counter access
         # Observability: protocol lifecycle is rare, so the runtime only
         # emits space creation / protocol swap events — the per-access
         # dispatch fast path below carries no tracing branches at all
         # (message-level detail comes from the machine layer).
-        tracer = machine.tracer
+        tracer = transport.tracer
         self._obs = tracer.tracer("runtime") if tracer is not None else None
         # Delay singletons for the fixed runtime charges (see sim.kernel:
         # pooled anyway, but a pre-bound attribute also skips __new__).
@@ -92,7 +97,7 @@ class AceRuntime:
             self.spaces.append(space)
             if self._obs is not None:
                 self._obs.emit(
-                    self.machine.sim.now,
+                    self._sim.now,
                     "space.new",
                     node=nid,
                     data={"sid": idx, "protocol": protocol_name},
@@ -103,7 +108,7 @@ class AceRuntime:
                 f"SPMD divergence: node {nid} created space {idx} with protocol "
                 f"{protocol_name!r} but it already runs {space.protocol.name!r}"
             )
-        self.machine.stats.count("ace.new_space")
+        self._stats.count("ace.new_space")
         yield from space.protocol.init_space(nid)
         return space.sid
 
@@ -114,7 +119,7 @@ class AceRuntime:
         rid = yield from space.protocol.create(nid, size)
         space.regions.append(rid)
         self.region_space[rid] = space
-        self.machine.stats.count("ace.gmalloc")
+        self._stats.count("ace.gmalloc")
         return rid
 
     def change_protocol(self, nid: int, sid: int, protocol_name: str):
@@ -138,10 +143,10 @@ class AceRuntime:
             space.pdata = {}
             space.protocol = self.registry.create(protocol_name, self, space)
             space.generation += 1
-            self.machine.stats.count("ace.change_protocol")
+            self._stats.count("ace.change_protocol")
             if self._obs is not None:
                 self._obs.emit(
-                    self.machine.sim.now,
+                    self._sim.now,
                     "space.protocol",
                     node=nid,
                     data={"sid": sid, "protocol": protocol_name},
@@ -153,7 +158,7 @@ class AceRuntime:
         """Generator: ``Ace_Barrier(space)`` — the space's protocol barrier."""
         space = self._space(sid)
         yield self._d_dispatch
-        self.machine.stats.count("ace.barrier")
+        self._stats.count("ace.barrier")
         yield from space.protocol.barrier(nid)
 
     def lock(self, nid: int, rid: int, direct: bool = False):
@@ -161,7 +166,7 @@ class AceRuntime:
         space = self._space_of_rid(rid)
         if not direct and not space.protocol.spec.hardware:
             yield self._d_dispatch
-        self.machine.stats.count("ace.lock")
+        self._stats.count("ace.lock")
         yield from space.protocol.lock(nid, rid)
 
     def unlock(self, nid: int, rid: int, direct: bool = False):
@@ -169,7 +174,7 @@ class AceRuntime:
         space = self._space_of_rid(rid)
         if not direct and not space.protocol.spec.hardware:
             yield self._d_dispatch
-        self.machine.stats.count("ace.unlock")
+        self._stats.count("ace.unlock")
         yield from space.protocol.unlock(nid, rid)
 
     # ------------------------------------------------------------------
@@ -180,7 +185,7 @@ class AceRuntime:
         space = self._space_of_rid(rid)
         if not direct and not space.protocol.spec.hardware:
             yield self._d_dispatch
-        self.machine.stats.count("ace.map")
+        self._stats.count("ace.map")
         handle = yield from space.protocol.map(nid, rid)
         meta = handle.meta
         meta["ace_gen"] = space.generation
@@ -194,7 +199,7 @@ class AceRuntime:
         space = self._space_of_handle(handle)
         if not direct and not space.protocol.spec.hardware:
             yield self._d_dispatch
-        self.machine.stats.count("ace.unmap")
+        self._stats.count("ace.unmap")
         yield from space.protocol.unmap(nid, handle)
 
     # The four access primitives below inline ``_dispatch`` (and fetch

@@ -2,7 +2,7 @@
 
 A from-scratch stand-in for CRL 1.0 (Johnson, Kaashoek & Wallach,
 SOSP '95), the system the paper benchmarks Ace against in §5.1.  It
-runs the shared :class:`~repro.dsm.engine.DirectoryEngine` with the
+runs the shared :class:`~repro.dsm.coherence.CoherenceEngine` with the
 CRL cost table — a fixed, sequentially consistent invalidation
 protocol with *no* protocol customization, no spaces, and the
 CRL-style mapping path (cold maps of remote regions need a metadata

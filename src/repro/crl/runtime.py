@@ -1,9 +1,8 @@
-"""The CRL-like runtime: rgn_* API over the shared directory engine."""
+"""The CRL-like runtime: rgn_* API over the shared coherence core."""
 
 from __future__ import annotations
 
-from repro.dsm import BarrierService, CRL_COSTS, DirectoryEngine, LockService
-from repro.machine import Machine
+from repro.dsm import BarrierService, CRL_COSTS, CoherenceEngine, LockService, as_transport
 from repro.memory import RegionDirectory
 
 
@@ -15,17 +14,23 @@ class CRLRuntime:
     ``rgn_end_write``, plus global barriers (CM-5 control network, as
     in CRL) and region locks so ported Ace programs keep their
     synchronization structure (§5.1's porting methodology).
+
+    There is no CRL-specific coherence code: the runtime is the shared
+    :class:`~repro.dsm.coherence.CoherenceEngine` configured with the
+    CRL cost table, with its hook generators bound directly as the
+    ``rgn_*`` methods — every CRL access drives the core's generator
+    frame with no delegation frame in between (``yield from``
+    passthroughs propagate returns).
     """
 
-    def __init__(self, machine: Machine, barrier_algorithm: str = "hw"):
-        self.machine = machine
+    def __init__(self, fabric, barrier_algorithm: str = "hw"):
+        transport = as_transport(fabric)
+        self.transport = transport
+        self.machine = transport.machine
         self.regions = RegionDirectory()
-        self.engine = DirectoryEngine(machine, self.regions, CRL_COSTS, stats_prefix="crl")
-        self.locks = LockService(machine, self.regions, stats_prefix="crl.lock")
-        self._barrier = BarrierService(machine, algorithm=barrier_algorithm)
-        # The rgn_* methods below are pure delegations; bind the engine
-        # generators directly so every CRL access costs one generator
-        # frame fewer (``yield from`` passthroughs propagate returns).
+        self.engine = CoherenceEngine(transport, self.regions, CRL_COSTS, stats_prefix="crl")
+        self.locks = LockService(transport, self.regions, stats_prefix="crl.lock")
+        self._barrier = BarrierService(transport, algorithm=barrier_algorithm)
         eng = self.engine
         self.rgn_create = eng.create
         self.rgn_map = eng.map
@@ -38,40 +43,3 @@ class CRLRuntime:
         self.barrier = self._barrier.wait
         self.lock = self.locks.acquire
         self.unlock = self.locks.release
-
-    def rgn_create(self, nid: int, size: int):
-        """Generator: allocate a region homed at ``nid``; returns rid."""
-        rid = yield from self.engine.create(nid, size)
-        return rid
-
-    def rgn_map(self, nid: int, rid: int):
-        """Generator: map a region into the node's local address space."""
-        handle = yield from self.engine.map(nid, rid)
-        return handle
-
-    def rgn_unmap(self, nid: int, handle):
-        yield from self.engine.unmap(nid, handle)
-
-    def rgn_start_read(self, nid: int, handle):
-        yield from self.engine.start_read(nid, handle)
-
-    def rgn_end_read(self, nid: int, handle):
-        yield from self.engine.end_read(nid, handle)
-
-    def rgn_start_write(self, nid: int, handle):
-        yield from self.engine.start_write(nid, handle)
-
-    def rgn_end_write(self, nid: int, handle):
-        yield from self.engine.end_write(nid, handle)
-
-    def rgn_flush(self, nid: int, rid: int):
-        yield from self.engine.flush(nid, rid)
-
-    def barrier(self, nid: int):
-        yield from self._barrier.wait(nid)
-
-    def lock(self, nid: int, rid: int):
-        yield from self.locks.acquire(nid, rid)
-
-    def unlock(self, nid: int, rid: int):
-        yield from self.locks.release(nid, rid)

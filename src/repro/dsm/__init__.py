@@ -5,15 +5,27 @@ sequentially-consistent protocol — run the *same family* of home-based
 MSI invalidation protocols; they differ in per-operation software costs
 (mapping technique, dispatch path) and engineering detail (§5.1: "a
 careful redesign of the sequential consistency protocol and a more
-efficient mapping technique").  This package provides the protocol
-engine once, parameterized by a :class:`~repro.dsm.costs.DSMCosts`
+efficient mapping technique").  This package provides the coherence
+core once, parameterized by a :class:`~repro.dsm.costs.DSMCosts`
 table, so both systems exercise identical coherence logic and their
 measured difference is exactly the modeled software overhead — the
 paper's own explanation of Figure 7a.
+
+The core is layered (DESIGN.md §8): :class:`~repro.dsm.transport.Transport`
+(message fabric), :class:`~repro.dsm.directory.DirectoryService`
+(home-side state), :class:`~repro.dsm.regioncache.RegionCache`
+(node-side copies), and :class:`~repro.dsm.hooks.ProtocolHooks`
+(requester-side access hooks), composed by
+:class:`~repro.dsm.coherence.CoherenceEngine`.
 """
 
 from repro.dsm.costs import DSMCosts, ACE_SC_COSTS, CRL_COSTS
-from repro.dsm.engine import DirectoryEngine, ProtocolError
+from repro.dsm.errors import ProtocolError
+from repro.dsm.transport import SimTransport, Transport, as_transport
+from repro.dsm.directory import DirEntry, DirectoryService
+from repro.dsm.regioncache import RegionCache
+from repro.dsm.hooks import ProtocolHooks
+from repro.dsm.coherence import CoherenceEngine, DirectoryEngine
 from repro.dsm.locks import LockService
 from repro.dsm.barrier import BarrierService
 
@@ -21,8 +33,16 @@ __all__ = [
     "ACE_SC_COSTS",
     "BarrierService",
     "CRL_COSTS",
+    "CoherenceEngine",
     "DSMCosts",
+    "DirEntry",
     "DirectoryEngine",
+    "DirectoryService",
     "LockService",
     "ProtocolError",
+    "ProtocolHooks",
+    "RegionCache",
+    "SimTransport",
+    "Transport",
+    "as_transport",
 ]

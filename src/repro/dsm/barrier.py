@@ -6,23 +6,35 @@ message-based dissemination barrier is also provided for machines
 without a control network and for the barrier-algorithm ablation
 bench.  Ace protocols run their ``barrier`` hooks *around* one of
 these rendezvous primitives.
+
+Like the locks, the service is written against the
+:class:`~repro.dsm.transport.Transport` interface (machine accepted
+and coerced), so the dissemination algorithm is fabric-agnostic and
+the hardware path is whatever rendezvous the fabric provides.
 """
 
 from __future__ import annotations
 
-from repro.machine import Machine
+from repro.dsm.transport import as_transport
 from repro.sim import Future
 
 
 class BarrierService:
     """Global barriers: ``hw`` (control network) or ``dissemination`` (messages)."""
 
-    def __init__(self, machine: Machine, algorithm: str = "hw"):
+    def __init__(self, fabric, algorithm: str = "hw"):
         if algorithm not in ("hw", "dissemination"):
             raise ValueError(f"unknown barrier algorithm {algorithm!r}")
-        self.machine = machine
+        transport = as_transport(fabric)
+        self.transport = transport
+        self.machine = transport.machine
         self.algorithm = algorithm
-        n = machine.n_procs
+        n = transport.n_procs
+        self._n_procs = n
+        self._stats = transport.stats
+        self._sim = transport.sim
+        self._request = transport.request
+        self._hw_barrier = transport.hw_barrier
         self._rounds = max(1, (n - 1).bit_length())
         # dissemination state: per round, per node, count of notifies seen
         self._flags = [[0] * n for _ in range(self._rounds)]
@@ -30,15 +42,15 @@ class BarrierService:
         # Observability: the hw path's epochs are traced by the machine
         # itself; the dissemination path emits its own arrive/release
         # (per-node epochs, since there is no global release instant).
-        tracer = machine.tracer
+        tracer = transport.tracer
         self._obs = tracer.tracer("barrier") if tracer is not None else None
         self._epochs = [0] * n
 
     def wait(self, nid: int):
         """Generator: block until all ``n_procs`` nodes have arrived."""
-        self.machine.stats.count("barrier.arrive")
-        if self.algorithm == "hw" or self.machine.n_procs == 1:
-            yield from self.machine.hw_barrier(nid)
+        self._stats.count("barrier.arrive")
+        if self.algorithm == "hw" or self._n_procs == 1:
+            yield from self._hw_barrier(nid)
             return
         yield from self._dissemination(nid)
 
@@ -47,13 +59,11 @@ class BarrierService:
         if obs is not None:
             epoch = self._epochs[nid]
             self._epochs[nid] = epoch + 1
-            obs.emit(
-                self.machine.sim.now, "barrier.arrive", node=nid, data={"epoch": epoch}
-            )
-        n = self.machine.n_procs
+            obs.emit(self._sim.now, "barrier.arrive", node=nid, data={"epoch": epoch})
+        n = self._n_procs
         for r in range(self._rounds):
             peer = (nid + (1 << r)) % n
-            yield from self.machine.am_request(
+            yield from self._request(
                 nid, peer, self._on_notify, r, payload_words=1, category="barrier.notify"
             )
             if self._flags[r][nid] > 0:
@@ -64,7 +74,7 @@ class BarrierService:
                 yield fut
                 self._waiting[r][nid] = None
         if obs is not None:
-            obs.emit(self.machine.sim.now, "barrier.release", node=nid, data={"epoch": epoch})
+            obs.emit(self._sim.now, "barrier.release", node=nid, data={"epoch": epoch})
 
     def _on_notify(self, node, src, r):
         nid = node.nid

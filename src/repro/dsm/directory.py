@@ -1,0 +1,272 @@
+"""DirectoryService: home-node directory state and admission control.
+
+The home side of the MSI protocol (see :mod:`repro.dsm.coherence` for
+the state model): per-region :class:`DirEntry` records, the atomic
+request handlers that run at a region's home, the recall/invalidation
+fan-out, and the FIFO queue that guarantees per-region ordering and
+no starvation.
+
+Directory state is addressed by ``(shard, region)``: entries live in
+``n_shards`` independent tables selected by ``rid % n_shards``.  With
+the default single shard this is exactly the old flat directory; the
+shard axis is the seam along which the directory can later be split
+across nodes (each shard's handlers and tables move together — they
+share no state with other shards).
+
+This layer runs entirely in handler context.  It sends data grants and
+acks through the :class:`~repro.dsm.transport.Transport` and calls
+into the node side only through the invalidation handler wired in by
+:meth:`wire_cache` — it never touches a
+:class:`~repro.memory.region.RegionCopy`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.dsm.costs import DSMCosts
+from repro.dsm.errors import ProtocolError
+from repro.dsm.transport import Transport
+from repro.machine.stats import intern_key
+from repro.memory import Region, RegionDirectory
+from repro.sim import Future
+
+
+class DirEntry:
+    """Home-side directory state for one region."""
+
+    __slots__ = ("owner", "sharers", "home_readers", "home_writing", "busy", "queue", "pending")
+
+    def __init__(self):
+        self.owner: int | None = None
+        self.sharers: set[int] = set()
+        self.home_readers = 0
+        self.home_writing = False
+        self.busy = False
+        self.queue: deque = deque()
+        self.pending: dict | None = None
+
+
+class DirectoryService:
+    """Home-side region directory for one (transport, cost table) pair."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        regions: RegionDirectory,
+        costs: DSMCosts,
+        prefix: str = "dsm",
+        n_shards: int = 1,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.transport = transport
+        self.regions = regions
+        self.costs = costs
+        self.prefix = prefix
+        self.n_shards = n_shards
+        self._shards: tuple[dict[int, DirEntry], ...] = tuple({} for _ in range(n_shards))
+        # Stat keys and message categories are interned once here so the
+        # handlers never build an f-string (see machine.stats).
+        self._counts = transport.stats.counter_ref()
+        self._k_recall = intern_key(prefix, "recall")
+        self._cat_map_reply = intern_key(prefix, "map_reply")
+        self._cat_read_data = intern_key(prefix, "read_data")
+        self._cat_write_data = intern_key(prefix, "write_data")
+        self._cat_upgrade_ack = intern_key(prefix, "upgrade_ack")
+        self._cat_inval = intern_key(prefix, "inval")
+        self._cat_flush_ack = intern_key(prefix, "flush_ack")
+        # Transport operations, pre-bound.
+        self._reply = transport.reply
+        self._post = transport.post
+        # Stable bound-method handler objects: message sends fetch an
+        # attribute instead of materializing a bound method per call,
+        # and the machine's handler-stat cache hits on identity.
+        self._h_map_lookup = self._on_map_lookup
+        self._h_read_req = self._on_read_req
+        self._h_write_req = self._on_write_req
+        self._h_grant_ack = self._on_grant_ack
+        self._h_inval_ack = self._on_inval_ack
+        self._h_flush = self._on_flush
+        # Node-side invalidation handler; see wire_cache.
+        self._h_inval_req = None
+
+    def wire_cache(self, cache) -> None:
+        """Bind the node-side invalidation handler recalls are sent to."""
+        self._h_inval_req = cache._h_inval_req
+
+    # ------------------------------------------------------------------
+    # entry addressing: (shard, region)
+    # ------------------------------------------------------------------
+    def shard_of(self, rid: int) -> int:
+        """Which shard holds ``rid``'s entry."""
+        return rid % self.n_shards
+
+    def entry(self, rid: int) -> DirEntry:
+        """Get-or-create the directory entry for ``rid``."""
+        shard = self._shards[rid % self.n_shards]
+        ent = shard.get(rid)
+        if ent is None:
+            ent = shard[rid] = DirEntry()
+        return ent
+
+    def entry_at(self, shard: int, rid: int) -> DirEntry | None:
+        """Introspection: the entry for ``rid`` in ``shard``, if present."""
+        return self._shards[shard].get(rid)
+
+    # ------------------------------------------------------------------
+    # map metadata lookup (CRL-style cold map)
+    # ------------------------------------------------------------------
+    def _on_map_lookup(self, node, src, fut, rid):
+        region = self.regions.get(rid)
+        self._reply(
+            fut, region.size, payload_words=self.costs.meta_words, category=self._cat_map_reply
+        )
+
+    # ------------------------------------------------------------------
+    # home-side admission (atomic handler context)
+    # ------------------------------------------------------------------
+    def _on_read_req(self, node, src, fut, rid):
+        region = self.regions.get(rid)
+        ent = self.entry(rid)
+        if not self._admit("read", src, fut, region, ent):
+            ent.queue.append(("read", src, fut))
+
+    def _on_write_req(self, node, src, fut, rid):
+        region = self.regions.get(rid)
+        ent = self.entry(rid)
+        if not self._admit("write", src, fut, region, ent):
+            ent.queue.append(("write", src, fut))
+
+    def _admit(self, kind: str, src: int, fut: Future, region: Region, ent: DirEntry) -> bool:
+        """Try to serve a request; False means 'leave it on the queue'."""
+        home = region.home
+        if ent.busy:
+            return False
+        if kind == "read":
+            if ent.home_writing and src != home:
+                return False
+            if ent.owner is not None and ent.owner != src:
+                self._begin_recall(region, ent, kind, src, fut, targets=[(ent.owner, "downgrade")])
+                return True
+            self._serve_read(region, ent, src, fut)
+            return True
+        # write
+        if (ent.home_writing or ent.home_readers > 0) and src != home:
+            return False
+        targets = []
+        if ent.owner is not None and ent.owner != src:
+            targets.append((ent.owner, "invalidate"))
+        if ent.sharers:
+            targets.extend((s, "invalidate") for s in sorted(ent.sharers) if s != src)
+        if targets:
+            self._begin_recall(region, ent, kind, src, fut, targets=targets)
+            return True
+        self._serve_write(region, ent, src, fut)
+        return True
+
+    def _serve_read(self, region: Region, ent: DirEntry, src: int, fut: Future) -> None:
+        if src == region.home:
+            ent.home_readers += 1
+            fut.resolve(None)
+        else:
+            ent.sharers.add(src)
+            # The entry stays busy until the grantee acknowledges install:
+            # otherwise a queued write's invalidation could overtake the
+            # grant data in the network (grant-in-flight race).
+            ent.busy = True
+            self._reply(
+                fut,
+                region.home_data.copy(),
+                payload_words=region.size,
+                category=self._cat_read_data,
+            )
+
+    def _serve_write(self, region: Region, ent: DirEntry, src: int, fut: Future) -> None:
+        if src == region.home:
+            ent.home_writing = True
+            fut.resolve(None)
+            return
+        had_copy = src in ent.sharers
+        ent.sharers.discard(src)
+        ent.owner = src
+        ent.busy = True  # until grant-ack; see _serve_read
+        if had_copy:  # upgrade: requester's shared data is current
+            self._reply(fut, None, payload_words=1, category=self._cat_upgrade_ack)
+        else:
+            self._reply(
+                fut,
+                region.home_data.copy(),
+                payload_words=region.size,
+                category=self._cat_write_data,
+            )
+
+    def _on_grant_ack(self, node, src, rid):
+        region = self.regions.get(rid)
+        ent = self.entry(rid)
+        ent.busy = False
+        self._drain(region, ent)
+
+    # ------------------------------------------------------------------
+    # recall / invalidation fan-out
+    # ------------------------------------------------------------------
+    def _begin_recall(self, region, ent, kind, src, fut, targets) -> None:
+        ent.busy = True
+        ent.pending = {"kind": kind, "src": src, "fut": fut, "need": len(targets)}
+        self._counts[self._k_recall] += 1
+        for target, mode in targets:
+            self._post(
+                region.home,
+                target,
+                self._h_inval_req,
+                region.rid,
+                mode,
+                payload_words=self.costs.meta_words,
+                category=self._cat_inval,
+            )
+
+    def _on_inval_ack(self, node, src, rid, target, mode, data):
+        region = self.regions.get(rid)
+        ent = self.entry(rid)
+        if data is not None:
+            np.copyto(region.home_data, data)
+        if ent.owner == target:
+            ent.owner = None
+        ent.sharers.discard(target)
+        if mode == "downgrade":
+            ent.sharers.add(target)
+        pending = ent.pending
+        if pending is None:  # pragma: no cover - acks only while pending
+            raise ProtocolError(f"stray invalidation ack for region {rid}")
+        pending["need"] -= 1
+        if pending["need"] > 0:
+            return
+        ent.busy = False
+        ent.pending = None
+        if pending["kind"] == "read":
+            self._serve_read(region, ent, pending["src"], pending["fut"])
+        else:
+            self._serve_write(region, ent, pending["src"], pending["fut"])
+        self._drain(region, ent)
+
+    # ------------------------------------------------------------------
+    # flush (change-protocol path)
+    # ------------------------------------------------------------------
+    def _on_flush(self, node, src, fut, rid, data):
+        region = self.regions.get(rid)
+        ent = self.entry(rid)
+        if data is not None:
+            np.copyto(region.home_data, data)
+        if ent.owner == src:
+            ent.owner = None
+        ent.sharers.discard(src)
+        self._reply(fut, None, payload_words=1, category=self._cat_flush_ack)
+
+    def _drain(self, region: Region, ent: DirEntry) -> None:
+        while ent.queue and not ent.busy:
+            kind, src, fut = ent.queue[0]
+            if not self._admit(kind, src, fut, region, ent):
+                break
+            ent.queue.popleft()

@@ -1,0 +1,9 @@
+"""Errors shared by the coherence-core layers."""
+
+from __future__ import annotations
+
+from repro.sim.errors import SimulationError
+
+
+class ProtocolError(SimulationError):
+    """Raised for protocol misuse (unmatched start/end, bad unmap, ...)."""

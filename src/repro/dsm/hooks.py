@@ -1,0 +1,326 @@
+"""ProtocolHooks: the requester-side access hooks over directory + cache.
+
+The generators here are the before/after read/write hook dispatch both
+backends share: CRL's ``rgn_*`` calls and Ace's default SC protocol
+bind these exact generator objects (see :mod:`repro.dsm.coherence`),
+so ``repro.crl`` is a cost-table configuration of the same core, not a
+parallel implementation.
+
+All public operations are generators to be driven by a node's task
+(``yield from hooks.start_read(nid, copy)``); they charge the cost
+table's cycles and perform whatever communication the directory state
+requires, through the transport.
+
+Hot-path notes: the collaborator operations this layer needs per
+access (copy tables, directory entry lookup, transport rpc/post) are
+bound as instance attributes at construction, so the hit path performs
+the same attribute probes the monolithic engine did — the layer split
+costs neither simulated cycles nor host time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsm.costs import DSMCosts
+from repro.dsm.directory import DirectoryService
+from repro.dsm.errors import ProtocolError
+from repro.dsm.regioncache import RegionCache
+from repro.dsm.transport import Transport
+from repro.machine.stats import intern_key
+from repro.memory import RegionCopy
+from repro.sim import Delay, Future
+
+
+class ProtocolHooks:
+    """Requester-side create/map/unmap, access, and flush generators."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        regions,
+        costs: DSMCosts,
+        directory: DirectoryService,
+        cache: RegionCache,
+        prefix: str = "dsm",
+        obs=None,
+    ):
+        self.transport = transport
+        self.regions = regions
+        self.costs = costs
+        self.directory = directory
+        self.cache = cache
+        self.prefix = prefix
+        self._key = f"dir:{prefix}"
+        # Observability handle (None when tracing is off): region state
+        # transitions are emitted from the miss/invalidate paths only —
+        # hits change no state, so the hot hit path stays untouched.
+        self._obs = obs
+        self._sim = transport.sim
+        # Collaborator fast-path references (see module docstring).
+        self._copies = cache.tables
+        self._entry = directory.entry
+        self._fire_deferred = cache._fire_deferred
+        self._drain = directory._drain
+        self._rpc = transport.rpc
+        self._post = transport.post
+        self._nodes = transport.nodes
+        # Stat keys and message categories are interned once here so the
+        # per-access path never builds an f-string (see machine.stats).
+        self._counts = transport.stats.counter_ref()
+        self._stat_keys: dict[str, str] = {}
+        p = prefix
+        self._cat_map_lookup = intern_key(p, "map_lookup")
+        self._cat_read_req = intern_key(p, "read_req")
+        self._cat_write_req = intern_key(p, "write_req")
+        self._cat_grant_ack = intern_key(p, "grant_ack")
+        self._cat_flush = intern_key(p, "flush")
+        # Counters the per-access fast path bumps directly.
+        self._k_read_hit = intern_key(p, "read_hit")
+        self._k_read_miss = intern_key(p, "read_miss")
+        self._k_write_hit = intern_key(p, "write_hit")
+        self._k_write_miss = intern_key(p, "write_miss")
+        self._k_map_hit = intern_key(p, "map_hit")
+        self._k_unmap = intern_key(p, "unmap")
+        # Delay singletons per cost-table entry: the dominant yields of
+        # every access allocate and validate nothing.
+        self._d_create = Delay(costs.create)
+        self._d_map_hit = Delay(costs.map_hit)
+        self._d_map_cold = Delay(costs.map_cold)
+        self._d_unmap = Delay(costs.unmap)
+        self._d_start_hit = Delay(costs.start_hit)
+        self._d_start_miss = Delay(costs.start_miss)
+        self._d_end_op = Delay(costs.end_op)
+        self._d_flush = Delay(costs.flush)
+        # Home-side handlers, as the directory's stable bound methods.
+        self._h_map_lookup = directory._h_map_lookup
+        self._h_read_req = directory._h_read_req
+        self._h_write_req = directory._h_write_req
+        self._h_grant_ack = directory._h_grant_ack
+        self._h_flush = directory._h_flush
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _count(self, event: str, n: int = 1) -> None:
+        key = self._stat_keys.get(event)
+        if key is None:
+            key = self._stat_keys[event] = intern_key(self.prefix, event)
+        self._counts[key] += n
+
+    def _trace_state(self, nid: int, rid: int, state: str) -> None:
+        """Emit a region state transition (callers gate on ``self._obs``)."""
+        self._obs.emit(self._sim.now, "region.state", node=nid, data={"rid": rid, "state": state})
+
+    # ------------------------------------------------------------------
+    # allocation and mapping
+    # ------------------------------------------------------------------
+    def create(self, nid: int, size: int):
+        """Generator: allocate a region homed at ``nid``; returns the rid."""
+        yield self._d_create
+        region = self.regions.alloc(home=nid, size=size)
+        self._entry(region.rid)
+        self.cache.install(nid, region)
+        self._count("create")
+        if self._obs is not None:
+            self._trace_state(nid, region.rid, "home")
+        return region.rid
+
+    def map(self, nid: int, rid: int):
+        """Generator: map ``rid`` on node ``nid``; returns the RegionCopy."""
+        copy = self._copies[nid].get(rid)
+        if copy is not None:
+            yield self._d_map_hit
+            self._counts[self._k_map_hit] += 1
+        else:
+            yield self._d_map_cold
+            region = self.regions.get(rid)
+            if region.home != nid and self.costs.map_needs_lookup:
+                # CRL-style: learn the region's metadata from its home.
+                yield from self._rpc(
+                    nid,
+                    region.home,
+                    self._h_map_lookup,
+                    rid,
+                    payload_words=self.costs.meta_words,
+                    category=self._cat_map_lookup,
+                )
+            copy = self.cache.install(nid, region)
+            self._count("map_cold")
+        copy.meta["map_count"] += 1
+        copy.mapped = True
+        return copy
+
+    def unmap(self, nid: int, copy: RegionCopy):
+        """Generator: unmap; the copy stays cached (unmapped-region cache)."""
+        if copy.meta["map_count"] <= 0:
+            raise ProtocolError(f"unmap of unmapped region {copy.rid} on node {nid}")
+        if copy.meta["read_count"] or copy.meta["write_count"]:
+            raise ProtocolError(f"unmap of region {copy.rid} with open accesses on node {nid}")
+        yield self._d_unmap
+        copy.meta["map_count"] -= 1
+        copy.mapped = copy.meta["map_count"] > 0
+        self._counts[self._k_unmap] += 1
+
+    # ------------------------------------------------------------------
+    # read / write entry points (called from node tasks)
+    # ------------------------------------------------------------------
+    def start_read(self, nid: int, copy: RegionCopy):
+        """Generator: acquire a readable copy (blocks on a miss)."""
+        region = copy.region
+        yield self._d_start_hit
+        # The directory entry is cached on the copy itself (it is
+        # created once per region and never replaced), so the hot path
+        # here (and in the other three access primitives) is a single
+        # dict probe on a dict we need anyway.
+        meta = copy.meta
+        key = self._key
+        ent = meta.get(key)
+        if ent is None:
+            ent = meta[key] = self._entry(region.rid)
+        state = copy.state
+        if state in ("shared", "excl") or (
+            state == "home" and ent.owner is None and not ent.busy
+        ):
+            if state == "home":
+                ent.home_readers += 1
+            meta["read_count"] += 1
+            self._counts[self._k_read_hit] += 1
+            return
+        self._counts[self._k_read_miss] += 1
+        yield self._d_start_miss
+        fut = Future(name=f"read:{region.rid}@{nid}")
+        if nid == region.home:
+            self._h_read_req(self._nodes[nid], nid, fut, region.rid)
+            yield fut
+        else:
+            data = yield from self._rpc(
+                nid,
+                region.home,
+                self._h_read_req,
+                region.rid,
+                payload_words=self.costs.meta_words,
+                category=self._cat_read_req,
+            )
+            np.copyto(copy.data, data)
+            copy.state = "shared"
+            if self._obs is not None:
+                self._trace_state(nid, region.rid, "shared")
+            self._send_grant_ack(nid, region)
+        meta["read_count"] += 1
+
+    def end_read(self, nid: int, copy: RegionCopy):
+        """Generator: release a read; may fire deferred invalidations."""
+        meta = copy.meta
+        if meta["read_count"] <= 0:
+            raise ProtocolError(f"end_read without start_read on region {copy.rid} node {nid}")
+        yield self._d_end_op
+        meta["read_count"] -= 1
+        if copy.state == "home":
+            key = self._key
+            ent = meta.get(key)
+            if ent is None:
+                ent = meta[key] = self._entry(copy.region.rid)
+            ent.home_readers -= 1
+            if ent.home_readers == 0:
+                self._drain(copy.region, ent)
+        elif meta["read_count"] == 0:
+            self._fire_deferred(copy)
+
+    def start_write(self, nid: int, copy: RegionCopy):
+        """Generator: acquire an exclusive copy (blocks until granted)."""
+        region = copy.region
+        yield self._d_start_hit
+        meta = copy.meta
+        key = self._key
+        ent = meta.get(key)
+        if ent is None:
+            ent = meta[key] = self._entry(region.rid)
+        state = copy.state
+        if state == "excl" or (
+            state == "home" and ent.owner is None and not ent.sharers and not ent.busy
+        ):
+            if state == "home":
+                ent.home_writing = True
+            meta["write_count"] += 1
+            self._counts[self._k_write_hit] += 1
+            return
+        self._counts[self._k_write_miss] += 1
+        yield self._d_start_miss
+        fut = Future(name=f"write:{region.rid}@{nid}")
+        if nid == region.home:
+            self._h_write_req(self._nodes[nid], nid, fut, region.rid)
+            yield fut
+        else:
+            data = yield from self._rpc(
+                nid,
+                region.home,
+                self._h_write_req,
+                region.rid,
+                payload_words=self.costs.meta_words,
+                category=self._cat_write_req,
+            )
+            if data is not None:
+                np.copyto(copy.data, data)
+            copy.state = "excl"
+            if self._obs is not None:
+                self._trace_state(nid, region.rid, "excl")
+            self._send_grant_ack(nid, region)
+        meta["write_count"] += 1
+
+    def end_write(self, nid: int, copy: RegionCopy):
+        """Generator: release a write (copy stays dirty-exclusive; lazy write-back)."""
+        meta = copy.meta
+        if meta["write_count"] <= 0:
+            raise ProtocolError(f"end_write without start_write on region {copy.rid} node {nid}")
+        yield self._d_end_op
+        meta["write_count"] -= 1
+        if copy.state == "home":
+            key = self._key
+            ent = meta.get(key)
+            if ent is None:
+                ent = meta[key] = self._entry(copy.region.rid)
+            if meta["write_count"] == 0:
+                ent.home_writing = False
+                self._drain(copy.region, ent)
+        elif meta["write_count"] == 0:
+            self._fire_deferred(copy)
+
+    def flush(self, nid: int, rid: int):
+        """Generator: push/drop the local copy so home data is current.
+
+        Used when a space changes protocol: "changing from the default
+        protocol to any other protocol results in all cached regions
+        being flushed back to their home processors" (§3.1).
+        """
+        copy = self._copies[nid].get(rid)
+        region = self.regions.get(rid)
+        if copy is None or nid == region.home or copy.state == "invalid":
+            return
+        yield self._d_flush
+        dirty = copy.state == "excl"
+        payload = region.size if dirty else self.costs.meta_words
+        data = copy.data.copy() if dirty else None
+        copy.state = "invalid"
+        if self._obs is not None:
+            self._trace_state(nid, rid, "invalid")
+        yield from self._rpc(
+            nid,
+            region.home,
+            self._h_flush,
+            rid,
+            data,
+            payload_words=payload,
+            category=self._cat_flush,
+        )
+        self._count("flush")
+
+    def _send_grant_ack(self, nid: int, region) -> None:
+        self._post(
+            nid,
+            region.home,
+            self._h_grant_ack,
+            region.rid,
+            payload_words=1,
+            category=self._cat_grant_ack,
+        )

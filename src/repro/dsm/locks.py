@@ -7,13 +7,18 @@ home grants in FIFO order, and release is a single message.  A node
 re-acquiring a lock it already holds is a protocol error (the paper's
 model has one user thread per processor, so recursive locking would
 always be a bug).
+
+All communication goes through the coherence core's
+:class:`~repro.dsm.transport.Transport` (the service accepts a machine
+or a transport), so the lock protocol is fabric-agnostic like the rest
+of the core.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
-from repro.machine import Machine
+from repro.dsm.transport import as_transport
 from repro.machine.stats import intern_key
 from repro.memory import RegionDirectory
 from repro.sim import Delay, Future
@@ -37,8 +42,10 @@ class LockService:
 
     LOCK_HANDLER_COST = 25
 
-    def __init__(self, machine: Machine, regions: RegionDirectory, stats_prefix: str = "lock"):
-        self.machine = machine
+    def __init__(self, fabric, regions: RegionDirectory, stats_prefix: str = "lock"):
+        transport = as_transport(fabric)
+        self.transport = transport
+        self.machine = transport.machine
         self.regions = regions
         self.prefix = stats_prefix
         self._key = f"lock:{stats_prefix}"
@@ -49,14 +56,20 @@ class LockService:
         self._cat_req = intern_key(stats_prefix, "req")
         self._cat_rel = intern_key(stats_prefix, "rel")
         self._cat_grant = intern_key(stats_prefix, "grant")
-        self._counts = machine.stats.counter_ref()
+        self._stats = transport.stats
+        self._counts = transport.stats.counter_ref()
+        self._sim = transport.sim
+        self._nodes = transport.nodes
+        self._rpc = transport.rpc
+        self._request = transport.request
+        self._reply = transport.reply
         self._d_handler = Delay(self.LOCK_HANDLER_COST)
         self._h_acquire = self._on_acquire
         self._h_release = self._on_release
         # Observability: lock grant/release events plus a hold-time
         # histogram, measured home-side (grant issued → release
         # received) so both endpoints share one clock.  None when off.
-        tracer = machine.tracer
+        tracer = transport.tracer
         self._obs = tracer.tracer(stats_prefix) if tracer is not None else None
         self._hold_hist = tracer.hist(stats_prefix + ".hold") if tracer is not None else None
         self._grant_at: dict = {}
@@ -74,14 +87,14 @@ class LockService:
         yield self._d_handler
         self._counts[self._k_acquire] += 1
         if self._obs is not None:
-            self._obs.emit(self.machine.sim.now, "lock.request", node=nid, data={"rid": rid})
+            self._obs.emit(self._sim.now, "lock.request", node=nid, data={"rid": rid})
         if nid == region.home:
             # Local fast path still goes through the same grant logic.
             fut = Future(name=f"lock:{rid}@{nid}")
-            self._on_acquire(self.machine.nodes[nid], nid, fut, rid)
+            self._on_acquire(self._nodes[nid], nid, fut, rid)
             yield fut
         else:
-            yield from self.machine.rpc(
+            yield from self._rpc(
                 nid, region.home, self._h_acquire, rid, payload_words=2, category=self._cat_req
             )
 
@@ -91,9 +104,9 @@ class LockService:
         yield self._d_handler
         self._counts[self._k_release] += 1
         if nid == region.home:
-            self._on_release(self.machine.nodes[nid], nid, rid)
+            self._on_release(self._nodes[nid], nid, rid)
         else:
-            yield from self.machine.am_request(
+            yield from self._request(
                 nid, region.home, self._h_release, rid, payload_words=2, category=self._cat_rel
             )
 
@@ -107,7 +120,7 @@ class LockService:
             fut.fail(LockError(f"node {src} re-acquired lock on region {rid}"))
         else:
             st.waiters.append((src, fut))
-            self.machine.stats.count(self._k_contended)
+            self._stats.count(self._k_contended)
 
     def _on_release(self, node, src, rid):
         st = self._state(self.regions.get(rid))
@@ -116,7 +129,7 @@ class LockService:
         if st.holder != src:
             raise LockError(f"node {src} released lock on region {rid} held by {st.holder}")
         if self._obs is not None:
-            now = self.machine.sim.now
+            now = self._sim.now
             held = now - self._grant_at.pop((rid, src), now)
             self._hold_hist.add(held)
             self._obs.emit(now, "lock.release", node=src, data={"rid": rid, "held": held})
@@ -129,11 +142,11 @@ class LockService:
 
     def _grant(self, dst: int, fut, rid) -> None:
         if self._obs is not None:
-            now = self.machine.sim.now
+            now = self._sim.now
             self._grant_at[(rid, dst)] = now
             self._obs.emit(now, "lock.grant", node=dst, data={"rid": rid})
         home = self.regions.get(rid).home
         if dst == home:
             fut.resolve(None)
         else:
-            self.machine.reply(fut, None, payload_words=2, category=self._cat_grant)
+            self._reply(fut, None, payload_words=2, category=self._cat_grant)

@@ -1,0 +1,133 @@
+"""RegionCache: per-node remote-copy state.
+
+The node side of the MSI protocol: which regions each node holds, in
+what state (``invalid``/``shared``/``excl``/``home``), with what open
+access counts, and the invalidation handler that runs when the home
+recalls a copy.  Invalidations arriving while a copy is in use are
+deferred until the matching ``end_read``/``end_write`` — required for
+sequential consistency.
+
+The copy tables are exposed as :attr:`RegionCache.tables` (a list of
+per-node dicts) so the access fast path in
+:class:`~repro.dsm.hooks.ProtocolHooks` can probe them directly — the
+layer boundary adds no indirection on the hit path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsm.costs import DSMCosts
+from repro.dsm.errors import ProtocolError
+from repro.dsm.transport import Transport
+from repro.machine.stats import intern_key
+from repro.memory import Region, RegionCopy, RegionDirectory
+
+
+class RegionCache:
+    """Per-node cached-copy tables and the invalidation receive side."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        regions: RegionDirectory,
+        costs: DSMCosts,
+        prefix: str = "dsm",
+        obs=None,
+    ):
+        self.transport = transport
+        self.regions = regions
+        self.costs = costs
+        self.prefix = prefix
+        # Observability handle (None when tracing is off): shared with
+        # the hooks layer by the composing engine.
+        self._obs = obs
+        #: per-node cache of copies: node id -> {rid: RegionCopy}
+        self.tables: list[dict[int, RegionCopy]] = [dict() for _ in range(transport.n_procs)]
+        self._counts = transport.stats.counter_ref()
+        self._k_inval_deferred = intern_key(prefix, "inval_deferred")
+        self._cat_inval_ack = intern_key(prefix, "inval_ack")
+        self._sim = transport.sim
+        self._post = transport.post
+        self._after = transport.after
+        # Stable bound handler (see DirectoryService).
+        self._h_inval_req = self._on_inval_req
+        # Home-side invalidation-ack handler; see wire_directory.
+        self._h_inval_ack = None
+
+    def wire_directory(self, directory) -> None:
+        """Bind the home-side handler invalidation acks are sent to."""
+        self._h_inval_ack = directory._h_inval_ack
+
+    # ------------------------------------------------------------------
+    # copy management
+    # ------------------------------------------------------------------
+    def copy_of(self, nid: int, rid: int) -> RegionCopy | None:
+        """The node's cached copy of ``rid``, if any (None otherwise)."""
+        return self.tables[nid].get(rid)
+
+    def install(self, nid: int, region: Region) -> RegionCopy:
+        """Create and table a fresh copy of ``region`` on ``nid``.
+
+        The home's copy aliases canonical storage; remote copies start
+        ``invalid`` until the hooks layer fills them.
+        """
+        copy = RegionCopy(region, nid)
+        if region.home == nid:
+            copy.data = region.home_data  # the home's copy aliases canonical storage
+            copy.state = "home"
+        copy.meta["read_count"] = 0
+        copy.meta["write_count"] = 0
+        copy.meta["map_count"] = 0
+        copy.meta["deferred"] = []
+        self.tables[nid][region.rid] = copy
+        return copy
+
+    def _trace_state(self, nid: int, rid: int, state: str) -> None:
+        """Emit a region state transition (callers gate on ``self._obs``)."""
+        self._obs.emit(self._sim.now, "region.state", node=nid, data={"rid": rid, "state": state})
+
+    # ------------------------------------------------------------------
+    # invalidation receive side (handler context)
+    # ------------------------------------------------------------------
+    def _on_inval_req(self, node, src_home, rid, mode):
+        copy = self.tables[node.nid].get(rid)
+        if copy is None:  # pragma: no cover - directory targets only holders
+            raise ProtocolError(f"invalidate for uncached region {rid} at node {node.nid}")
+        if copy.meta["read_count"] or copy.meta["write_count"]:
+            copy.meta["deferred"].append(mode)
+            self._counts[self._k_inval_deferred] += 1
+            return
+        self._apply_inval(copy, mode)
+
+    def _apply_inval(self, copy: RegionCopy, mode: str) -> None:
+        region = copy.region
+        dirty = copy.state == "excl"
+        data = copy.data.copy() if dirty else None
+        if mode == "invalidate":
+            copy.state = "invalid"
+        else:  # downgrade
+            copy.state = "shared" if dirty else copy.state
+        if self._obs is not None:
+            self._trace_state(copy.node, region.rid, copy.state)
+        payload = region.size if dirty else self.costs.meta_words
+        # handler work before the ack leaves the node
+        self._after(
+            self.costs.inval_handler,
+            lambda: self._post(
+                copy.node,
+                region.home,
+                self._h_inval_ack,
+                region.rid,
+                copy.node,
+                mode,
+                data,
+                payload_words=payload,
+                category=self._cat_inval_ack,
+            ),
+        )
+
+    def _fire_deferred(self, copy: RegionCopy) -> None:
+        deferred = copy.meta["deferred"]
+        while deferred:
+            self._apply_inval(copy, deferred.pop(0))

@@ -8,6 +8,7 @@ from typing import Callable, Generator
 
 from repro.core import AceRuntime
 from repro.crl import CRLRuntime
+from repro.dsm import as_transport
 from repro.machine import Machine, MachineConfig
 from repro.sim import Delay, Simulator
 
@@ -26,9 +27,10 @@ class AceBackend:
 
     name = "ace"
 
-    def __init__(self, machine: Machine, **runtime_kwargs):
-        self.machine = machine
-        rt = self.runtime = AceRuntime(machine, **runtime_kwargs)
+    def __init__(self, fabric, **runtime_kwargs):
+        transport = self.transport = as_transport(fabric)
+        self.machine = transport.machine
+        rt = self.runtime = AceRuntime(transport, **runtime_kwargs)
         self.new_space = rt.new_space
         self.gmalloc = rt.gmalloc
         self.change_protocol = rt.change_protocol
@@ -58,10 +60,11 @@ class CRLBackend:
 
     name = "crl"
 
-    def __init__(self, machine: Machine, **runtime_kwargs):
-        self.machine = machine
-        rt = self.runtime = CRLRuntime(machine, **runtime_kwargs)
-        self._space_ctr = [0] * machine.n_procs
+    def __init__(self, fabric, **runtime_kwargs):
+        transport = self.transport = as_transport(fabric)
+        self.machine = transport.machine
+        rt = self.runtime = CRLRuntime(transport, **runtime_kwargs)
+        self._space_ctr = [0] * transport.n_procs
         # Per-access calls bind straight to the CRL runtime (see
         # AceBackend): the facade frame disappears from the hot path.
         self.map = rt.rgn_map

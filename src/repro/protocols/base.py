@@ -106,6 +106,7 @@ class Protocol:
         self.runtime = runtime
         self.space = space
         self.machine = runtime.machine
+        self.transport = runtime.transport
         self.regions = runtime.regions
         # Pre-computed dispatch flag: the access primitives test it on
         # every shared access, so one attribute probe beats two.
@@ -117,7 +118,7 @@ class Protocol:
         return self.spec.name
 
     def _count(self, event: str, n: int = 1) -> None:
-        self.machine.stats.count(f"proto.{self.spec.name}.{event}", n)
+        self.transport.stats.count(f"proto.{self.spec.name}.{event}", n)
 
     # -- lifecycle (collective) ------------------------------------------
     def init_space(self, nid: int):

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.machine import Machine
+from repro.dsm.transport import as_transport
 from repro.sim import Future
 
 
@@ -33,10 +33,17 @@ class AckCollector:
 
     The receiving handler must call :meth:`ack` exactly once per
     delivery (typically via :meth:`ack_handler` posted back).
+
+    Accepts any coherence-core fabric (a machine or a
+    :class:`~repro.dsm.transport.Transport`); messaging goes through
+    the transport's one-way ``post``.
     """
 
-    def __init__(self, machine: Machine, name: str = "acks"):
-        self.machine = machine
+    def __init__(self, fabric, name: str = "acks"):
+        transport = as_transport(fabric)
+        self.transport = transport
+        self.machine = transport.machine
+        self._post = transport.post
         self.name = name
 
     def fan_out(self, src: int, targets, handler, *args, payload_words=0, category=None):
@@ -49,7 +56,7 @@ class AckCollector:
             return done
         state = {"need": len(targets), "done": done}
         for t in targets:
-            self.machine.post(
+            self._post(
                 src,
                 t,
                 handler,
@@ -68,7 +75,7 @@ class AckCollector:
 
     def post_ack(self, src: int, dst: int, state, category=None) -> None:
         """Send the ack message back to the fan-out's origin."""
-        self.machine.post(
+        self._post(
             src,
             dst,
             self._on_ack,

@@ -38,7 +38,7 @@ class BufferedUpdateProtocol(CachedCopyProtocol):
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
-        n = self.machine.n_procs
+        n = self.transport.n_procs
         self._dirty: list[set] = [set() for _ in range(n)]
         self._sharers = SharerDirectory()
         self._versions = VersionTable()
@@ -69,9 +69,9 @@ class BufferedUpdateProtocol(CachedCopyProtocol):
             copy = self._copies[nid][rid]
             data = np.array(copy.data, copy=True)
             if nid == region.home:
-                self._on_update(self.machine.nodes[nid], nid, rid, epoch, data, state)
+                self._on_update(self.transport.nodes[nid], nid, rid, epoch, data, state)
             else:
-                self.machine.post(
+                self.transport.post(
                     nid,
                     region.home,
                     self._on_update,

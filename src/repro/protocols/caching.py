@@ -39,7 +39,7 @@ class CachedCopyProtocol(Protocol):
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
-        self._copies: list[dict[int, RegionCopy]] = [dict() for _ in range(self.machine.n_procs)]
+        self._copies: list[dict[int, RegionCopy]] = [dict() for _ in range(self.transport.n_procs)]
 
     # -- data management ----------------------------------------------
     def create(self, nid: int, size: int):
@@ -60,7 +60,7 @@ class CachedCopyProtocol(Protocol):
         region = self.regions.get(rid)
         copy = self._install(nid, region)
         if nid != region.home:
-            data, extra = yield from self.machine.rpc(
+            data, extra = yield from self.transport.rpc(
                 nid,
                 region.home,
                 self._on_fetch,
@@ -94,7 +94,7 @@ class CachedCopyProtocol(Protocol):
     def _on_fetch(self, node, src, fut, rid):
         region = self.regions.get(rid)
         extra = self._fetch_extra(rid, src)
-        self.machine.reply(
+        self.transport.reply(
             fut,
             (region.home_data.copy(), extra),
             payload_words=region.size,

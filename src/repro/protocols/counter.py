@@ -57,9 +57,9 @@ class CounterProtocol(CachedCopyProtocol):
         yield Delay(8)
         fut = Future(name=f"ctr:{region.rid}@{nid}")
         if nid == region.home:
-            self._on_acquire(self.machine.nodes[nid], nid, fut, region.rid)
+            self._on_acquire(self.transport.nodes[nid], nid, fut, region.rid)
         else:
-            yield from self.machine.am_request(
+            yield from self.transport.request(
                 nid,
                 region.home,
                 self._on_acquire,
@@ -79,9 +79,9 @@ class CounterProtocol(CachedCopyProtocol):
         region = handle.region
         yield Delay(8)
         if nid == region.home:
-            self._on_commit(self.machine.nodes[nid], nid, region.rid, None)
+            self._on_commit(self.transport.nodes[nid], nid, region.rid, None)
         else:
-            yield from self.machine.am_request(
+            yield from self.transport.request(
                 nid,
                 region.home,
                 self._on_commit,
@@ -97,7 +97,7 @@ class CounterProtocol(CachedCopyProtocol):
         if nid == region.home:
             return
         yield Delay(6)
-        data = yield from self.machine.rpc(
+        data = yield from self.transport.rpc(
             nid,
             region.home,
             self._on_read,
@@ -123,7 +123,7 @@ class CounterProtocol(CachedCopyProtocol):
         if src == region.home:
             fut.resolve(None)  # home copy aliases home_data: already current
         else:
-            self.machine.reply(
+            self.transport.reply(
                 fut,
                 region.home_data.copy(),
                 payload_words=region.size,
@@ -143,7 +143,7 @@ class CounterProtocol(CachedCopyProtocol):
 
     def _on_read(self, node, src, fut, rid):
         region = self.regions.get(rid)
-        self.machine.reply(
+        self.transport.reply(
             fut,
             region.home_data.copy(),
             payload_words=region.size,

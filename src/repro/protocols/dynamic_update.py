@@ -65,7 +65,7 @@ class DynamicUpdateProtocol(CachedCopyProtocol):
             self._fan_out(region, data, exclude=nid, done=done)
             yield done
         else:
-            yield from self.machine.rpc(
+            yield from self.transport.rpc(
                 nid,
                 region.home,
                 self._on_update,
@@ -81,7 +81,7 @@ class DynamicUpdateProtocol(CachedCopyProtocol):
         np.copyto(region.home_data, data)
         done = Future(name=f"du:{rid}@home")
         done.add_callback(
-            lambda _: self.machine.reply(
+            lambda _: self.transport.reply(
                 fut, None, payload_words=1, category="proto.DynamicUpdate.update_ack"
             )
         )
@@ -96,7 +96,7 @@ class DynamicUpdateProtocol(CachedCopyProtocol):
             return
         state = {"need": len(targets), "done": done}
         for t in targets:
-            self.machine.post(
+            self.transport.post(
                 region.home,
                 t,
                 self._on_apply,
@@ -112,7 +112,7 @@ class DynamicUpdateProtocol(CachedCopyProtocol):
         if copy is not None:
             np.copyto(copy.data, data)
             copy.state = "valid"
-        self.machine.post(
+        self.transport.post(
             node.nid,
             src,
             self._on_apply_ack,

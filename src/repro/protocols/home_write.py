@@ -66,7 +66,7 @@ class HomeWriteProtocol(CachedCopyProtocol):
         if nid == region.home:
             return
         yield Delay(self.CHECK_COST)
-        current = yield from self.machine.rpc(
+        current = yield from self.transport.rpc(
             nid,
             region.home,
             self._on_check,
@@ -88,10 +88,10 @@ class HomeWriteProtocol(CachedCopyProtocol):
     def _on_check(self, node, src, fut, rid, reader_version):
         version = self._versions.get(rid, 0)
         if version == reader_version:
-            self.machine.reply(fut, None, payload_words=1, category="proto.HomeWrite.ok")
+            self.transport.reply(fut, None, payload_words=1, category="proto.HomeWrite.ok")
         else:
             region = self.regions.get(rid)
-            self.machine.reply(
+            self.transport.reply(
                 fut,
                 (version, region.home_data.copy()),
                 payload_words=region.size,

@@ -18,7 +18,7 @@ call and no other change.
 
 from __future__ import annotations
 
-from repro.dsm import DSMCosts, DirectoryEngine
+from repro.dsm import CoherenceEngine, DSMCosts
 from repro.protocols.base import ProtocolSpec
 from repro.protocols.registry import default_registry
 from repro.protocols.sc_invalidate import SCProtocol
@@ -55,5 +55,5 @@ class HwAssistedSCProtocol(SCProtocol):
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
         self._bind_engine(
-            DirectoryEngine(runtime.machine, runtime.regions, HW_SC_COSTS, stats_prefix="ace.hwsc")
+            CoherenceEngine(runtime.transport, runtime.regions, HW_SC_COSTS, stats_prefix="ace.hwsc")
         )

@@ -44,9 +44,28 @@ class MigratoryProtocol(Protocol):
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
-        self._copies: list[dict[int, RegionCopy]] = [dict() for _ in range(self.machine.n_procs)]
+        self._copies: list[dict[int, RegionCopy]] = [dict() for _ in range(self.transport.n_procs)]
         # home-side: rid -> {"loc": nid, "busy": bool, "queue": deque}
         self._dir: dict[int, dict] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def init_space(self, nid: int):
+        """Adopt pre-existing regions (§3.1): a region handed over in the
+        base state has current home data and no cached copies, so the
+        home seeds itself as the location of the single copy."""
+        for rid in self.space.regions:
+            region = self.regions.get(rid)
+            if region.home != nid or rid in self._dir:
+                continue
+            copy = RegionCopy(region, nid)
+            copy.data = region.home_data
+            copy.state = "valid"
+            copy.meta["use"] = 0
+            copy.meta["deferred"] = []
+            self._copies[nid][rid] = copy
+            self._dir[rid] = {"loc": nid, "busy": False, "queue": deque()}
+        return
+        yield  # pragma: no cover - makes this a generator
 
     # -- data management -------------------------------------------------
     def create(self, nid: int, size: int):
@@ -91,9 +110,9 @@ class MigratoryProtocol(Protocol):
         region = handle.region
         fut = Future(name=f"mig:{region.rid}@{nid}")
         if nid == region.home:
-            self._on_request(self.machine.nodes[nid], nid, fut, region.rid)
+            self._on_request(self.transport.nodes[nid], nid, fut, region.rid)
         else:
-            yield from self.machine.am_request(
+            yield from self.transport.request(
                 nid,
                 region.home,
                 self._on_request,
@@ -145,7 +164,7 @@ class MigratoryProtocol(Protocol):
             fut.resolve(None)
             return
         ent["busy"] = True
-        self.machine.post(
+        self.transport.post(
             region.home,
             holder,
             self._on_recall,
@@ -170,7 +189,7 @@ class MigratoryProtocol(Protocol):
         region = copy.region
         data = np.array(copy.data, copy=True)
         copy.state = "invalid"
-        self.machine.post(
+        self.transport.post(
             copy.node,
             dest,
             self._on_data,
@@ -181,7 +200,7 @@ class MigratoryProtocol(Protocol):
             category="proto.Migratory.data",
         )
         # tell home the new location
-        self.machine.post(
+        self.transport.post(
             copy.node,
             region.home,
             self._on_moved,

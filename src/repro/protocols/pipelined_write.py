@@ -50,9 +50,9 @@ class PipelinedWriteProtocol(CachedCopyProtocol):
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
-        self._phase = [0] * self.machine.n_procs
-        self._outstanding = [0] * self.machine.n_procs
-        self._drain_futs: list[Future | None] = [None] * self.machine.n_procs
+        self._phase = [0] * self.transport.n_procs
+        self._outstanding = [0] * self.transport.n_procs
+        self._drain_futs: list[Future | None] = [None] * self.transport.n_procs
 
     # -- reads: revalidate once per phase ---------------------------------
     def start_read(self, nid: int, handle):
@@ -66,7 +66,7 @@ class PipelinedWriteProtocol(CachedCopyProtocol):
         if handle.meta.get("phase") == self._phase[nid]:
             return
         yield Delay(4)
-        data = yield from self.machine.rpc(
+        data = yield from self.transport.rpc(
             nid,
             region.home,
             self._on_refetch,
@@ -80,7 +80,7 @@ class PipelinedWriteProtocol(CachedCopyProtocol):
 
     def _on_refetch(self, node, src, fut, rid):
         region = self.regions.get(rid)
-        self.machine.reply(
+        self.transport.reply(
             fut,
             region.home_data.copy(),
             payload_words=region.size,
@@ -127,7 +127,7 @@ class PipelinedWriteProtocol(CachedCopyProtocol):
             region.home_data += delta
             self._ack(nid)
         else:
-            yield from self.machine.am_request(
+            yield from self.transport.request(
                 nid,
                 region.home,
                 self._on_delta,
@@ -141,7 +141,7 @@ class PipelinedWriteProtocol(CachedCopyProtocol):
     def _on_delta(self, node, src, rid, delta, writer):
         region = self.regions.get(rid)
         region.home_data += delta
-        self.machine.post(
+        self.transport.post(
             node.nid,
             writer,
             self._on_delta_ack,

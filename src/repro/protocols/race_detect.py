@@ -46,7 +46,7 @@ class RaceDetectProtocol(CachedCopyProtocol):
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
-        n = self.machine.n_procs
+        n = self.transport.n_procs
         self._epoch = [0] * n
         # per node: rid -> {"r": bool, "w": bool}
         self._touched: list[dict] = [dict() for _ in range(n)]
@@ -65,7 +65,7 @@ class RaceDetectProtocol(CachedCopyProtocol):
         # revalidate once per epoch (data pushed at the previous barrier)
         if handle.meta.get("epoch") != self._epoch[nid] and handle.region.home != nid:
             yield Delay(4)
-            data = yield from self.machine.rpc(
+            data = yield from self.transport.rpc(
                 nid,
                 handle.region.home,
                 self._on_refetch,
@@ -89,7 +89,7 @@ class RaceDetectProtocol(CachedCopyProtocol):
 
     def _on_refetch(self, node, src, fut, rid):
         region = self.regions.get(rid)
-        self.machine.reply(
+        self.transport.reply(
             fut,
             region.home_data.copy(),
             payload_words=region.size,
@@ -118,10 +118,10 @@ class RaceDetectProtocol(CachedCopyProtocol):
                     payload += region.size
             if nid == region.home:
                 self._on_summary(
-                    self.machine.nodes[nid], nid, rid, epoch, rec["r"], rec["w"], handle_data, state
+                    self.transport.nodes[nid], nid, rid, epoch, rec["r"], rec["w"], handle_data, state
                 )
             else:
-                self.machine.post(
+                self.transport.post(
                     nid,
                     region.home,
                     self._on_summary,
@@ -183,7 +183,7 @@ class RaceDetectProtocol(CachedCopyProtocol):
         for region, targets in pushes:
             data = region.home_data.copy()
             for t in targets:
-                self.machine.post(
+                self.transport.post(
                     nid,
                     t,
                     self._on_push,
@@ -199,7 +199,7 @@ class RaceDetectProtocol(CachedCopyProtocol):
         copy = self._copies[node.nid].get(rid)
         if copy is not None:
             np.copyto(copy.data, data)
-        self.machine.post(
+        self.transport.post(
             node.nid, src, self._on_push_ack, state, payload_words=1,
             category="proto.RaceDetect.push_ack",
         )

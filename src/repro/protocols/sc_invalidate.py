@@ -3,7 +3,7 @@
 This is what every space runs until the programmer opts into something
 else (§3.1: "the default space ... provides a sequentially consistent
 invalidation-based protocol").  It delegates to the shared
-:class:`~repro.dsm.engine.DirectoryEngine` instantiated with the Ace
+:class:`~repro.dsm.coherence.CoherenceEngine` instantiated with the Ace
 cost table — the "careful redesign of the sequential consistency
 protocol" of §5.1.
 

@@ -52,7 +52,7 @@ class StaticUpdateProtocol(CachedCopyProtocol):
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
         self._sharers: dict[int, set[int]] = {}
-        self._dirty: list[set[int]] = [set() for _ in range(self.machine.n_procs)]
+        self._dirty: list[set[int]] = [set() for _ in range(self.transport.n_procs)]
 
     def _fetch_extra(self, rid: int, src: int):
         self._sharers.setdefault(rid, set()).add(src)
@@ -87,7 +87,7 @@ class StaticUpdateProtocol(CachedCopyProtocol):
                 data = region.home_data.copy()
                 self._count("push", len(targets))
                 for t in targets:
-                    self.machine.post(
+                    self.transport.post(
                         nid,
                         t,
                         self._on_push,
@@ -106,7 +106,7 @@ class StaticUpdateProtocol(CachedCopyProtocol):
         if copy is not None:
             np.copyto(copy.data, data)
             copy.state = "valid"
-        self.machine.post(
+        self.transport.post(
             node.nid,
             src,
             self._on_push_ack,

@@ -6,10 +6,13 @@
 * compilation is deterministic (same source → same IR listing).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compiler import OPT_BASE, OPT_DIRECT, OPT_LI, OPT_LI_MC, compile_source, run_compiled
+
+pytestmark = pytest.mark.slow  # hypothesis sweeps: tier-2
 
 
 # -- random arithmetic expressions ------------------------------------

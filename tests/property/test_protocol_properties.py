@@ -8,11 +8,14 @@ Two classic DSM invariants, driven by randomized SPMD schedules:
   write (sequential consistency across phases).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.facade import run_spmd
 from repro.sim import Delay
+
+pytestmark = pytest.mark.slow  # hypothesis sweeps: tier-2
 
 schedules = st.lists(
     st.lists(st.integers(min_value=0, max_value=400), min_size=1, max_size=5),

@@ -1,9 +1,12 @@
 """Property-based tests: the kernel is deterministic and conservative."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim import Delay, Future, Simulator
+
+pytestmark = pytest.mark.slow  # hypothesis sweeps: tier-2
 
 # a task spec: list of delay values; tasks also touch a shared counter
 task_specs = st.lists(

@@ -1,0 +1,123 @@
+"""Protocol conformance matrix: flush-to-base round trips for EVERY
+registered protocol.
+
+§3.1 defines ``Ace_ChangeProtocol`` in terms of a base state — the old
+protocol flushes so "all cached regions [are] flushed back to their
+home processors" — and any protocol must be able both to *reach* that
+state (flush) and to *start from* it (init after adoption).  The
+matrix drives each registered protocol through a full round trip
+
+    P  →  partner  →  P
+
+with a remote write under ``P`` before the first switch, and checks
+
+* region contents survive both switches (every node reads the written
+  values under the partner *and* again after returning to ``P``), and
+* the shared SC coherence core is left in the directory base state
+  whenever a switch flushes it: no owner, no sharers, no home access
+  in progress, no busy grant window, empty request queue, and no
+  node-side copy left valid (home aside).
+
+The directory check uses the layered core's introspection surface
+(:meth:`~repro.dsm.directory.DirectoryService.entry_at`,
+:meth:`~repro.dsm.regioncache.RegionCache.copy_of`) — non-creating
+lookups, so the probe itself cannot disturb the state it inspects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.facade import run_spmd
+from repro.protocols.registry import default_registry
+
+N_PROCS = 2
+VALUES = [4.0, 2.0]
+
+#: protocols whose write path assumes the writer is the home node
+HOME_WRITER = {"Null", "StaticUpdate", "HomeWrite"}
+
+
+def _writer(protocol: str) -> int:
+    return 0 if protocol in HOME_WRITER else 1
+
+
+def _partner(protocol: str) -> str:
+    # The round trip pivots through the default SC protocol; SC itself
+    # pivots through StaticUpdate (a same-name change is a no-op).
+    return "SC" if protocol != "SC" else "StaticUpdate"
+
+
+def _base_state_violations(engine, rid: int, n_procs: int, label: str) -> list:
+    """Non-creating probe of one coherence engine's state for ``rid``."""
+    bad = []
+    directory = engine.directory
+    ent = directory.entry_at(directory.shard_of(rid), rid)
+    if ent is not None:
+        if ent.owner is not None:
+            bad.append((label, "owner", ent.owner))
+        if ent.sharers:
+            bad.append((label, "sharers", sorted(ent.sharers)))
+        if ent.home_readers or ent.home_writing:
+            bad.append((label, "home access open", (ent.home_readers, ent.home_writing)))
+        if ent.busy or ent.pending is not None:
+            bad.append((label, "grant/recall in flight", (ent.busy, ent.pending)))
+        if ent.queue:
+            bad.append((label, "queued requests", len(ent.queue)))
+    home = engine.regions.get(rid).home
+    for nid in range(n_procs):
+        copy = engine.cache.copy_of(nid, rid)
+        if copy is not None and nid != home and copy.state != "invalid":
+            bad.append((label, f"copy live at node {nid}", copy.state))
+    return bad
+
+
+@pytest.mark.parametrize("protocol", default_registry.names())
+def test_change_protocol_round_trip(protocol):
+    partner = _partner(protocol)
+    writer = _writer(protocol)
+    boxes: dict = {}
+    violations: list = []
+
+    def prog(ctx):
+        sid = yield from ctx.new_space(protocol)
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, len(VALUES))
+        yield from ctx.barrier()
+        rid = boxes["rid"]
+        h = yield from ctx.map(rid)
+        if ctx.nid == writer:
+            yield from ctx.start_write(h)
+            h.data[:] = VALUES
+            yield from ctx.end_write(h)
+        yield from ctx.barrier(sid)
+
+        yield from ctx.change_protocol(sid, partner)  # P flushes to base
+        if ctx.nid == 0 and protocol == "SC":
+            rt = ctx.backend.runtime
+            violations.extend(
+                _base_state_violations(rt.sc_engine, rid, ctx.n_procs, "after SC flush")
+            )
+        h2 = yield from ctx.map(rid)
+        mid = yield from ctx.read_region(h2)
+        yield from ctx.unmap(h2)
+        yield from ctx.barrier(sid)
+
+        yield from ctx.change_protocol(sid, protocol)  # partner flushes back
+        if ctx.nid == 0 and partner == "SC":
+            rt = ctx.backend.runtime
+            violations.extend(
+                _base_state_violations(rt.sc_engine, rid, ctx.n_procs, "after partner flush")
+            )
+        h3 = yield from ctx.map(rid)
+        back = yield from ctx.read_region(h3)
+        return list(mid), list(back)
+
+    res = run_spmd(prog, backend="ace", n_procs=N_PROCS)
+    assert violations == []
+    for nid, (mid, back) in enumerate(res.results):
+        assert mid == VALUES, f"node {nid} read {mid} under {partner} after {protocol} flush"
+        assert back == VALUES, f"node {nid} read {back} back under {protocol}"
+    # After both flushes the home copy is the region's base data.
+    region = res.backend.runtime.regions.get(boxes["rid"])
+    assert list(region.home_data) == VALUES

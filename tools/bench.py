@@ -24,6 +24,10 @@ files with ``--baseline``::
 
 ``--smoke`` runs a single small workload (TSP on 2 nodes) — enough to
 prove the harness and the JSON schema work without burning CI minutes.
+Combined with ``--baseline BENCH_seed.json --gate`` it is CI's
+regression gate: simulated cycles must be bit-identical to the seed,
+and the deterministic kernel-event count (plus a coarse wall-clock
+backstop) must not regress.
 
 The harness tolerates kernels that predate the ``Simulator.events``
 counter (it records ``events: null``), so it can be pointed at an old
@@ -160,11 +164,25 @@ def run_bench(suites: list[str], n_procs: int, smoke: bool = False) -> dict:
     return report
 
 
-def compare(report: dict, baseline: dict) -> list[str]:
+def compare(
+    report: dict,
+    baseline: dict,
+    gate: bool = False,
+    events_tolerance: float = 1.05,
+    wall_factor: float = 3.0,
+) -> list[str]:
     """Human-readable speedup lines for suites present in both reports.
 
     Simulated-cycle rows must match exactly — a kernel change that
     alters them is a correctness bug, and the comparison says so.
+
+    With ``gate=True`` the lines also flag performance regressions:
+
+    * ``events`` (kernel steps; deterministic and host-independent, so
+      it is the meaningful "no worse" signal) may not grow past
+      ``events_tolerance`` × baseline;
+    * ``wall_s`` may not exceed ``wall_factor`` × baseline — a gross
+      backstop only, since baselines travel across hosts.
     """
     lines = []
     for name, cur in report["suites"].items():
@@ -173,10 +191,19 @@ def compare(report: dict, baseline: dict) -> list[str]:
             continue
         speedup = base["wall_s"] / cur["wall_s"] if cur["wall_s"] else float("inf")
         cycles_ok = base["rows"] == cur["rows"]
-        lines.append(
+        line = (
             f"{name}: {base['wall_s']:.3f}s -> {cur['wall_s']:.3f}s "
             f"({speedup:.2f}x)  cycles {'identical' if cycles_ok else 'DIFFER (BUG)'}"
         )
+        if gate:
+            base_ev, cur_ev = base.get("events"), cur.get("events")
+            if base_ev and cur_ev and cur_ev > base_ev * events_tolerance:
+                line += f"  events {base_ev} -> {cur_ev} REGRESSED"
+            if base["wall_s"] and cur["wall_s"] > base["wall_s"] * wall_factor:
+                line += f"  wall REGRESSED (> {wall_factor:.1f}x baseline)"
+        lines.append(line)
+    if gate and not lines:
+        lines.append("no suites in common with baseline: REGRESSED (gate has nothing to check)")
     return lines
 
 
@@ -211,6 +238,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="run fig7a off+on tracing, report wall delta, check cycles identical")
     parser.add_argument("--out", type=Path, default=None, help="output path (default BENCH_<stamp>.json)")
     parser.add_argument("--baseline", type=Path, default=None, help="earlier BENCH_*.json to compare against")
+    parser.add_argument("--gate", action="store_true",
+                        help="fail on perf regressions vs --baseline, not just cycle mismatches")
     args = parser.parse_args(argv)
 
     if args.trace_overhead:
@@ -230,11 +259,11 @@ def main(argv: list[str] | None = None) -> int:
             + (f", {eps} events/s" if eps else "")
         )
     if baseline is not None:
-        lines = compare(report, baseline)
+        lines = compare(report, baseline, gate=args.gate)
         print(f"vs {args.baseline}:")
         for line in lines:
             print("  " + line)
-        if any("DIFFER" in line for line in lines):
+        if any("DIFFER" in line or "REGRESSED" in line for line in lines):
             return 1
     return 0
 

@@ -43,8 +43,9 @@ def summary_rows(label: tuple[str, str], summary: dict) -> list:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--apps", nargs="+", default=["EM3D", "TSP"],
-                        help="bench apps to record (default: EM3D TSP)")
+    parser.add_argument("--apps", nargs="+",
+                        default=["Barnes-Hut", "BSC", "EM3D", "TSP", "Water"],
+                        help="bench apps to record (default: all five)")
     parser.add_argument("--variants", nargs="+", default=["SC", "custom"],
                         help="protocol variants: SC, custom; EM3D also dynamic, static")
     parser.add_argument("--backend", default="ace", choices=["ace", "crl"])
