@@ -22,6 +22,15 @@ The core is layered (DESIGN.md §8): :class:`~repro.dsm.transport.Transport`
 from repro.dsm.costs import DSMCosts, ACE_SC_COSTS, CRL_COSTS
 from repro.dsm.errors import ProtocolError
 from repro.dsm.transport import SimTransport, Transport, as_transport
+from repro.dsm.faults import (
+    FaultPlan,
+    FaultTransport,
+    LinkFaults,
+    OneShot,
+    RetryPolicy,
+    StallError,
+    StallReport,
+)
 from repro.dsm.directory import DirEntry, DirectoryService
 from repro.dsm.regioncache import RegionCache
 from repro.dsm.hooks import ProtocolHooks
@@ -38,11 +47,18 @@ __all__ = [
     "DirEntry",
     "DirectoryEngine",
     "DirectoryService",
+    "FaultPlan",
+    "FaultTransport",
+    "LinkFaults",
     "LockService",
+    "OneShot",
     "ProtocolError",
     "ProtocolHooks",
     "RegionCache",
+    "RetryPolicy",
     "SimTransport",
+    "StallError",
+    "StallReport",
     "Transport",
     "as_transport",
 ]

@@ -45,6 +45,24 @@ class BarrierService:
         tracer = transport.tracer
         self._obs = tracer.tracer("barrier") if tracer is not None else None
         self._epochs = [0] * n
+        if not transport.reliable:
+            self._install_reliable(transport)
+
+    def _install_reliable(self, transport) -> None:
+        """Ack'd dissemination rounds for a lossy fabric.
+
+        Each notify becomes a retried, sequence-numbered round trip: a
+        dropped notify would park its receiver forever, and a duplicate
+        would over-count a round's flag and release a *future* barrier
+        early.  The hardware path needs nothing — the control network
+        is reliable by construction.
+        """
+        from repro.dsm.faults import SeenOnce
+
+        self._notify_seen = SeenOnce()
+        self._reply = transport.reply
+        self._request = transport.kit.rpc
+        self._on_notify = self._on_notify_r
 
     def wait(self, nid: int):
         """Generator: block until all ``n_procs`` nodes have arrived."""
@@ -77,10 +95,17 @@ class BarrierService:
             obs.emit(self._sim.now, "barrier.release", node=nid, data={"epoch": epoch})
 
     def _on_notify(self, node, src, r):
-        nid = node.nid
+        self._notify(node.nid, r)
+
+    def _notify(self, nid: int, r: int) -> None:
         fut = self._waiting[r][nid]
         if fut is not None:
             self._waiting[r][nid] = None
             fut.resolve(None)
         else:
             self._flags[r][nid] += 1
+
+    def _on_notify_r(self, node, src, fut, r, seq=None):
+        if self._notify_seen.first(src, seq):
+            self._notify(node.nid, r)
+        self._reply(fut, None, payload_words=1, category="barrier.notify_ack")

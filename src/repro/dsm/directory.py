@@ -23,6 +23,7 @@ into the node side only through the invalidation handler wired in by
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 
 import numpy as np
 
@@ -92,6 +93,35 @@ class DirectoryService:
         self._h_flush = self._on_flush
         # Node-side invalidation handler; see wire_cache.
         self._h_inval_req = None
+        if not transport.reliable:
+            self._install_reliable(transport)
+
+    def _install_reliable(self, transport) -> None:
+        """Swap in retry/dedup variants for an at-least-once fabric.
+
+        Same construction-time idiom as the machine's traced paths: on
+        a reliable transport none of this runs and the handlers above
+        stay bound untouched.  Requests arrive sequence-numbered (the
+        sender's :class:`~repro.dsm.faults.RetryKit` retransmits until
+        the reply lands); the :class:`~repro.dsm.faults.DedupTable`
+        admits each ``(src, seq)`` once and replays recorded replies to
+        late duplicates, so handler side effects stay exactly-once.
+        """
+        from repro.dsm.faults import DedupTable, SeenOnce
+
+        self._kit = transport.kit
+        self._dedup = DedupTable(transport, self.prefix)
+        self._reply_raw = transport.reply
+        self._reply = self._dedup.reply
+        self._ga_seen = SeenOnce()
+        self._cat_ga_ack = intern_key(self.prefix, "grant_ack_ack")
+        self._h_map_lookup = self._on_map_lookup_r
+        self._h_read_req = self._on_read_req_r
+        self._h_write_req = self._on_write_req_r
+        self._h_grant_ack = self._on_grant_ack_r
+        self._h_flush = self._on_flush_r
+        self._begin_recall = self._begin_recall_r
+        transport.watchdog.register_directory(self)
 
     def wire_cache(self, cache) -> None:
         """Bind the node-side invalidation handler recalls are sent to."""
@@ -210,6 +240,40 @@ class DirectoryService:
         self._drain(region, ent)
 
     # ------------------------------------------------------------------
+    # reliable variants (installed over the handlers above when the
+    # transport may drop/duplicate/reorder; see _install_reliable)
+    # ------------------------------------------------------------------
+    def _on_map_lookup_r(self, node, src, fut, rid, seq=None):
+        # Idempotent (pure metadata read): re-execution re-replies and
+        # the sender's resolve-once gate keeps only the first.
+        self._on_map_lookup(node, src, fut, rid)
+
+    def _on_read_req_r(self, node, src, fut, rid, seq=None):
+        if self._dedup.admit(src, seq, fut):
+            self._on_read_req(node, src, fut, rid)
+
+    def _on_write_req_r(self, node, src, fut, rid, seq=None):
+        if self._dedup.admit(src, seq, fut):
+            self._on_write_req(node, src, fut, rid)
+
+    def _on_flush_r(self, node, src, fut, rid, data, seq=None):
+        # A retried flush must never re-execute: the home may have
+        # granted ownership onward, and replaying the stale writeback
+        # would clobber newer home data.
+        if self._dedup.admit(src, seq, fut):
+            self._on_flush(node, src, fut, rid, data)
+
+    def _on_grant_ack_r(self, node, src, fut, rid, seq=None):
+        # Clearing busy twice could release a *later* grant's window,
+        # so duplicates ack without touching the entry.
+        if self._ga_seen.first(src, seq):
+            region = self.regions.get(rid)
+            ent = self.entry(rid)
+            ent.busy = False
+            self._drain(region, ent)
+        self._reply_raw(fut, None, payload_words=1, category=self._cat_ga_ack)
+
+    # ------------------------------------------------------------------
     # recall / invalidation fan-out
     # ------------------------------------------------------------------
     def _begin_recall(self, region, ent, kind, src, fut, targets) -> None:
@@ -227,7 +291,29 @@ class DirectoryService:
                 category=self._cat_inval,
             )
 
+    def _begin_recall_r(self, region, ent, kind, src, fut, targets) -> None:
+        # Reliable fan-out: each invalidation is an ack'd RetryKit send;
+        # the node-side cache acks exactly once per logical request
+        # (dedup there), so each callback below fires exactly once.
+        ent.busy = True
+        ent.pending = {"kind": kind, "src": src, "fut": fut, "need": len(targets)}
+        self._counts[self._k_recall] += 1
+        for target, mode in targets:
+            self._kit.post(
+                region.home,
+                target,
+                self._h_inval_req,
+                region.rid,
+                mode,
+                payload_words=self.costs.meta_words,
+                category=self._cat_inval,
+                on_ack=partial(self._apply_inval_ack, region.rid, target, mode),
+            )
+
     def _on_inval_ack(self, node, src, rid, target, mode, data):
+        self._apply_inval_ack(rid, target, mode, data)
+
+    def _apply_inval_ack(self, rid, target, mode, data):
         region = self.regions.get(rid)
         ent = self.entry(rid)
         if data is not None:
@@ -270,3 +356,41 @@ class DirectoryService:
             if not self._admit(kind, src, fut, region, ent):
                 break
             ent.queue.popleft()
+
+    # ------------------------------------------------------------------
+    # introspection (liveness watchdog / StallReport)
+    # ------------------------------------------------------------------
+    def dump_state(self) -> list:
+        """Non-quiescent directory entries, as JSON-friendly dicts.
+
+        An entry is interesting to a stall report when it is busy, has
+        queued requests, or is mid-recall — idle entries (the vast
+        majority) are omitted.
+        """
+        out = []
+        for shard in self._shards:
+            for rid, ent in shard.items():
+                if not (ent.busy or ent.queue or ent.pending is not None):
+                    continue
+                pending = None
+                if ent.pending is not None:
+                    pending = {
+                        "kind": ent.pending["kind"],
+                        "src": ent.pending["src"],
+                        "awaiting_acks": ent.pending["need"],
+                    }
+                out.append(
+                    {
+                        "prefix": self.prefix,
+                        "rid": rid,
+                        "home": self.regions.get(rid).home,
+                        "busy": ent.busy,
+                        "owner": ent.owner,
+                        "sharers": sorted(ent.sharers),
+                        "home_readers": ent.home_readers,
+                        "home_writing": ent.home_writing,
+                        "queued": [(kind, src) for kind, src, _ in ent.queue],
+                        "pending": pending,
+                    }
+                )
+        return out

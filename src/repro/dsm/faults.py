@@ -1,0 +1,776 @@
+"""Deterministic fault injection and reliable delivery for the coherence core.
+
+The paper's runtime assumes a perfectly reliable Active-Messages
+fabric (CM-5 CMAML), so every protocol in the library silently depends
+on exactly-once, in-order delivery.  This module cashes in the
+transport layer's promise that "a recording/fault-injecting shim slots
+in by providing the same eight operations":
+
+:class:`FaultPlan`
+    A seeded, fully deterministic description of what goes wrong:
+    per-category and per-link drop/duplicate/delay rates, node
+    crash-stop and stall windows, permanently dead links, and targeted
+    one-shot faults.  Same plan + same message stream → same faults,
+    always — a chaos failure replays from its plan alone.
+:class:`FaultTransport`
+    A :class:`~repro.dsm.transport.Transport` wrapping the simulated
+    machine that applies a fault plan at the injection point.  It sets
+    ``reliable = False``, which makes every protocol layer install its
+    retry/dedup variants at construction (the same instance-attribute
+    swap idiom as the machine's traced paths — with faults off no
+    ``FaultTransport`` exists and the fast paths are untouched).
+:class:`RetryKit`
+    Sequence-numbered at-least-once delivery: reliable RPC and ack'd
+    one-way sends with timeout/retry/exponential backoff.  Receivers
+    dedup on ``(src, seq)`` (see :class:`DedupTable`), so at-least-once
+    transport stays semantically exactly-once.
+:class:`LivenessWatchdog` / :class:`StallReport` / :class:`StallError`
+    Retry exhaustion converts a silent stall into a structured report:
+    blocked tasks with their wait reasons, every in-flight reliable
+    call (category, link, region, attempts), and the non-quiescent
+    directory state.  :class:`StallError` extends
+    :class:`~repro.sim.errors.DeadlockError`, so harnesses that catch
+    deadlocks catch stalls too.
+
+Modeling notes
+--------------
+* **Crash-stop** is modeled at the fabric: from the crash cycle on,
+  every message from or to the crashed node is dropped.  The node's
+  task keeps running locally (the kernel cannot kill a generator
+  mid-yield), but it can no longer be heard — the usual fail-stop
+  abstraction for a machine whose network interface died.
+* **The control network stays reliable.**  ``hw_barrier`` models the
+  CM-5's dedicated barrier network, which had its own flow control;
+  faults apply to the data network only.
+* **Replies** carry no explicit source/destination (the future is the
+  address), so only category-default fault rates apply to them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from functools import partial
+from random import Random
+
+from repro.dsm.transport import Transport, as_transport
+from repro.machine.stats import intern_key
+from repro.sim.errors import DeadlockError
+from repro.sim.future import _UNSET, Future
+
+_NEVER = float("inf")
+_NO_FAULT = (0,)  # shared verdict: one delivery, no extra delay
+_DEFER = object()  # sentinel: invalidation seen but deferred (no ack yet)
+
+#: Cap on the in-memory fault log (counters keep exact totals beyond it).
+_LOG_CAP = 65536
+
+
+# ---------------------------------------------------------------------------
+# fault plans
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LinkFaults:
+    """Fault rates for one link/category: probabilities per message."""
+
+    drop: float = 0.0
+    dup: float = 0.0
+    delay: float = 0.0
+    delay_cycles: int = 1500  # max extra cycles a delayed message waits
+
+    @property
+    def any(self) -> bool:
+        return bool(self.drop or self.dup or self.delay)
+
+
+@dataclass(frozen=True)
+class OneShot:
+    """A targeted fault: fires on the nth message matching the filter.
+
+    ``None`` filter fields match anything; ``action`` is ``"drop"``,
+    ``"dup"``, or ``"delay"`` (``delay_cycles`` extra).
+    """
+
+    action: str
+    category: str | None = None
+    src: int | None = None
+    dst: int | None = None
+    nth: int = 1
+    delay_cycles: int = 1000
+
+    def __post_init__(self):
+        if self.action not in ("drop", "dup", "delay"):
+            raise ValueError(f"unknown one-shot action {self.action!r}")
+        if self.nth < 1:
+            raise ValueError(f"one-shot nth must be >= 1, got {self.nth}")
+
+
+@dataclass
+class FaultPlan:
+    """Everything that will go wrong, decided by ``seed`` alone.
+
+    The plan's RNG is consumed in message-send order; the simulation
+    itself is deterministic, so the whole faulted run is a pure
+    function of (program, plan).
+    """
+
+    seed: int = 0
+    default: LinkFaults = field(default_factory=LinkFaults)
+    per_category: dict = field(default_factory=dict)  # category -> LinkFaults
+    per_link: dict = field(default_factory=dict)  # (src, dst) -> LinkFaults
+    crashes: dict = field(default_factory=dict)  # node -> crash-stop cycle
+    stalls: dict = field(default_factory=dict)  # node -> (start, end, extra_delay)
+    link_down: dict = field(default_factory=dict)  # (src, dst) -> dead-from cycle
+    one_shots: list = field(default_factory=list)  # [OneShot, ...]
+
+    # -- stock plans ----------------------------------------------------
+    @classmethod
+    def none(cls, seed: int = 0) -> "FaultPlan":
+        """A plan that injects nothing (useful as a sweep baseline)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def canonical(cls, seed: int) -> "FaultPlan":
+        """The chaos harness's standard drop/duplicate/reorder mix."""
+        return cls(seed=seed, default=LinkFaults(drop=0.02, dup=0.02, delay=0.05))
+
+    @classmethod
+    def drop_retry(cls, seed: int, drop: float = 0.05) -> "FaultPlan":
+        """Drops only: the smallest plan that exercises every retry path."""
+        return cls(seed=seed, default=LinkFaults(drop=drop))
+
+    @classmethod
+    def dead_link(cls, src: int, dst: int, at: int = 0, seed: int = 0) -> "FaultPlan":
+        """A permanently silent link from cycle ``at`` on (stall test)."""
+        return cls(seed=seed, link_down={(src, dst): at})
+
+    # -- serialization (chaos artifacts) --------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "default": asdict(self.default),
+            "per_category": {cat: asdict(lf) for cat, lf in self.per_category.items()},
+            "per_link": {f"{s}->{d}": asdict(lf) for (s, d), lf in self.per_link.items()},
+            "crashes": {str(n): c for n, c in self.crashes.items()},
+            "stalls": {str(n): list(w) for n, w in self.stalls.items()},
+            "link_down": {f"{s}->{d}": c for (s, d), c in self.link_down.items()},
+            "one_shots": [asdict(s) for s in self.one_shots],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def describe(self) -> str:
+        d = self.default
+        bits = [f"seed={self.seed}", f"drop={d.drop}", f"dup={d.dup}", f"delay={d.delay}"]
+        for name in ("per_category", "per_link", "crashes", "stalls", "link_down", "one_shots"):
+            val = getattr(self, name)
+            if val:
+                bits.append(f"{name}={len(val)}")
+        return "FaultPlan(" + ", ".join(bits) + ")"
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/backoff schedule for reliable calls.
+
+    The timeout doubles per attempt up to ``max_timeout``; after
+    ``max_attempts`` unacknowledged sends the watchdog trips and the
+    run terminates with a :class:`StallError`.  The defaults give a
+    total patience of several hundred thousand cycles — far beyond any
+    legitimate wait in the benched apps — so a trip means a genuinely
+    dead peer or link, not a slow one.
+    """
+
+    timeout: int = 6000
+    max_timeout: int = 96000
+    max_attempts: int = 12
+
+    def timeout_for(self, attempt: int) -> int:
+        t = self.timeout << (attempt - 1)
+        return t if t < self.max_timeout else self.max_timeout
+
+
+# ---------------------------------------------------------------------------
+# stall reporting
+# ---------------------------------------------------------------------------
+@dataclass
+class StallReport:
+    """Structured picture of a stalled run (what a hang looks like inside).
+
+    ``blocked_tasks`` holds the kernel's :class:`~repro.sim.kernel.Task`
+    objects; ``tasks``/``in_flight``/``directory`` are plain dicts safe
+    to JSON-serialize into CI artifacts.
+    """
+
+    now: int
+    reason: str
+    blocked_tasks: list
+    tasks: list  # [{"task": name, "waiting_on": future name}, ...]
+    in_flight: list  # [{"category", "src", "dst", "region", "attempts", ...}, ...]
+    directory: list  # non-quiescent DirEntry dumps
+
+    def summary(self) -> str:
+        lines = [f"stall at cycle {self.now}: {self.reason}"]
+        if self.tasks:
+            lines.append(
+                "blocked: "
+                + "; ".join(f"{t['task']} waiting on {t['waiting_on']}" for t in self.tasks)
+            )
+        for call in self.in_flight:
+            region = "" if call.get("region") is None else f" region {call['region']}"
+            lines.append(
+                f"in flight: {call['category']} node {call['src']} -> "
+                f"home {call['dst']}{region}, {call['attempts']} attempts "
+                f"over {call['age']} cycles"
+            )
+        for ent in self.directory:
+            lines.append(
+                f"directory[{ent['prefix']}]: region {ent['rid']} home {ent['home']} "
+                f"busy={ent['busy']} owner={ent['owner']} sharers={ent['sharers']} "
+                f"queued={ent['queued']} pending={ent['pending']}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "now": self.now,
+            "reason": self.reason,
+            "tasks": self.tasks,
+            "in_flight": self.in_flight,
+            "directory": self.directory,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=repr)
+
+
+class StallError(DeadlockError):
+    """A reliable call exhausted its retries: the run is stuck.
+
+    Extends :class:`DeadlockError` so existing harnesses that catch
+    deadlocks catch stalls; carries the full :class:`StallReport`.
+    """
+
+    def __init__(self, report: StallReport):
+        super().__init__(report.blocked_tasks)
+        self.report = report
+        self.args = (report.summary(),)
+
+
+class LivenessWatchdog:
+    """Turns retry exhaustion into a :class:`StallReport`.
+
+    Protocol services register themselves at construction (directory
+    state providers, and the message categories whose first argument
+    names a region), so the report can say *which region at which home*
+    is stuck rather than just which task.
+    """
+
+    def __init__(self, transport: "FaultTransport"):
+        self._transport = transport
+        self._sim = transport.sim
+        self.kit: RetryKit | None = None
+        self._directories: list = []
+        self._rid_categories: set[str] = set()
+
+    def register_directory(self, directory) -> None:
+        """Register a DirectoryService: state dumps + rid-first categories."""
+        self._directories.append(directory)
+        p = directory.prefix
+        self._rid_categories.update(
+            f"{p}.{op}" for op in ("read_req", "write_req", "flush", "inval", "map_lookup")
+        )
+
+    def register_rid_categories(self, categories) -> None:
+        """Declare message categories whose first payload arg is a region id."""
+        self._rid_categories.update(categories)
+
+    def report(self, reason: str) -> StallReport:
+        sim = self._sim
+        blocked = [t for t in sim._tasks if t.blocked_on is not None]
+        tasks = [
+            {"task": t.name, "waiting_on": getattr(t.blocked_on, "name", "") or "<unnamed>"}
+            for t in blocked
+        ]
+        in_flight = []
+        if self.kit is not None:
+            for pend in sorted(self.kit.pending.values(), key=lambda p: p.seq):
+                in_flight.append(self._describe(pend))
+        directory = []
+        for d in self._directories:
+            directory.extend(d.dump_state())
+        return StallReport(
+            now=sim.now,
+            reason=reason,
+            blocked_tasks=blocked,
+            tasks=tasks,
+            in_flight=in_flight,
+            directory=directory,
+        )
+
+    def _describe(self, pend: "_PendingCall") -> dict:
+        args = pend.call_args
+        region = None
+        if pend.category in self._rid_categories and args and isinstance(args[0], int):
+            region = args[0]
+        return {
+            "seq": pend.seq,
+            "category": pend.category,
+            "src": pend.src,
+            "dst": pend.dst,
+            "region": region,
+            "args": tuple(_short(a) for a in args),
+            "attempts": pend.attempts,
+            "age": self._sim.now - pend.born,
+        }
+
+    def trip(self, pend: "_PendingCall") -> None:
+        """Raise a :class:`StallError` for an exhausted call.
+
+        Called from a retry-timer event, so the raise propagates out of
+        :meth:`Simulator.run` — the run terminates with a report
+        instead of spinning or hanging.
+        """
+        desc = self._describe(pend)
+        region = "" if desc["region"] is None else f" for region {desc['region']}"
+        reason = (
+            f"{desc['category']}{region} from node {desc['src']} to node {desc['dst']} "
+            f"unacknowledged after {pend.attempts} attempts"
+        )
+        raise StallError(self.report(reason))
+
+
+def _short(value):
+    """Artifact-friendly rendering of one message argument."""
+    if value is None or isinstance(value, (int, float, str, bool)):
+        return value
+    shape = getattr(value, "shape", None)
+    if shape is not None:
+        return f"<array{tuple(shape)}>"
+    return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# home-side dedup
+# ---------------------------------------------------------------------------
+class DedupTable:
+    """Exactly-once admission for sequence-numbered reliable requests.
+
+    The home-side half of the reliability contract: a request keyed
+    ``(src, seq)`` is *admitted* once; while its effects are still in
+    flight, duplicates are ignored (the original's reply will come);
+    after the reply is sent, duplicates get the recorded reply
+    re-transmitted without re-executing the handler.  Local calls
+    (``seq is None`` — same-node requests never retransmit) bypass the
+    table entirely.
+    """
+
+    __slots__ = ("_reply", "_counts", "_k_dup", "_k_replay", "_inflight", "_fut_keys", "_sent")
+
+    def __init__(self, transport: Transport, prefix: str):
+        self._reply = transport.reply
+        self._counts = transport.stats.counter_ref()
+        self._k_dup = intern_key(prefix, "dup_request")
+        self._k_replay = intern_key(prefix, "replayed_reply")
+        self._inflight: set = set()
+        self._fut_keys: dict = {}  # fut -> (src, seq), popped at reply
+        self._sent: dict = {}  # (src, seq) -> (value, payload_words, category)
+
+    def admit(self, src: int, seq: int | None, fut: Future) -> bool:
+        """True exactly once per logical request; replays recorded replies."""
+        if seq is None:
+            return True
+        key = (src, seq)
+        sent = self._sent.get(key)
+        if sent is not None:
+            value, payload_words, category = sent
+            self._counts[self._k_replay] += 1
+            self._reply(fut, value, payload_words=payload_words, category=category)
+            return False
+        if key in self._inflight:
+            self._counts[self._k_dup] += 1
+            return False
+        self._inflight.add(key)
+        self._fut_keys[fut] = key
+        return True
+
+    def reply(self, fut: Future, value=None, payload_words: int = 0, category: str = "am.reply"):
+        """Drop-in for ``transport.reply`` that records what was sent."""
+        key = self._fut_keys.pop(fut, None)
+        if key is not None:
+            self._inflight.discard(key)
+            self._sent[key] = (value, payload_words, category)
+        self._reply(fut, value, payload_words=payload_words, category=category)
+
+
+class SeenOnce:
+    """Dedup for one-way ack'd notifications keyed ``(src, seq)``."""
+
+    __slots__ = ("_seen",)
+
+    def __init__(self):
+        self._seen: set = set()
+
+    def first(self, src: int, seq: int | None) -> bool:
+        if seq is None:
+            return True
+        key = (src, seq)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        return True
+
+
+# ---------------------------------------------------------------------------
+# the fault transport
+# ---------------------------------------------------------------------------
+class FaultTransport(Transport):
+    """A machine-backed transport that injects a :class:`FaultPlan`.
+
+    Every send funnels through :meth:`_send`, which asks the plan for a
+    verdict — deliver normally, drop, duplicate, or delay — and then
+    drives the machine's own (possibly traced) delivery path for each
+    surviving copy, so counters, traces, and latency math stay the
+    machine's.  Replies go through a resolve-once gate, since a
+    duplicated or replayed reply must not resolve a future twice.
+    """
+
+    reliable = False
+
+    def __init__(self, fabric, plan: FaultPlan, retry_policy: RetryPolicy | None = None):
+        base = as_transport(fabric)
+        machine = base.machine
+        if machine is None:
+            raise TypeError("FaultTransport needs a machine-backed transport to wrap")
+        self.base = base
+        self.plan = plan
+        self.machine = machine
+        self.sim = machine.sim
+        self.stats = machine.stats
+        self.tracer = machine.tracer
+        self.nodes = machine.nodes
+        self.n_procs = machine.n_procs
+        self.after = machine.sim.schedule
+        self.hw_barrier = machine.hw_barrier  # control network: always reliable
+        self._deliver = machine._deliver  # the traced variant when tracing is on
+        self._d_send = machine._d_send
+        self._send_overhead = machine.config.am_send_overhead
+        self._reply_base = machine._reply_base
+        self._per_word = machine._per_word
+        self._rng = Random(plan.seed)
+        self._shot_hits = [0] * len(plan.one_shots)
+        self._counts = machine.stats.counter_ref()
+        self._k = {
+            v: intern_key("fault", v)
+            for v in ("drop", "dup", "delay", "crash", "link_down", "stall")
+        }
+        self._k_dup_reply = intern_key("fault", "dup_reply_suppressed")
+        self._obs = machine.tracer.tracer("faults") if machine.tracer is not None else None
+        #: bounded in-memory fault log: (cycle, verdict, category, src, dst)
+        self.log: list = []
+        self.watchdog = LivenessWatchdog(self)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.kit = RetryKit(self, self.retry_policy, self.watchdog)
+
+    # -- Transport operations -------------------------------------------
+    def request(self, src, dst, handler, *args, payload_words: int = 0, category: str = "am.request"):
+        yield self._d_send
+        self._send(src, dst, handler, args, payload_words, category)
+
+    def post(self, src, dst, handler, *args, payload_words: int = 0, category: str = "am.post"):
+        self.sim.schedule(
+            self._send_overhead,
+            partial(self._send, src, dst, handler, args, payload_words, category),
+        )
+
+    def rpc(self, src, dst, handler, *args, payload_words: int = 0, category: str = "am.rpc"):
+        # NOTE: the *raw* rpc has no retries — on a lossy link it can
+        # block forever.  Fault-hardened layers use ``self.kit.rpc``;
+        # this path exists for protocols that have not been hardened
+        # (they are simply not chaos-safe).
+        fut = Future(name="rpc:" + category)
+        yield self._d_send
+        self._send(src, dst, handler, (fut, *args), payload_words, category)
+        value = yield fut
+        return value
+
+    def reply(self, fut, value=None, payload_words: int = 0, category: str = "am.reply"):
+        deliveries = self._verdict(None, None, category)
+        if deliveries is None:
+            return
+        machine = self.machine
+        counts = self._counts
+        key = machine._msg_key(category)
+        base_delay = self._reply_base + self._per_word * payload_words
+        for extra in deliveries:
+            counts[key] += 1
+            counts["msg.total"] += 1
+            counts["msg.words"] += payload_words
+            self.sim.schedule(base_delay + extra, partial(self._resolve_once, fut, value))
+
+    def _resolve_once(self, fut, value) -> None:
+        # Duplicated replies, replayed recorded replies, and late
+        # replies to an already-retried call all land here; only the
+        # first resolves the future.
+        if fut._value is _UNSET and fut._exc is None:
+            fut.resolve(value)
+        else:
+            self._counts[self._k_dup_reply] += 1
+
+    # -- injection point -------------------------------------------------
+    def _send(self, src, dst, handler, args, payload_words, category) -> None:
+        deliveries = self._verdict(src, dst, category)
+        if deliveries is None:
+            return
+        deliver = self._deliver
+        for extra in deliveries:
+            if extra:
+                self.sim.schedule(
+                    extra, partial(deliver, src, dst, handler, args, payload_words, category)
+                )
+            else:
+                deliver(src, dst, handler, args, payload_words, category)
+
+    def _verdict(self, src, dst, category):
+        """Decide this message's fate: ``None`` (drop) or extra-delay list."""
+        plan = self.plan
+        now = self.sim.now
+        # Structural faults first (no randomness): crashed endpoints,
+        # dead links, stall windows.
+        crashes = plan.crashes
+        if crashes and (
+            crashes.get(src, _NEVER) <= now or crashes.get(dst, _NEVER) <= now
+        ):
+            self._note("crash", category, src, dst)
+            return None
+        if plan.link_down:
+            down_at = plan.link_down.get((src, dst))
+            if down_at is not None and now >= down_at:
+                self._note("link_down", category, src, dst)
+                return None
+        base_extra = 0
+        if plan.stalls:
+            for nid in (src, dst):
+                win = plan.stalls.get(nid)
+                if win is not None and win[0] <= now < win[1]:
+                    base_extra += win[2]
+            if base_extra:
+                self._note("stall", category, src, dst)
+        # Targeted one-shots.
+        for i, shot in enumerate(plan.one_shots):
+            if (
+                (shot.category is None or shot.category == category)
+                and (shot.src is None or shot.src == src)
+                and (shot.dst is None or shot.dst == dst)
+            ):
+                self._shot_hits[i] += 1
+                if self._shot_hits[i] == shot.nth:
+                    self._note(shot.action, category, src, dst)
+                    if shot.action == "drop":
+                        return None
+                    if shot.action == "dup":
+                        return (base_extra, base_extra + shot.delay_cycles)
+                    return (base_extra + shot.delay_cycles,)
+        # Seeded rates.
+        lf = None
+        if plan.per_link:
+            lf = plan.per_link.get((src, dst))
+        if lf is None and plan.per_category:
+            lf = plan.per_category.get(category)
+        if lf is None:
+            lf = plan.default
+        if lf.any:
+            rng = self._rng
+            if lf.drop and rng.random() < lf.drop:
+                self._note("drop", category, src, dst)
+                return None
+            extra = base_extra
+            if lf.delay and rng.random() < lf.delay:
+                extra += 1 + rng.randrange(lf.delay_cycles)
+                self._note("delay", category, src, dst)
+            if lf.dup and rng.random() < lf.dup:
+                self._note("dup", category, src, dst)
+                return (extra, base_extra + 1 + rng.randrange(lf.delay_cycles))
+            if extra:
+                return (extra,)
+            return _NO_FAULT
+        if base_extra:
+            return (base_extra,)
+        return _NO_FAULT
+
+    def _note(self, verdict, category, src, dst) -> None:
+        self._counts[self._k[verdict]] += 1
+        if len(self.log) < _LOG_CAP:
+            self.log.append((self.sim.now, verdict, category, src, dst))
+        if self._obs is not None:
+            self._obs.emit(
+                self.sim.now,
+                "fault." + verdict,
+                node=src if isinstance(src, int) else -1,
+                data={"category": category, "src": src, "dst": dst},
+            )
+
+    # -- introspection ---------------------------------------------------
+    def fault_counts(self) -> dict:
+        """Fault counters (drop/dup/delay/... -> count) for reports."""
+        counts = self.stats.counter_ref()
+        out = {v: counts[k] for v, k in self._k.items() if counts[k]}
+        if counts[self._k_dup_reply]:
+            out["dup_reply_suppressed"] = counts[self._k_dup_reply]
+        return out
+
+
+# ---------------------------------------------------------------------------
+# reliable delivery
+# ---------------------------------------------------------------------------
+class _PendingCall:
+    __slots__ = (
+        "seq",
+        "fut",
+        "src",
+        "dst",
+        "handler",
+        "args",
+        "call_args",
+        "payload_words",
+        "category",
+        "attempts",
+        "born",
+    )
+
+    def __init__(self, seq, fut, src, dst, handler, args, call_args, payload_words, category, born):
+        self.seq = seq
+        self.fut = fut
+        self.src = src
+        self.dst = dst
+        self.handler = handler
+        self.args = args  # full resend tuple: (fut, *call_args, seq)
+        self.call_args = call_args
+        self.payload_words = payload_words
+        self.category = category
+        self.attempts = 0
+        self.born = born
+
+
+class RetryKit:
+    """Sequence-numbered reliable calls over an unreliable transport.
+
+    ``kit.rpc`` matches ``transport.rpc``'s signature so protocol
+    layers can swap it in as their ``self._rpc``; the handler receives
+    the usual ``(node, src, fut, *args)`` plus a trailing ``seq``
+    keyword-compatible positional (reliable handlers declare
+    ``seq=None`` so direct local calls work unchanged).  ``kit.post``
+    is the ack'd one-way send for handler context: it retries until the
+    receiver's reply resolves its future, invoking ``on_ack(value)``
+    exactly once.
+
+    Retries re-send the *same* future object — messages carry Python
+    object references, so the original and every retransmission race to
+    resolve one cell and the transport's resolve-once gate picks the
+    winner.  One shared sequence counter gives every logical call a
+    globally unique ``seq``; receivers dedup on ``(src, seq)``.
+    """
+
+    def __init__(self, transport: FaultTransport, policy: RetryPolicy, watchdog: LivenessWatchdog):
+        self._transport = transport
+        self._after = transport.after
+        self._policy = policy
+        self._watchdog = watchdog
+        watchdog.kit = self
+        self._seq = 0
+        self.pending: dict[int, _PendingCall] = {}
+        self._counts = transport.stats.counter_ref()
+        self._k_retry = intern_key("rel", "retry")
+        self._k_calls = intern_key("rel", "calls")
+        self._obs = transport._obs
+        self._d_send = transport._d_send
+
+    def _track(self, fut, src, dst, handler, call_args, payload_words, category) -> _PendingCall:
+        seq = self._seq
+        self._seq = seq + 1
+        pend = _PendingCall(
+            seq,
+            fut,
+            src,
+            dst,
+            handler,
+            (fut, *call_args, seq),
+            call_args,
+            payload_words,
+            category,
+            self._transport.sim.now,
+        )
+        self.pending[seq] = pend
+        self._counts[self._k_calls] += 1
+        return pend
+
+    def rpc(self, src, dst, handler, *args, payload_words: int = 0, category: str = "rel.rpc"):
+        """Generator: reliable request/reply round trip (drop-in for rpc)."""
+        fut = Future(name="rel:" + category)
+        pend = self._track(fut, src, dst, handler, args, payload_words, category)
+        yield self._d_send
+        pend.attempts = 1
+        self._transport._send(src, dst, handler, pend.args, payload_words, category)
+        self._after(self._policy.timeout_for(1), partial(self._check, pend))
+        value = yield fut
+        self.pending.pop(pend.seq, None)
+        return value
+
+    def post(
+        self,
+        src,
+        dst,
+        handler,
+        *args,
+        payload_words: int = 0,
+        category: str = "rel.post",
+        on_ack=None,
+    ) -> Future:
+        """Ack'd one-way send from handler context; returns the ack future."""
+        fut = Future(name="rel:" + category)
+        if on_ack is not None:
+            fut.add_callback(partial(_ack_adapter, on_ack))
+        pend = self._track(fut, src, dst, handler, args, payload_words, category)
+        pend.attempts = 1
+        # First attempt pays the sender overhead like transport.post.
+        self._transport.post(
+            src, dst, handler, *pend.args, payload_words=payload_words, category=category
+        )
+        self._after(self._policy.timeout_for(1), partial(self._check, pend))
+        return fut
+
+    def _check(self, pend: _PendingCall) -> None:
+        fut = pend.fut
+        if fut._value is not _UNSET or fut._exc is not None:
+            self.pending.pop(pend.seq, None)
+            return
+        if pend.attempts >= self._policy.max_attempts:
+            self._watchdog.trip(pend)
+            return  # pragma: no cover - trip always raises
+        pend.attempts += 1
+        self._counts[self._k_retry] += 1
+        if self._obs is not None:
+            self._obs.emit(
+                self._transport.sim.now,
+                "rel.retry",
+                node=pend.src,
+                data={"category": pend.category, "dst": pend.dst, "attempt": pend.attempts},
+            )
+        self._transport.post(
+            pend.src,
+            pend.dst,
+            pend.handler,
+            *pend.args,
+            payload_words=pend.payload_words,
+            category=pend.category,
+        )
+        self._after(self._policy.timeout_for(pend.attempts), partial(self._check, pend))
+
+
+def _ack_adapter(on_ack, fut) -> None:
+    if fut._exc is None:
+        on_ack(fut._value)

@@ -92,12 +92,22 @@ class ProtocolHooks:
         self._d_start_miss = Delay(costs.start_miss)
         self._d_end_op = Delay(costs.end_op)
         self._d_flush = Delay(costs.flush)
-        # Home-side handlers, as the directory's stable bound methods.
+        # Home-side handlers, as the directory's stable bound methods
+        # (these already point at the directory's reliable variants when
+        # the transport is lossy — it swapped them in its own __init__).
         self._h_map_lookup = directory._h_map_lookup
         self._h_read_req = directory._h_read_req
         self._h_write_req = directory._h_write_req
         self._h_grant_ack = directory._h_grant_ack
         self._h_flush = directory._h_flush
+        if not transport.reliable:
+            # Requester side of the reliability contract: every remote
+            # round trip goes through the RetryKit (sequence-numbered,
+            # retransmitted until the reply lands), and the grant ack —
+            # which closes the directory's busy window — is ack'd too.
+            self._kit = transport.kit
+            self._rpc = self._kit.rpc
+            self._send_grant_ack = self._send_grant_ack_r
 
     # ------------------------------------------------------------------
     # helpers
@@ -317,6 +327,19 @@ class ProtocolHooks:
 
     def _send_grant_ack(self, nid: int, region) -> None:
         self._post(
+            nid,
+            region.home,
+            self._h_grant_ack,
+            region.rid,
+            payload_words=1,
+            category=self._cat_grant_ack,
+        )
+
+    def _send_grant_ack_r(self, nid: int, region) -> None:
+        # A lost grant ack would leave the home entry busy forever, so
+        # on a lossy fabric it is a retried send; the home acks back and
+        # dedups re-deliveries (see DirectoryService._on_grant_ack_r).
+        self._kit.post(
             nid,
             region.home,
             self._h_grant_ack,

@@ -73,6 +73,32 @@ class LockService:
         self._obs = tracer.tracer(stats_prefix) if tracer is not None else None
         self._hold_hist = tracer.hist(stats_prefix + ".hold") if tracer is not None else None
         self._grant_at: dict = {}
+        if not transport.reliable:
+            self._install_reliable(transport)
+
+    def _install_reliable(self, transport) -> None:
+        """Swap in ack'd, deduped lock rounds for a lossy fabric.
+
+        Acquire becomes a sequence-numbered retried RPC with home-side
+        dedup (a retransmitted acquire re-executing ``_on_acquire``
+        would trip the double-acquire error — or worse, enqueue the
+        holder behind itself).  Release, a fire-and-forget message on a
+        reliable fabric, becomes an ack'd round trip: a lost release
+        would leave the lock held forever.
+        """
+        from repro.dsm.faults import DedupTable, SeenOnce
+
+        self._kit = transport.kit
+        self._dedup = DedupTable(transport, self.prefix)
+        self._reply_raw = transport.reply
+        self._reply = self._dedup.reply
+        self._rel_seen = SeenOnce()
+        self._cat_rel_ack = intern_key(self.prefix, "rel_ack")
+        self._rpc = self._kit.rpc
+        self._h_acquire = self._on_acquire_r
+        self._h_release = self._on_release_r
+        self.release = self._release_r
+        transport.watchdog.register_rid_categories((self._cat_req, self._cat_rel))
 
     def _state(self, region) -> _LockState:
         st = region.meta.get(self._key)
@@ -139,6 +165,31 @@ class LockService:
             self._grant(nxt, fut, rid)
         else:
             st.holder = None
+
+    # -- reliable variants (installed by _install_reliable) -------------
+    def _release_r(self, nid: int, rid: int):
+        """Generator: ack'd release (retried until the home confirms)."""
+        region = self.regions.get(rid)
+        yield self._d_handler
+        self._counts[self._k_release] += 1
+        if nid == region.home:
+            self._on_release(self._nodes[nid], nid, rid)
+        else:
+            yield from self._rpc(
+                nid, region.home, self._h_release, rid, payload_words=2, category=self._cat_rel
+            )
+
+    def _on_acquire_r(self, node, src, fut, rid, seq=None):
+        if self._dedup.admit(src, seq, fut):
+            self._on_acquire(node, src, fut, rid)
+
+    def _on_release_r(self, node, src, fut, rid, seq=None):
+        # A duplicate release must not re-run the handler: the lock may
+        # already be re-granted, and releasing on the new holder's
+        # behalf raises (correctly) on a reliable fabric.
+        if self._rel_seen.first(src, seq):
+            self._on_release(node, src, rid)
+        self._reply_raw(fut, None, payload_words=1, category=self._cat_rel_ack)
 
     def _grant(self, dst: int, fut, rid) -> None:
         if self._obs is not None:

@@ -15,10 +15,13 @@ layer boundary adds no indirection on the hit path.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.dsm.costs import DSMCosts
 from repro.dsm.errors import ProtocolError
+from repro.dsm.faults import _DEFER
 from repro.dsm.transport import Transport
 from repro.machine.stats import intern_key
 from repro.memory import Region, RegionCopy, RegionDirectory
@@ -54,6 +57,23 @@ class RegionCache:
         self._h_inval_req = self._on_inval_req
         # Home-side invalidation-ack handler; see wire_directory.
         self._h_inval_ack = None
+        if not transport.reliable:
+            self._install_reliable(transport)
+
+    def _install_reliable(self, transport) -> None:
+        """Swap in the ack'd invalidation receive side (lossy fabric).
+
+        Reliable invalidations arrive as sequence-numbered RetryKit
+        sends carrying a future; the ack is a reply on that future
+        (data rides along), and ``_inval_done`` keeps each logical
+        invalidation exactly-once: duplicates of an unapplied/deferred
+        request are dropped (the original will ack), duplicates of a
+        completed one get the recorded ack replayed.
+        """
+        self._inval_done: dict = {}  # seq -> _DEFER | (data, payload_words)
+        self._reply = transport.reply
+        self._h_inval_req = self._on_inval_req_r
+        self._fire_deferred = self._fire_deferred_r
 
     def wire_directory(self, directory) -> None:
         """Bind the home-side handler invalidation acks are sent to."""
@@ -131,3 +151,48 @@ class RegionCache:
         deferred = copy.meta["deferred"]
         while deferred:
             self._apply_inval(copy, deferred.pop(0))
+
+    # ------------------------------------------------------------------
+    # reliable variants (installed by _install_reliable)
+    # ------------------------------------------------------------------
+    def _on_inval_req_r(self, node, src_home, fut, rid, mode, seq=None):
+        done = self._inval_done.get(seq)
+        if done is not None:
+            if done is not _DEFER:
+                data, payload = done
+                self._reply(fut, data, payload_words=payload, category=self._cat_inval_ack)
+            return
+        copy = self.tables[node.nid].get(rid)
+        if copy is None:  # pragma: no cover - directory targets only holders
+            raise ProtocolError(f"invalidate for uncached region {rid} at node {node.nid}")
+        if copy.meta["read_count"] or copy.meta["write_count"]:
+            if seq is not None:
+                self._inval_done[seq] = _DEFER
+            copy.meta["deferred"].append((mode, fut, seq))
+            self._counts[self._k_inval_deferred] += 1
+            return
+        self._apply_inval_r(copy, mode, fut, seq)
+
+    def _apply_inval_r(self, copy: RegionCopy, mode: str, fut, seq) -> None:
+        region = copy.region
+        dirty = copy.state == "excl"
+        data = copy.data.copy() if dirty else None
+        if mode == "invalidate":
+            copy.state = "invalid"
+        else:  # downgrade
+            copy.state = "shared" if dirty else copy.state
+        if self._obs is not None:
+            self._trace_state(copy.node, region.rid, copy.state)
+        payload = region.size if dirty else self.costs.meta_words
+        if seq is not None:
+            self._inval_done[seq] = (data, payload)
+        self._after(
+            self.costs.inval_handler,
+            partial(self._reply, fut, data, payload_words=payload, category=self._cat_inval_ack),
+        )
+
+    def _fire_deferred_r(self, copy: RegionCopy) -> None:
+        deferred = copy.meta["deferred"]
+        while deferred:
+            mode, fut, seq = deferred.pop(0)
+            self._apply_inval_r(copy, mode, fut, seq)

@@ -51,9 +51,19 @@ class Transport:
     plus the attributes ``nodes``, ``n_procs``, ``sim``, ``stats``,
     ``tracer``, and ``machine`` (the underlying machine, or ``None``
     for fabrics not backed by one).
+
+    ``reliable`` declares the fabric's delivery contract.  The default
+    (``True``) promises exactly-once delivery, as the CM-5's CMAML
+    does; the protocol layers then run their lean fast paths.  A fabric
+    that may drop, duplicate, or reorder messages (e.g.
+    :class:`~repro.dsm.faults.FaultTransport`) sets it ``False``, and
+    the protocol layers swap in sequence-numbered retry/dedup variants
+    at construction — the same zero-cost idiom as the traced machine
+    paths, so a reliable fabric pays nothing for the machinery.
     """
 
     machine: object | None = None
+    reliable: bool = True
 
     def request(self, src: int, dst: int, handler: Callable, *args, **kw):
         raise NotImplementedError

@@ -221,6 +221,8 @@ def run_spmd(
     jitter_seed: int | None = None,
     trace: Callable[[int, str], None] | None = None,
     tracer=None,
+    fault_plan=None,
+    retry_policy=None,
     **backend_kwargs,
 ) -> RunResult:
     """Run an SPMD program on a fresh simulated machine; returns :class:`RunResult`.
@@ -231,6 +233,14 @@ def run_spmd(
     is an optional :class:`repro.obs.TraceBuffer` wired through the
     kernel, machine, and every DSM layer; simulated cycles are
     bit-identical with and without it (see DESIGN.md §7).
+
+    ``fault_plan`` (a :class:`~repro.dsm.faults.FaultPlan`) wraps the
+    machine in a :class:`~repro.dsm.faults.FaultTransport`: the plan's
+    seeded faults are injected and every protocol layer runs its
+    retry/dedup variants (DESIGN.md §9).  ``retry_policy`` tunes the
+    timeout/backoff schedule.  With ``fault_plan=None`` no fault
+    machinery is constructed and cycles are bit-identical to earlier
+    releases.
     """
     factories = {"ace": AceBackend, "crl": CRLBackend}
     try:
@@ -242,7 +252,12 @@ def run_spmd(
     if cfg.n_procs != n_procs:
         cfg = cfg.with_(n_procs=n_procs)
     machine = Machine(sim, cfg, tracer=tracer)
-    be = factory(machine, **backend_kwargs)
+    fabric = machine
+    if fault_plan is not None:
+        from repro.dsm.faults import FaultTransport
+
+        fabric = FaultTransport(machine, fault_plan, retry_policy=retry_policy)
+    be = factory(fabric, **backend_kwargs)
     ctxs = [NodeContext(be, i) for i in range(n_procs)]
     results = sim.run_all((program(ctx) for ctx in ctxs), prefix="proc")
     return RunResult(time=sim.now, results=results, machine=machine, backend=be)

@@ -40,6 +40,19 @@ class CachedCopyProtocol(Protocol):
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
         self._copies: list[dict[int, RegionCopy]] = [dict() for _ in range(self.transport.n_procs)]
+        transport = self.transport
+        if transport.reliable:
+            self._kit = None
+            self._rpc = transport.rpc
+        else:
+            # Lossy fabric: fetches/updates go through the RetryKit and
+            # the home dedups sequence numbers (see repro.dsm.faults).
+            from repro.dsm.faults import DedupTable, SeenOnce
+
+            self._kit = transport.kit
+            self._rpc = self._kit.rpc
+            self._dedup = DedupTable(transport, f"proto.{self.spec.name}")
+            self._push_seen = SeenOnce()
 
     # -- data management ----------------------------------------------
     def create(self, nid: int, size: int):
@@ -60,7 +73,7 @@ class CachedCopyProtocol(Protocol):
         region = self.regions.get(rid)
         copy = self._install(nid, region)
         if nid != region.home:
-            data, extra = yield from self.transport.rpc(
+            data, extra = yield from self._rpc(
                 nid,
                 region.home,
                 self._on_fetch,
@@ -91,7 +104,10 @@ class CachedCopyProtocol(Protocol):
         return copy
 
     # -- home-side fetch (handler context) ------------------------------
-    def _on_fetch(self, node, src, fut, rid):
+    def _on_fetch(self, node, src, fut, rid, seq=None):
+        # Idempotent (metadata read + set-add in _fetch_extra), so a
+        # retransmitted fetch simply re-replies; the requester's
+        # resolve-once gate keeps the first reply.
         region = self.regions.get(rid)
         extra = self._fetch_extra(rid, src)
         self.transport.reply(
@@ -100,6 +116,12 @@ class CachedCopyProtocol(Protocol):
             payload_words=region.size,
             category=f"proto.{self.spec.name}.fetch_data",
         )
+
+    def _ack_state(self, state: dict, _value=None) -> None:
+        """Shared fan-out ack bookkeeping (reliable push on_ack hook)."""
+        state["need"] -= 1
+        if state["need"] == 0:
+            state["done"].resolve(None)
 
     def _fetch_extra(self, rid: int, src: int):
         """Home-side hook at fetch time (register sharers, return versions)."""

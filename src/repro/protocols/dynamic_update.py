@@ -23,6 +23,8 @@ Mechanics
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.protocols.base import ProtocolSpec
@@ -65,7 +67,7 @@ class DynamicUpdateProtocol(CachedCopyProtocol):
             self._fan_out(region, data, exclude=nid, done=done)
             yield done
         else:
-            yield from self.transport.rpc(
+            yield from self._rpc(
                 nid,
                 region.home,
                 self._on_update,
@@ -76,14 +78,19 @@ class DynamicUpdateProtocol(CachedCopyProtocol):
             )
 
     # -- home side (handler context) -------------------------------------
-    def _on_update(self, node, src, fut, rid, data):
+    def _on_update(self, node, src, fut, rid, data, seq=None):
+        # On a lossy fabric a delayed duplicate of update K can arrive
+        # after update K+1 (the writer only blocks per update), and
+        # re-applying it would roll home data back — so the dedup table
+        # gates the whole handler, replaying the recorded ack instead.
+        if self._kit is not None and not self._dedup.admit(src, seq, fut):
+            return
+        reply = self.transport.reply if self._kit is None else self._dedup.reply
         region = self.regions.get(rid)
         np.copyto(region.home_data, data)
         done = Future(name=f"du:{rid}@home")
         done.add_callback(
-            lambda _: self.transport.reply(
-                fut, None, payload_words=1, category="proto.DynamicUpdate.update_ack"
-            )
+            lambda _: reply(fut, None, payload_words=1, category="proto.DynamicUpdate.update_ack")
         )
         self._fan_out(region, data, exclude=src, done=done)
 
@@ -95,6 +102,19 @@ class DynamicUpdateProtocol(CachedCopyProtocol):
             done.resolve(None)
             return
         state = {"need": len(targets), "done": done}
+        if self._kit is not None:
+            for t in targets:
+                self._kit.post(
+                    region.home,
+                    t,
+                    self._on_apply_r,
+                    region.rid,
+                    data,
+                    payload_words=region.size,
+                    category="proto.DynamicUpdate.push",
+                    on_ack=partial(self._ack_state, state),
+                )
+            return
         for t in targets:
             self.transport.post(
                 region.home,
@@ -120,6 +140,17 @@ class DynamicUpdateProtocol(CachedCopyProtocol):
             payload_words=1,
             category="proto.DynamicUpdate.push_ack",
         )
+
+    def _on_apply_r(self, node, src, fut, rid, data, seq=None):
+        # Sharer-side dedup: a delayed duplicate of an old push must not
+        # overwrite a newer one.  Duplicates still ack (their original
+        # ack may have been the drop).
+        if self._push_seen.first(src, seq):
+            copy = self._copies[node.nid].get(rid)
+            if copy is not None:
+                np.copyto(copy.data, data)
+                copy.state = "valid"
+        self.transport.reply(fut, None, payload_words=1, category="proto.DynamicUpdate.push_ack")
 
     def _on_apply_ack(self, node, src, state):
         state["need"] -= 1

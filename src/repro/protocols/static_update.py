@@ -27,6 +27,8 @@ Consequently:
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.protocols.base import ProtocolMisuse, ProtocolSpec
@@ -87,16 +89,28 @@ class StaticUpdateProtocol(CachedCopyProtocol):
                 data = region.home_data.copy()
                 self._count("push", len(targets))
                 for t in targets:
-                    self.transport.post(
-                        nid,
-                        t,
-                        self._on_push,
-                        region.rid,
-                        data,
-                        state,
-                        payload_words=region.size,
-                        category="proto.StaticUpdate.push",
-                    )
+                    if self._kit is not None:
+                        self._kit.post(
+                            nid,
+                            t,
+                            self._on_push_r,
+                            region.rid,
+                            data,
+                            payload_words=region.size,
+                            category="proto.StaticUpdate.push",
+                            on_ack=partial(self._ack_state, state),
+                        )
+                    else:
+                        self.transport.post(
+                            nid,
+                            t,
+                            self._on_push,
+                            region.rid,
+                            data,
+                            state,
+                            payload_words=region.size,
+                            category="proto.StaticUpdate.push",
+                        )
             yield done
         yield from self.runtime.rendezvous(nid)
 
@@ -119,3 +133,14 @@ class StaticUpdateProtocol(CachedCopyProtocol):
         state["need"] -= 1
         if state["need"] == 0:
             state["done"].resolve(None)
+
+    def _on_push_r(self, node, src, fut, rid, data, seq=None):
+        # Sharer-side dedup: a delayed duplicate of a previous barrier's
+        # push must not overwrite this barrier's data (see the dynamic
+        # protocol's _on_apply_r).  Duplicates still ack.
+        if self._push_seen.first(src, seq):
+            copy = self._copies[node.nid].get(rid)
+            if copy is not None:
+                np.copyto(copy.data, data)
+                copy.state = "valid"
+        self.transport.reply(fut, None, payload_words=1, category="proto.StaticUpdate.push_ack")

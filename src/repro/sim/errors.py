@@ -8,12 +8,25 @@ class SimulationError(Exception):
 class DeadlockError(SimulationError):
     """Raised when the event queue drains while tasks are still blocked.
 
-    Carries the list of blocked task names so protocol bugs (a barrier
-    that never releases, a lock that is never granted) produce an
-    actionable message instead of a silent hang.
+    Carries the list of blocked tasks — and, for each, the *wait
+    reason*: the name of the future the task is parked on — so protocol
+    bugs (a barrier that never releases, a lock that is never granted)
+    produce an actionable message instead of a silent hang.
     """
 
     def __init__(self, blocked_tasks):
         self.blocked_tasks = list(blocked_tasks)
-        names = ", ".join(t.name for t in self.blocked_tasks) or "<none>"
+        #: task name -> name of the future it is parked on
+        self.wait_reasons = {t.name: self._wait_reason(t) for t in self.blocked_tasks}
+        names = (
+            ", ".join(f"{name} (waiting on {why})" for name, why in self.wait_reasons.items())
+            or "<none>"
+        )
         super().__init__(f"deadlock: event queue empty but tasks blocked: {names}")
+
+    @staticmethod
+    def _wait_reason(task) -> str:
+        fut = getattr(task, "blocked_on", None)
+        if fut is None:
+            return "<unknown>"
+        return getattr(fut, "name", "") or "<unnamed future>"

@@ -29,16 +29,29 @@ class FuzzReport:
     def ok(self) -> bool:
         return not self.violations
 
+    @property
+    def failing_seeds(self) -> list:
+        """Every seed that produced a violation, in sweep order."""
+        return [v.seed for v in self.violations]
+
     def summary(self) -> str:
         if self.ok:
             spread = ""
             if self.times:
                 spread = f"; simulated times {min(self.times)}..{max(self.times)}"
             return f"{self.seeds_run} schedules, no violations{spread}"
+        # Every failing seed goes in the summary (CI logs usually show
+        # only this line): each one replays its schedule exactly, so a
+        # chaos/fuzz failure is reproducible from the log alone.
+        seeds = self.failing_seeds
+        shown = ", ".join(str(s) for s in seeds[:20])
+        if len(seeds) > 20:
+            shown += f", ... ({len(seeds) - 20} more)"
         first = self.violations[0]
         return (
             f"{len(self.violations)}/{self.seeds_run} schedules violated the "
-            f"invariant; first at seed {first.seed}: {first.message}"
+            f"invariant; failing seeds [{shown}]; first at seed {first.seed}: "
+            f"{first.message}; reproduce with jitter_seed={first.seed}"
         )
 
 

@@ -1,0 +1,236 @@
+"""Fault-injection fabric: determinism, recovery, and stall reporting.
+
+The chaos contract (DESIGN.md §9) has three legs, each tested here:
+
+* **Determinism** — a :class:`~repro.dsm.faults.FaultPlan` is a seeded
+  value object: the same plan over the same program yields the same
+  cycles and the same fault counts, so every chaos failure replays
+  from its artifact alone.
+* **Recovery** — under drop/duplicate/delay the retry + dedup
+  machinery keeps the at-least-once fabric semantically exactly-once:
+  final results equal the fault-free run.
+* **Liveness** — faults the protocol cannot mask (a dead link) raise a
+  structured :class:`~repro.dsm.faults.StallError` naming the stuck
+  region and home node instead of hanging the simulation.
+
+Plus the zero-cost boundary: with no fault plan, no fault machinery is
+even constructed and the reliable fast paths stay installed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dsm import FaultPlan, OneShot, RetryPolicy, StallError
+from repro.dsm.faults import LinkFaults
+from repro.facade import run_spmd
+from repro.sim import Delay
+from repro.sim.errors import DeadlockError
+
+N_PROCS = 3
+ROUNDS = 4
+
+
+def make_counter_prog():
+    """Lock-protected increments on one shared region, soft barriers.
+
+    Every fault category gets exercised: mapping, read/write grants,
+    invalidations, lock traffic, and dissemination-barrier notifies all
+    cross the (possibly lossy) data network.  The ``shared`` dict is a
+    host-side closure all nodes see (the repo's rid-sharing idiom).
+    """
+    shared = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("SC")
+        if ctx.nid == 0:
+            shared["rid"] = yield from ctx.gmalloc(sid, 1 + ctx.n_procs)
+        yield from ctx.barrier()
+        rid = shared["rid"]
+        h = yield from ctx.map(rid)
+        for _ in range(ROUNDS):
+            yield from ctx.lock(rid)
+            yield from ctx.start_write(h)
+            h.data[0] += 1
+            h.data[1 + ctx.nid] += ctx.nid
+            yield from ctx.end_write(h)
+            yield from ctx.unlock(rid)
+            yield Delay(50)
+        yield from ctx.barrier()
+        data = yield from ctx.read_region(h)
+        return list(data)
+
+    return prog
+
+
+def run_counter(plan=None, n_procs: int = N_PROCS, **kwargs):
+    return run_spmd(
+        make_counter_prog(),
+        n_procs=n_procs,
+        fault_plan=plan,
+        barrier_algorithm="dissemination",
+        **kwargs,
+    )
+
+
+EXPECTED = [float(N_PROCS * ROUNDS)] + [float(n * ROUNDS) for n in range(N_PROCS)]
+
+
+# ---------------------------------------------------------------------------
+# plan as a value object
+# ---------------------------------------------------------------------------
+
+
+def test_plan_constructors_and_describe():
+    plan = FaultPlan.canonical(7)
+    assert plan.seed == 7
+    assert plan.default.any
+    assert not FaultPlan.none().default.any
+    assert "drop" in plan.describe()
+    dead = FaultPlan.dead_link(1, 0)
+    assert dead.link_down == {(1, 0): 0}
+
+
+def test_plan_json_round_trips_link_keys():
+    plan = FaultPlan.drop_retry(3)
+    plan.per_link[(2, 0)] = LinkFaults(drop=0.5)
+    plan.link_down[(1, 0)] = 100
+    plan.one_shots.append(OneShot("delay", category="ace.sc.read_req", nth=2))
+    blob = json.loads(plan.to_json())
+    assert blob["seed"] == 3
+    assert "2->0" in blob["per_link"]
+    assert "1->0" in blob["link_down"]
+    assert blob["one_shots"][0]["action"] == "delay"
+
+
+def test_one_shot_validates_action():
+    with pytest.raises(ValueError):
+        OneShot("explode")
+
+
+def test_retry_policy_backoff_caps():
+    pol = RetryPolicy(timeout=100, max_timeout=400, max_attempts=5)
+    assert [pol.timeout_for(a) for a in range(1, 6)] == [100, 200, 400, 400, 400]
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+
+def test_same_plan_same_run():
+    a = run_counter(FaultPlan.canonical(5))
+    b = run_counter(FaultPlan.canonical(5))
+    assert a.time == b.time
+    assert a.backend.transport.fault_counts() == b.backend.transport.fault_counts()
+    assert a.results == b.results == [EXPECTED] * N_PROCS
+
+
+def test_different_seeds_inject_differently():
+    runs = [run_counter(FaultPlan.canonical(s)) for s in range(4)]
+    assert all(r.results == [EXPECTED] * N_PROCS for r in runs)
+    # Schedules should not all collapse onto one timeline.
+    assert len({r.time for r in runs}) > 1
+
+
+# ---------------------------------------------------------------------------
+# recovery: at-least-once fabric, exactly-once semantics
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_plan_recovers_exactly_once():
+    res = run_counter(FaultPlan.canonical(0))
+    stats = res.stats
+    assert res.results == [EXPECTED] * N_PROCS
+    # The plan must actually have injected something for this to prove.
+    assert stats.get("fault.drop") > 0
+    assert stats.get("fault.dup") > 0
+    assert stats.get("fault.delay") > 0
+    assert stats.get("rel.retry") > 0
+
+
+def test_drop_heavy_plan_recovers():
+    res = run_counter(FaultPlan.drop_retry(1, drop=0.10))
+    assert res.results == [EXPECTED] * N_PROCS
+    assert res.stats.get("fault.drop") > 0
+
+
+def test_one_shot_drop_triggers_exactly_one_retry():
+    plan = FaultPlan.none()
+    plan.one_shots.append(OneShot("drop", category="ace.sc.write_req"))
+    res = run_counter(plan)
+    assert res.results == [EXPECTED] * N_PROCS
+    assert res.stats.get("fault.drop") == 1
+    # At least the dropped call retries; a request merely queued past
+    # its timeout behind lock contention may add benign extra retries
+    # (at-least-once is safe — dedup makes delivery exactly-once).
+    assert res.stats.get("rel.retry") >= 1
+
+
+def test_faults_observable_in_trace():
+    from repro.obs import TraceBuffer
+
+    buf = TraceBuffer()
+    res = run_counter(FaultPlan.canonical(0), tracer=buf)
+    assert res.results == [EXPECTED] * N_PROCS
+    kinds = {ev.kind for ev in buf.events() if ev.layer == "faults"}
+    assert "fault.drop" in kinds
+    assert "rel.retry" in kinds
+
+
+# ---------------------------------------------------------------------------
+# liveness: silent stalls become structured reports
+# ---------------------------------------------------------------------------
+
+
+def test_dead_link_raises_stall_report():
+    # Default (hw) barrier: the control network is fault-exempt, so
+    # what the dead 1->0 link strands is region traffic — the report
+    # must name the stuck region and its home node.
+    with pytest.raises(StallError) as exc:
+        run_spmd(make_counter_prog(), n_procs=N_PROCS, fault_plan=FaultPlan.dead_link(1, 0))
+    report = exc.value.report
+    assert isinstance(exc.value, DeadlockError)
+    assert "unacknowledged" in report.reason
+    calls = [c for c in report.in_flight if c["src"] == 1 and c["dst"] == 0]
+    assert calls, f"no 1->0 call in report: {report.in_flight}"
+    assert any(c["region"] is not None for c in calls)
+    # The directory dump lists non-idle entries only; a stranded lock
+    # request can leave every home entry idle, so just check the shape.
+    assert isinstance(report.directory, list)
+    # The report serializes: CI uploads it as an artifact.
+    blob = json.loads(report.to_json())
+    assert blob["reason"] == report.reason
+    # And the human summary names the stuck home.
+    assert "home" in report.summary()
+
+
+def test_crashed_node_stalls_survivors_with_report():
+    plan = FaultPlan.none()
+    plan.crashes[2] = 0  # node 2 never sends or receives a message
+    with pytest.raises(StallError):
+        run_counter(plan)
+
+
+# ---------------------------------------------------------------------------
+# zero-cost boundary
+# ---------------------------------------------------------------------------
+
+
+def test_no_plan_constructs_no_fault_machinery():
+    res = run_counter()
+    transport = res.backend.transport
+    assert transport.reliable
+    assert type(transport).__name__ != "FaultTransport"
+    engine = res.backend.runtime.sc_engine
+    assert not hasattr(engine.directory, "_dedup")
+    assert not hasattr(engine.cache, "_inval_done")
+
+
+def test_none_plan_matches_fault_free_results():
+    base = run_counter()
+    wrapped = run_counter(FaultPlan.none())
+    assert wrapped.results == base.results
+    assert wrapped.backend.transport.fault_counts() == {}

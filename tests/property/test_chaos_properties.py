@@ -1,0 +1,103 @@
+"""Property-based chaos sweeps: randomized fault plans, exact results.
+
+Hypothesis drives the fault space the way ``repro.verify`` drives the
+schedule space: random seeds, rates, and targeted one-shot faults over
+a small lock/barrier workload, asserting the final region contents are
+those of a fault-free run every time.  The retry + dedup machinery in
+:mod:`repro.dsm.faults` is what makes an at-least-once fabric look
+exactly-once; these sweeps are its adversary.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsm import FaultPlan, OneShot
+from repro.dsm.faults import LinkFaults
+from repro.facade import run_spmd
+from repro.sim import Delay
+
+pytestmark = pytest.mark.slow  # hypothesis sweeps: tier-2
+
+N_PROCS = 3
+ROUNDS = 3
+EXPECTED = [float(N_PROCS * ROUNDS)] + [float(n * ROUNDS) for n in range(N_PROCS)]
+
+
+def make_prog():
+    shared = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("SC")
+        if ctx.nid == 0:
+            shared["rid"] = yield from ctx.gmalloc(sid, 1 + ctx.n_procs)
+        yield from ctx.barrier()
+        rid = shared["rid"]
+        h = yield from ctx.map(rid)
+        for _ in range(ROUNDS):
+            yield from ctx.lock(rid)
+            yield from ctx.start_write(h)
+            h.data[0] += 1
+            h.data[1 + ctx.nid] += ctx.nid
+            yield from ctx.end_write(h)
+            yield from ctx.unlock(rid)
+            yield Delay(40)
+        yield from ctx.barrier()
+        data = yield from ctx.read_region(h)
+        return list(data)
+
+    return prog
+
+
+def run_under(plan):
+    return run_spmd(
+        make_prog(),
+        n_procs=N_PROCS,
+        fault_plan=plan,
+        barrier_algorithm="dissemination",
+    )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    drop=st.floats(min_value=0.0, max_value=0.08),
+    dup=st.floats(min_value=0.0, max_value=0.08),
+    delay=st.floats(min_value=0.0, max_value=0.15),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_rate_plans_recover(seed, drop, dup, delay):
+    plan = FaultPlan(
+        seed=seed,
+        default=LinkFaults(drop=drop, dup=dup, delay=delay, delay_cycles=1200),
+    )
+    res = run_under(plan)
+    assert res.results == [EXPECTED] * N_PROCS
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    action=st.sampled_from(["drop", "dup", "delay"]),
+    category=st.sampled_from(
+        ["ace.sc.read_req", "ace.sc.write_req", "ace.sc.inval", "ace.lock.req"]
+    ),
+    nth=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_targeted_one_shots_recover(seed, action, category, nth):
+    plan = FaultPlan.none(seed)
+    plan.one_shots.append(OneShot(action, category=category, nth=nth))
+    res = run_under(plan)
+    assert res.results == [EXPECTED] * N_PROCS
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    src=st.integers(min_value=0, max_value=N_PROCS - 1),
+    dst=st.integers(min_value=0, max_value=N_PROCS - 1),
+)
+@settings(max_examples=15, deadline=None)
+def test_one_lossy_link_recovers(seed, src, dst):
+    plan = FaultPlan(seed=seed)
+    plan.per_link[(src, dst)] = LinkFaults(drop=0.2, delay=0.2, delay_cycles=2000)
+    res = run_under(plan)
+    assert res.results == [EXPECTED] * N_PROCS
