@@ -20,10 +20,14 @@ Two cooperating analyses, exactly as the paper sketches:
    associated with.  Iterated to fixpoint over the call graph, so
    recursion is handled.
 
-The product — ``instr.protocols`` on every annotation op — drives all
-three optimization passes: a pass may touch an access only if *every*
-possible protocol is registered optimizable, and direct dispatch fires
-only when the set is a singleton.
+The product — ``instr.protocols`` on every annotation op *and* on the
+``deref_load``/``deref_store`` accesses they bracket — drives all
+three optimization passes and the sanitizer: a pass may touch an
+access only if *every* possible protocol is registered optimizable,
+direct dispatch fires only when the set is a singleton, and the
+discipline checker (:mod:`repro.sanitize.static_check`) uses the same
+stamp to decide whether a bare deref is a legally elided null hook or
+a violation.
 """
 
 from __future__ import annotations
@@ -223,7 +227,8 @@ def _protocol_state_analysis(program: ProgramIR, result: AnalysisResult, origins
         state = dict(state)
         calls_out = []
         for ins in block.instrs:
-            if ins.op in ("map", "start_read", "end_read", "start_write", "end_write", "unmap"):
+            if ins.op in ("map", "start_read", "end_read", "start_write", "end_write",
+                          "unmap", "deref_load", "deref_store"):
                 if record:
                     node = _node(fname, ins.args[0]) if isinstance(ins.args[0], str) else None
                     region_sites = [

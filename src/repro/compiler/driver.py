@@ -70,14 +70,26 @@ def compile_source(
     source: str,
     opt: OptConfig = OPT_DIRECT,
     registry: ProtocolRegistry | None = None,
+    sanitize: bool = False,
 ) -> CompiledProgram:
-    """Compile AceC source at the given optimization level."""
+    """Compile AceC source at the given optimization level.
+
+    With ``sanitize=True`` the static annotation checker runs twice —
+    on the analyzed IR straight after lowering (front-end bugs) and
+    again after the optimization passes (pass bugs) — raising
+    :class:`~repro.compiler.errors.AnnotationError` on any discipline
+    violation.  ``pass_stats["sanitize"]`` records both clean phases.
+    """
     registry = registry or default_registry
     ast = parse(source)
     ir = lower_program(ast)
     insert_annotations(ir)
     analyze(ir, registry)
     stats = {}
+    if sanitize:
+        from repro.sanitize import check_or_raise
+
+        check_or_raise(ir, registry, phase="post-lowering")
     if opt.li:
         stats["hoisted"] = hoist_loop_invariant(ir, registry)
     if opt.mc:
@@ -86,6 +98,9 @@ def compile_source(
         devirt, deleted = direct_dispatch(ir, registry)
         stats["devirtualized"] = devirt
         stats["deleted"] = deleted
+    if sanitize:
+        check_or_raise(ir, registry, phase=f"post-optimization ({opt.name})", strict=False)
+        stats["sanitize"] = ["post-lowering", f"post-optimization ({opt.name})"]
     return CompiledProgram(ir=ir, opt=opt, registry=registry, pass_stats=stats)
 
 

@@ -8,8 +8,13 @@ calls to that protocol action can be removed."
 
 Concretely: an annotation op whose protocol set is a singleton gets
 ``direct = True`` (the interpreter skips the space-lookup dispatch
-charge); if the unique protocol registers that hook null, the op is
-deleted outright.
+charge); if the unique protocol registers that hook null *and* is
+optimizable, the op is deleted outright.  Devirtualization is always
+safe — it only shortens the call path — but deletion removes the hook
+invocation itself, and Figure 1's ``optimizable`` flag is exactly the
+protocol designer's statement about whether that is allowed: a
+non-optimizable protocol (RaceDetect, Counter) may declare a hook null
+for dispatch purposes while still requiring every call to run.
 """
 
 from __future__ import annotations
@@ -38,8 +43,9 @@ def direct_dispatch(program: ProgramIR, registry) -> tuple[int, int]:
                     and len(ins.protocols) == 1
                 ):
                     (proto,) = ins.protocols
+                    spec = registry.spec(proto)
                     hook = _HOOK_OF.get(ins.op)
-                    if hook is not None and registry.spec(proto).is_null(hook):
+                    if hook is not None and spec.optimizable and spec.is_null(hook):
                         deleted += 1
                         continue  # null handler: remove the call entirely
                     ins.direct = True

@@ -39,6 +39,16 @@ class AceRuntime:
         Runtime-layer costs.
     barrier_algorithm:
         ``"hw"`` (CM-5 control network) or ``"dissemination"``.
+    check:
+        Enable the dynamic sanitizer: every annotation call is mirrored
+        into a :class:`~repro.sanitize.dynamic.DynamicChecker` (races,
+        use-after-unmap).  Strictly zero-cost when ``False`` — the
+        checked wrappers are installed as instance attributes only when
+        requested, so the default construction path is untouched; even
+        when ``True`` the wrappers charge no cycles, so the simulated
+        clock matches an unchecked run.
+    checker:
+        Supply a pre-built checker instead (implies ``check=True``).
     """
 
     def __init__(
@@ -47,6 +57,8 @@ class AceRuntime:
         registry: ProtocolRegistry | None = None,
         config: AceConfig | None = None,
         barrier_algorithm: str = "hw",
+        check: bool = False,
+        checker=None,
     ):
         transport = as_transport(fabric)
         self.transport = transport
@@ -56,28 +68,109 @@ class AceRuntime:
         self.regions = RegionDirectory()
         self.spaces: list[Space] = []
         self.region_space: dict[int, Space] = {}
-        # Shared services protocols delegate to — all built over the one
-        # transport, so every layer sees the same fabric (and the same
-        # traced message path when observability is on).
-        self.sc_engine = CoherenceEngine(transport, self.regions, ACE_SC_COSTS, stats_prefix="ace.sc")
-        self.locks = LockService(transport, self.regions, stats_prefix="ace.lock")
-        self._barrier = BarrierService(transport, algorithm=barrier_algorithm)
-        self._space_ctr = [0] * transport.n_procs
-        self._stats = transport.stats
-        self._sim = transport.sim
-        self._counts = transport.stats.counter_ref()  # hot-path counter access
         # Observability: protocol lifecycle is rare, so the runtime only
         # emits space creation / protocol swap events — the per-access
         # dispatch fast path below carries no tracing branches at all
         # (message-level detail comes from the machine layer).
         tracer = transport.tracer
         self._obs = tracer.tracer("runtime") if tracer is not None else None
+        # Dynamic sanitizer (built before the coherence engine so the
+        # cache/hooks layers can report into it).
+        if checker is None and check:
+            from repro.sanitize.dynamic import DynamicChecker
+
+            checker = DynamicChecker(
+                transport.n_procs,
+                obs=tracer.tracer("sanitize") if tracer is not None else None,
+                sim=transport.sim,
+            )
+        self.checker = checker
+        # Shared services protocols delegate to — all built over the one
+        # transport, so every layer sees the same fabric (and the same
+        # traced message path when observability is on).
+        self.sc_engine = CoherenceEngine(
+            transport, self.regions, ACE_SC_COSTS, stats_prefix="ace.sc", checker=checker
+        )
+        self.locks = LockService(transport, self.regions, stats_prefix="ace.lock")
+        self._barrier = BarrierService(transport, algorithm=barrier_algorithm)
+        self._space_ctr = [0] * transport.n_procs
+        self._stats = transport.stats
+        self._sim = transport.sim
+        self._counts = transport.stats.counter_ref()  # hot-path counter access
         # Delay singletons for the fixed runtime charges (see sim.kernel:
         # pooled anyway, but a pre-bound attribute also skips __new__).
         self._d_dispatch = Delay(self.config.dispatch_cost)
         self._d_space_create = Delay(self.config.space_create)
         self._d_gmalloc_extra = Delay(self.config.gmalloc_extra)
         self._d_change_protocol = Delay(self.config.change_protocol)
+        if checker is not None:
+            self._install_checked(checker)
+
+    # ------------------------------------------------------------------
+    # dynamic sanitizer wrappers
+    # ------------------------------------------------------------------
+    def _install_checked(self, checker) -> None:
+        """Swap in checker-notifying variants of the annotation primitives.
+
+        Mirrors the instance-attribute pattern used by the DSM layers
+        (:meth:`RegionCache._install_reliable`): an unchecked runtime
+        keeps the plain bound methods, so ``check=False`` is strictly
+        zero-cost.  The wrappers observe and delegate — they yield no
+        extra :class:`Delay`, so even a checked run's simulated clock is
+        bit-identical to an unchecked one.
+
+        Ordering matters for race detection: accesses are recorded
+        *before* the protocol acts (the race exists at the program point
+        of the access, not after coherence traffic resolves it), while
+        map/lock acquisitions are recorded *after* the delegate returns
+        (the resource is only held once the protocol grants it) and lock
+        releases *before* (the happens-before edge is published at the
+        moment of release).
+        """
+        inner_map = self.map
+        inner_unmap = self.unmap
+        inner_start_read = self.start_read
+        inner_start_write = self.start_write
+        inner_rendezvous = self.rendezvous
+        inner_lock = self.lock
+        inner_unlock = self.unlock
+
+        def cmap(nid, rid, direct=False):
+            handle = yield from inner_map(nid, rid, direct)
+            checker.map_acquired(nid, handle.region.rid)
+            return handle
+
+        def cunmap(nid, handle, direct=False):
+            yield from inner_unmap(nid, handle, direct)
+            checker.unmapped(nid, handle.region.rid)
+
+        def cstart_read(nid, handle, direct=False):
+            checker.access(nid, handle.region.rid, write=False)
+            yield from inner_start_read(nid, handle, direct)
+
+        def cstart_write(nid, handle, direct=False):
+            checker.access(nid, handle.region.rid, write=True)
+            yield from inner_start_write(nid, handle, direct)
+
+        def crendezvous(nid):
+            checker.barrier_arrive(nid)
+            yield from inner_rendezvous(nid)
+
+        def clock(nid, rid, direct=False):
+            yield from inner_lock(nid, rid, direct)
+            checker.lock_acquired(nid, rid)
+
+        def cunlock(nid, rid, direct=False):
+            checker.lock_released(nid, rid)
+            yield from inner_unlock(nid, rid, direct)
+
+        self.map = cmap
+        self.unmap = cunmap
+        self.start_read = cstart_read
+        self.start_write = cstart_write
+        self.rendezvous = crendezvous
+        self.lock = clock
+        self.unlock = cunlock
 
     # ------------------------------------------------------------------
     # Table 2 library routines

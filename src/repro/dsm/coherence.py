@@ -74,6 +74,12 @@ class CoherenceEngine:
     n_dir_shards:
         Directory shard count (see
         :class:`~repro.dsm.directory.DirectoryService`).
+    checker:
+        Optional :class:`~repro.sanitize.dynamic.DynamicChecker`.  When
+        set, the cache reports copy installs/invalidations and the
+        hooks validate mapping discipline on every access — both via
+        the instance-attribute swap pattern, so a checker-less engine
+        runs the exact same code paths as before.
     """
 
     def __init__(
@@ -83,6 +89,7 @@ class CoherenceEngine:
         costs: DSMCosts,
         stats_prefix: str = "dsm",
         n_dir_shards: int = 1,
+        checker=None,
     ):
         transport = as_transport(fabric)
         self.transport = transport
@@ -90,11 +97,14 @@ class CoherenceEngine:
         self.regions = regions
         self.costs = costs
         self.prefix = stats_prefix
+        self.checker = checker
         # One observability handle for the whole engine (None when
         # tracing is off), shared by the layers that emit region state.
         tracer = transport.tracer
         obs = tracer.tracer("dsm." + stats_prefix) if tracer is not None else None
-        self.cache = RegionCache(transport, regions, costs, prefix=stats_prefix, obs=obs)
+        self.cache = RegionCache(
+            transport, regions, costs, prefix=stats_prefix, obs=obs, checker=checker
+        )
         self.directory = DirectoryService(
             transport, regions, costs, prefix=stats_prefix, n_shards=n_dir_shards
         )
@@ -104,7 +114,14 @@ class CoherenceEngine:
         self.directory.wire_cache(self.cache)
         self.cache.wire_directory(self.directory)
         hooks = self.hooks = ProtocolHooks(
-            transport, regions, costs, self.directory, self.cache, prefix=stats_prefix, obs=obs
+            transport,
+            regions,
+            costs,
+            self.directory,
+            self.cache,
+            prefix=stats_prefix,
+            obs=obs,
+            checker=checker,
         )
         # Public API: the hook generators, bound through (callers drive
         # the hooks frame directly; no adapter generator in between).

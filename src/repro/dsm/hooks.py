@@ -44,6 +44,7 @@ class ProtocolHooks:
         cache: RegionCache,
         prefix: str = "dsm",
         obs=None,
+        checker=None,
     ):
         self.transport = transport
         self.regions = regions
@@ -108,6 +109,37 @@ class ProtocolHooks:
             self._kit = transport.kit
             self._rpc = self._kit.rpc
             self._send_grant_ack = self._send_grant_ack_r
+        if checker is not None:
+            self._install_checked(checker)
+
+    def _install_checked(self, checker) -> None:
+        """Swap in access hooks that validate cache-level mapping
+        discipline before delegating (instance-attribute pattern, like
+        the reliable variants above: zero cost when no checker is set).
+
+        The runtime-level wrapper already checks *handle*-level
+        discipline for every protocol; this cache-level probe
+        additionally catches accesses that reach the coherence core on
+        a copy whose ``map_count`` has dropped to zero — possible when
+        a protocol caches copies across unmaps and hands out a stale
+        path.  The probe charges no cycles.
+        """
+        self._checker = checker
+        inner_start_read = self.start_read
+        inner_start_write = self.start_write
+
+        def start_read(nid, copy):
+            if copy.meta["map_count"] <= 0:
+                checker.unmapped_use(nid, copy.rid, where="coherence start_read")
+            yield from inner_start_read(nid, copy)
+
+        def start_write(nid, copy):
+            if copy.meta["map_count"] <= 0:
+                checker.unmapped_use(nid, copy.rid, where="coherence start_write")
+            yield from inner_start_write(nid, copy)
+
+        self.start_read = start_read
+        self.start_write = start_write
 
     # ------------------------------------------------------------------
     # helpers

@@ -37,6 +37,7 @@ class RegionCache:
         costs: DSMCosts,
         prefix: str = "dsm",
         obs=None,
+        checker=None,
     ):
         self.transport = transport
         self.regions = regions
@@ -59,6 +60,42 @@ class RegionCache:
         self._h_inval_ack = None
         if not transport.reliable:
             self._install_reliable(transport)
+        if checker is not None:
+            self._install_checked(checker)
+
+    def _install_checked(self, checker) -> None:
+        """Swap in sanitizer-notifying variants of install/invalidate.
+
+        Same pattern as :meth:`_install_reliable`: a checker-less cache
+        keeps the original methods, so the dynamic sanitizer is strictly
+        zero-cost when off.  Notifications change no simulated state and
+        charge no cycles, so even a checked run keeps its clock.
+        """
+        self._checker = checker
+        inner_install = self.install
+        inner_apply = self._apply_inval
+
+        def install(nid, region):
+            copy = inner_install(nid, region)
+            checker.cache_installed(nid, region.rid)
+            return copy
+
+        def _apply_inval(copy, mode):
+            inner_apply(copy, mode)
+            if copy.state == "invalid":
+                checker.cache_invalidated(copy.node, copy.region.rid)
+
+        self.install = install
+        self._apply_inval = _apply_inval
+
+        inner_apply_r = self._apply_inval_r
+
+        def _apply_inval_r(copy, mode, fut, seq):
+            inner_apply_r(copy, mode, fut, seq)
+            if copy.state == "invalid":
+                checker.cache_invalidated(copy.node, copy.region.rid)
+
+        self._apply_inval_r = _apply_inval_r
 
     def _install_reliable(self, transport) -> None:
         """Swap in the ack'd invalidation receive side (lossy fabric).

@@ -208,6 +208,12 @@ class RunResult:
         return self.machine.stats
 
     @property
+    def checker(self):
+        """The run's :class:`~repro.sanitize.dynamic.DynamicChecker`
+        (None unless ``run_spmd(..., check=True)``)."""
+        return getattr(getattr(self.backend, "runtime", None), "checker", None)
+
+    @property
     def tracer(self):
         """The run's :class:`~repro.obs.TraceBuffer` (None when tracing off)."""
         return self.machine.tracer
@@ -223,6 +229,7 @@ def run_spmd(
     tracer=None,
     fault_plan=None,
     retry_policy=None,
+    check: bool = False,
     **backend_kwargs,
 ) -> RunResult:
     """Run an SPMD program on a fresh simulated machine; returns :class:`RunResult`.
@@ -241,12 +248,23 @@ def run_spmd(
     timeout/backoff schedule.  With ``fault_plan=None`` no fault
     machinery is constructed and cycles are bit-identical to earlier
     releases.
+
+    ``check=True`` runs the dynamic sanitizer (Ace backend only): a
+    :class:`~repro.sanitize.dynamic.DynamicChecker` observes every
+    annotation call and reports races / use-after-unmap on
+    ``result.checker``.  The checker charges no cycles, so
+    ``result.time`` is identical with and without it; with
+    ``check=False`` no checker code runs at all.
     """
     factories = {"ace": AceBackend, "crl": CRLBackend}
     try:
         factory = factories[backend]
     except KeyError:
         raise ValueError(f"unknown backend {backend!r}; choose from {sorted(factories)}") from None
+    if check:
+        if backend != "ace":
+            raise ValueError("check=True requires the 'ace' backend (dynamic sanitizer)")
+        backend_kwargs["check"] = True
     sim = Simulator(trace=trace, jitter_seed=jitter_seed, tracer=tracer)
     cfg = machine_config or MachineConfig(n_procs=n_procs)
     if cfg.n_procs != n_procs:
@@ -260,4 +278,8 @@ def run_spmd(
     be = factory(fabric, **backend_kwargs)
     ctxs = [NodeContext(be, i) for i in range(n_procs)]
     results = sim.run_all((program(ctx) for ctx in ctxs), prefix="proc")
+    # A leftover push_phase would misattribute everything counted after
+    # it; surface the imbalance at the run boundary with the open stack
+    # (machine.stats.PhaseScopeError) instead of silently mis-scoping.
+    machine.stats.require_balanced()
     return RunResult(time=sim.now, results=results, machine=machine, backend=be)

@@ -11,6 +11,6 @@ Active Messages mechanism".
 
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine, Node
-from repro.machine.stats import Stats
+from repro.machine.stats import PhaseScopeError, Stats
 
-__all__ = ["Machine", "MachineConfig", "Node", "Stats"]
+__all__ = ["Machine", "MachineConfig", "Node", "PhaseScopeError", "Stats"]

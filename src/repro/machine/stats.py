@@ -22,6 +22,22 @@ from collections import Counter
 from contextlib import contextmanager
 
 
+class PhaseScopeError(ValueError):
+    """Unbalanced phase scoping: a pop without a push, or phases left
+    open at the end of a run.
+
+    Subclasses :class:`ValueError` for backwards compatibility; carries
+    the offending phase stack so callers (and CI logs) see exactly
+    which pushes were never matched.
+    """
+
+    def __init__(self, message: str, stack: list[str]):
+        stacked = " > ".join(stack) if stack else "<empty>"
+        super().__init__(f"{message} (phase stack: {stacked})")
+        #: innermost-last names of the phases open when the error fired
+        self.stack = list(stack)
+
+
 def intern_key(*parts: str) -> str:
     """Join ``parts`` with dots and intern the result.
 
@@ -134,10 +150,27 @@ class Stats:
         """Begin a named phase (nestable; pops must match pushes)."""
         self._phase_stack.append((name, dict(self._counts)))
 
+    def open_phases(self) -> list[str]:
+        """Names of the currently open phases, outermost first."""
+        return [name for name, _ in self._phase_stack]
+
+    def require_balanced(self) -> None:
+        """Raise :class:`PhaseScopeError` if any phase is still open.
+
+        Called at the end of a run: a leftover push would silently
+        misattribute every later counter bump to a phase the program
+        thought it had closed.
+        """
+        if self._phase_stack:
+            raise PhaseScopeError(
+                f"{len(self._phase_stack)} phase(s) still open at end of run",
+                self.open_phases(),
+            )
+
     def pop_phase(self) -> dict:
         """End the innermost phase; accumulate and return its delta."""
         if not self._phase_stack:
-            raise ValueError("pop_phase with no phase pushed")
+            raise PhaseScopeError("pop_phase with no phase pushed", [])
         name, base = self._phase_stack.pop()
         get = base.get
         delta = {k: d for k, v in self._counts.items() if (d := v - get(k, 0))}

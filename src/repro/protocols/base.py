@@ -57,6 +57,10 @@ class ProtocolSpec:
     null_hooks: frozenset = field(default_factory=frozenset)
     description: str = ""
     hardware: bool = False
+    #: the protocol's write path assumes the writer is the home node
+    #: (conformance harnesses pick their writer from this — it is part
+    #: of the registration record, not a list tests maintain by hand)
+    home_writer: bool = False
 
     def __post_init__(self):
         unknown = set(self.null_hooks) - set(HOOK_NAMES)

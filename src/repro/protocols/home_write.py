@@ -33,6 +33,7 @@ class HomeWriteProtocol(CachedCopyProtocol):
         optimizable=True,
         null_hooks=frozenset({"end_read"}),
         description="only the home writes; readers bulk-fetch and version-check",
+        home_writer=True,
     )
 
     CHECK_COST = 10

@@ -29,6 +29,7 @@ class NullProtocol(CachedCopyProtocol):
         optimizable=True,
         null_hooks=frozenset({"start_read", "end_read", "end_write"}),
         description="no coherence actions; remote writes are protocol misuse",
+        home_writer=True,
     )
 
     def start_write(self, nid: int, handle):

@@ -47,6 +47,9 @@ class RaceDetectProtocol(CachedCopyProtocol):
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
         n = self.transport.n_procs
+        # Dynamic sanitizer, if the runtime carries one: protocol-level
+        # race verdicts are folded into its unified report.
+        self._checker = getattr(runtime, "checker", None)
         self._epoch = [0] * n
         # per node: rid -> {"r": bool, "w": bool}
         self._touched: list[dict] = [dict() for _ in range(n)]
@@ -170,6 +173,8 @@ class RaceDetectProtocol(CachedCopyProtocol):
                     (epoch, rid, tuple(sorted(readers)), tuple(sorted(writers)))
                 )
                 self._count("race")
+                if self._checker is not None:
+                    self._checker.adopt_protocol_race(epoch, rid, readers, writers)
             if writers:
                 targets = sorted((readers | writers) - {nid})
                 if targets:

@@ -46,6 +46,7 @@ class StaticUpdateProtocol(CachedCopyProtocol):
         optimizable=True,
         null_hooks=frozenset({"start_read", "end_read", "start_write"}),
         description="sharer lists built at first map; homes push updates at barriers",
+        home_writer=True,
     )
 
     END_WRITE_COST = 8

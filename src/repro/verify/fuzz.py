@@ -31,8 +31,14 @@ class FuzzReport:
 
     @property
     def failing_seeds(self) -> list:
-        """Every seed that produced a violation, in sweep order."""
-        return [v.seed for v in self.violations]
+        """Every distinct seed that produced a violation, sorted.
+
+        A seed can violate more than once (run crash plus invariant
+        message, or repeated sweeps feeding one report); deduping and
+        sorting keeps the summary — and the chaos-CI artifacts built
+        from it — stable and diffable across runs.
+        """
+        return sorted(set(v.seed for v in self.violations))
 
     def summary(self) -> str:
         if self.ok:

@@ -129,6 +129,30 @@ def test_loop_invariance_hoists_optimizable_only():
     assert prog_sc.pass_stats["hoisted"] == 0
 
 
+def test_direct_dispatch_deletes_null_hooks_of_optimizable_only():
+    template = """
+    void main() {{
+        int s = ace_new_space("{proto}");
+        shared double *p;
+        p = ace_gmalloc(s, 4);
+        double v = p[0];
+        print(v);
+    }}
+    """
+    # Counter declares end_read null but is NOT optimizable — its hooks
+    # are the protocol's semantics, so the call must survive: it gets
+    # devirtualized, never deleted.
+    prog = compile_source(template.format(proto="Counter"), opt=OPT_DIRECT)
+    ends = [i for i in annos_of(prog) if i.op == "end_read"]
+    assert ends and all(i.direct for i in ends)
+    assert prog.pass_stats["deleted"] == 0
+
+    # StaticUpdate is optimizable with the same hook null: deleted.
+    prog_su = compile_source(template.format(proto="StaticUpdate"), opt=OPT_DIRECT)
+    assert all(i.op != "end_read" for i in annos_of(prog_su))
+    assert prog_su.pass_stats["deleted"] > 0
+
+
 def test_no_motion_past_synchronization():
     src = """
     void main() {

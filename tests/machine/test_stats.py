@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.machine import Stats
+from repro.machine import PhaseScopeError, Stats
 
 
 def test_count_and_get():
@@ -101,6 +101,39 @@ def test_phase_nesting_and_context_manager():
 def test_pop_phase_without_push_raises():
     with pytest.raises(ValueError):
         Stats().pop_phase()
+
+
+def test_pop_phase_without_push_is_structured():
+    with pytest.raises(PhaseScopeError) as exc:
+        Stats().pop_phase()
+    assert exc.value.stack == []
+    assert "phase stack: <empty>" in str(exc.value)
+
+
+def test_require_balanced_names_leftover_phases():
+    s = Stats()
+    s.push_phase("setup")
+    s.push_phase("iterate")
+    with pytest.raises(PhaseScopeError) as exc:
+        s.require_balanced()
+    assert exc.value.stack == ["setup", "iterate"]
+    assert "setup > iterate" in str(exc.value)
+    # Balance it out and the check passes.
+    s.pop_phase()
+    s.pop_phase()
+    s.require_balanced()
+
+
+def test_run_spmd_rejects_leftover_phase():
+    from repro.facade import run_spmd
+
+    def prog(ctx):
+        ctx.push_phase("never-closed")
+        yield from ctx.barrier()
+
+    with pytest.raises(PhaseScopeError) as exc:
+        run_spmd(prog, n_procs=2)
+    assert exc.value.stack == ["never-closed"]
 
 
 def test_snapshot_is_a_copy():

@@ -26,20 +26,41 @@ lookups, so the probe itself cannot disturb the state it inspects.
 
 from __future__ import annotations
 
+import importlib
+import pkgutil
+
 import pytest
 
+import repro.protocols
 from repro.facade import run_spmd
 from repro.protocols.registry import default_registry
+
+# Import every module in the protocols package before enumerating the
+# registry: registration is an import side effect, so a protocol module
+# the package __init__ forgot to list would otherwise never register —
+# and silently never be tested.  After this sweep, the parametrization
+# below is exhaustive by construction.
+for _mod in pkgutil.iter_modules(repro.protocols.__path__):
+    importlib.import_module(f"repro.protocols.{_mod.name}")
 
 N_PROCS = 2
 VALUES = [4.0, 2.0]
 
-#: protocols whose write path assumes the writer is the home node
-HOME_WRITER = {"Null", "StaticUpdate", "HomeWrite"}
+
+def test_registry_covers_every_shipped_protocol():
+    """The matrix below runs once per registered protocol; guard that
+    the registry itself is not quietly shrinking."""
+    names = default_registry.names()
+    assert len(names) >= 11, names
+    # The paper's core trio must always be present.
+    assert {"SC", "StaticUpdate", "DynamicUpdate"} <= set(names)
 
 
 def _writer(protocol: str) -> int:
-    return 0 if protocol in HOME_WRITER else 1
+    # Derived from the registration record (ProtocolSpec.home_writer),
+    # not a hand-maintained list: a new protocol declares its own
+    # write-path constraint and is matrixed correctly from day one.
+    return 0 if default_registry.spec(protocol).home_writer else 1
 
 
 def _partner(protocol: str) -> str:

@@ -161,3 +161,15 @@ def test_report_summary_strings():
     bad = fuzz_schedules(factory, lambda r: "nope", n_procs=2, seeds=[1, 2])
     assert "2/2 schedules" in bad.summary()
     assert bad.violations[0].seed == 1
+
+
+def test_failing_seeds_deduped_and_sorted():
+    from repro.verify.fuzz import FuzzReport, Violation
+
+    report = FuzzReport(seeds_run=5)
+    for seed in (9, 3, 9, 1, 3):
+        report.violations.append(Violation(seed, "boom"))
+    assert report.failing_seeds == [1, 3, 9]
+    # summary uses the canonical list, so two reports with the same
+    # failing set render identically whatever the sweep order was.
+    assert "failing seeds [1, 3, 9]" in report.summary()

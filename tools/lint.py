@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Sanitizer driver: lint AceC kernels and dynamically check the SPMD apps.
+
+Three batteries, each with a hard expectation; any deviation is a
+nonzero exit:
+
+1. **Static lint** — every AceC kernel compiles with ``sanitize=True``
+   at every optimization level: the annotation-discipline checker must
+   certify both the lowered IR and the optimized IR with zero
+   violations.
+2. **Seeded static fixtures** — four deliberately misannotated programs
+   (missing END, write under START_READ, double START, UNMAP leak).
+   Each must *fail* compilation with a diagnostic naming the function,
+   the source line, and the violated rule.
+3. **Dynamic check** — the five Python-SPMD apps run under
+   ``run_spmd(..., check=True)``.  BSC and EM3D are fully
+   barrier-ordered and must come back clean.  Barnes-Hut, TSP, and
+   Water intentionally perform intra-epoch shared read-modify-writes
+   (job counters, incumbent bounds, force accumulation) that rely on
+   per-access exclusivity rather than program-order synchronization —
+   the strict happens-before model reports those, as the paper's LCM
+   citation would, so for them the expectation is *races reported, on
+   the known regions*.  A seeded two-node write-write race fixture must
+   be detected, and every checked run must keep its simulated cycle
+   count bit-identical to the unchecked run (the checker charges no
+   cycles).
+
+Usage::
+
+    PYTHONPATH=src python tools/lint.py                 # everything
+    PYTHONPATH=src python tools/lint.py --static-only
+    PYTHONPATH=src python tools/lint.py --dynamic-only
+    PYTHONPATH=src python tools/lint.py --out lint.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps import acec_sources as K  # noqa: E402
+from repro.compiler.driver import (  # noqa: E402
+    OPT_BASE,
+    OPT_DIRECT,
+    OPT_LI,
+    OPT_LI_MC,
+    compile_source,
+)
+from repro.compiler.errors import AnnotationError  # noqa: E402
+from repro.facade.context import run_spmd  # noqa: E402
+
+ALL_OPTS = (OPT_BASE, OPT_LI, OPT_LI_MC, OPT_DIRECT)
+
+KERNELS = {
+    "em3d": lambda: K.em3d_source(K.EM3DKernelWL()),
+    "bsc": lambda: K.bsc_source(K.BSCKernelWL()),
+    "water": lambda: K.water_source(K.WaterKernelWL()),
+    "bh": lambda: K.bh_source(K.BHKernelWL()),
+    "tsp": lambda: K.tsp_source(K.TSPKernelWL()),
+}
+
+_PRELUDE = """
+void main() {
+    int s = ace_new_space("SC");
+    shared double *p;
+    p = ace_gmalloc(s, 4);
+    mapped double *m;
+    m = ace_map(p);
+"""
+
+#: name -> (source, rule the diagnostic must carry)
+SEEDED_FIXTURES = {
+    "missing_end": (
+        _PRELUDE + "    ace_start_write(m);\n    m[0] = 1;\n}\n",
+        "open-access-at-exit",
+    ),
+    "write_under_read": (
+        _PRELUDE + "    ace_start_read(m);\n    m[0] = 1;\n    ace_end_read(m);\n}\n",
+        "write-under-read",
+    ),
+    "double_start": (
+        _PRELUDE
+        + "    ace_start_read(m);\n    ace_start_read(m);\n"
+        + "    ace_end_read(m);\n    ace_end_read(m);\n}\n",
+        "double-start",
+    ),
+    "unmap_leak": (
+        """
+void main() {
+    int s = ace_new_space("SC");
+    shared double *p;
+    shared double *q;
+    p = ace_gmalloc(s, 4);
+    q = ace_gmalloc(s, 4);
+    mapped double *a;
+    mapped double *b;
+    a = ace_map(p);
+    b = ace_map(q);
+    ace_start_write(a);
+    a[0] = 1;
+    ace_end_write(a);
+    ace_start_write(b);
+    b[0] = 2;
+    ace_end_write(b);
+    ace_unmap(a);
+}
+""",
+        "map-leak",
+    ),
+}
+
+#: apps whose intra-epoch shared updates the checker is expected to report
+EXPECT_CLEAN = {"BSC", "EM3D"}
+
+
+def lint_static() -> tuple[list[dict], int]:
+    rows, failures = [], 0
+    for kernel, source_f in sorted(KERNELS.items()):
+        source = source_f()
+        for opt in ALL_OPTS:
+            row = {"kernel": kernel, "opt": opt.name, "ok": True, "error": None}
+            try:
+                compile_source(source, opt=opt, sanitize=True)
+            except AnnotationError as exc:
+                row["ok"] = False
+                row["error"] = str(exc)
+                failures += 1
+            rows.append(row)
+            status = "clean" if row["ok"] else "VIOLATIONS"
+            print(f"  static {kernel:6s} @ {opt.name:8s} {status}")
+            if row["error"]:
+                print("    " + row["error"].replace("\n", "\n    "))
+    return rows, failures
+
+
+def lint_fixtures() -> tuple[list[dict], int]:
+    rows, failures = [], 0
+    for name, (source, rule) in sorted(SEEDED_FIXTURES.items()):
+        row = {"fixture": name, "rule": rule, "ok": False, "diagnostic": None}
+        try:
+            compile_source(source, sanitize=True)
+            print(f"  fixture {name}: NOT FLAGGED (sanitizer miss)")
+            failures += 1
+        except AnnotationError as exc:
+            msg = str(exc)
+            row["diagnostic"] = msg
+            # precise: names the rule, the function, and a source line
+            row["ok"] = f"[{rule}]" in msg and "main:" in msg
+            if row["ok"]:
+                first = msg.splitlines()[1].strip()
+                print(f"  fixture {name}: flagged -> {first}")
+            else:
+                print(f"  fixture {name}: flagged but imprecise: {msg}")
+                failures += 1
+        rows.append(row)
+    return rows, failures
+
+
+def _seeded_race_program(state):
+    def program(ctx):
+        sid = yield from ctx.new_space("SC")
+        if ctx.nid == 0:
+            state["rid"] = yield from ctx.gmalloc(sid, 4)
+        yield from ctx.barrier(sid)
+        h = yield from ctx.map(state["rid"])
+        yield from ctx.start_write(h)
+        h.data[:] = ctx.nid
+        yield from ctx.end_write(h)
+        yield from ctx.barrier(sid)
+        yield from ctx.unmap(h)
+
+    return program
+
+
+def lint_dynamic(n_procs: int) -> tuple[list[dict], int]:
+    import repro.harness.experiments as E
+
+    rows, failures = [], 0
+    for app, (prog_f, base_plan, _custom) in sorted(E._PROGRAMS.items()):
+        workload = E.FIG7_WORKLOADS[app]()
+        program = prog_f(workload, base_plan)
+        base = run_spmd(program, n_procs=n_procs)
+        checked = run_spmd(program, n_procs=n_procs, check=True)
+        ck = checked.checker
+        expect_clean = app in EXPECT_CLEAN
+        ok = (checked.time == base.time) and (ck.clean == expect_clean)
+        row = {
+            "app": app,
+            "expect": "clean" if expect_clean else "races-reported",
+            "clean": ck.clean,
+            "races": len(ck.races),
+            "violations": len(ck.violations),
+            "accesses": ck.accesses_checked,
+            "cycles_identical": checked.time == base.time,
+            "ok": ok,
+            "report": [str(r) for r in ck.report()],
+        }
+        rows.append(row)
+        if not ok:
+            failures += 1
+        print(
+            f"  dynamic {app:10s} expect={row['expect']:15s} "
+            f"races={row['races']:2d} cycles_ok={row['cycles_identical']} "
+            f"-> {'ok' if ok else 'FAIL'}"
+        )
+
+    # the seeded race must be caught, at identical cycle count
+    base = run_spmd(_seeded_race_program({}), n_procs=2)
+    checked = run_spmd(_seeded_race_program({}), n_procs=2, check=True)
+    ck = checked.checker
+    caught = any(r.kind == "ww" for r in ck.races)
+    ok = caught and checked.time == base.time
+    rows.append(
+        {
+            "app": "seeded-ww-race",
+            "expect": "races-reported",
+            "clean": ck.clean,
+            "races": len(ck.races),
+            "violations": len(ck.violations),
+            "accesses": ck.accesses_checked,
+            "cycles_identical": checked.time == base.time,
+            "ok": ok,
+            "report": [str(r) for r in ck.report()],
+        }
+    )
+    if not ok:
+        failures += 1
+    print(f"  dynamic seeded-ww-race caught={caught} -> {'ok' if ok else 'FAIL'}")
+    return rows, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--static-only", action="store_true")
+    parser.add_argument("--dynamic-only", action="store_true")
+    parser.add_argument("--n-procs", type=int, default=4)
+    parser.add_argument("--out", default=None, help="write a JSON report here")
+    args = parser.parse_args(argv)
+
+    report: dict = {}
+    failures = 0
+    if not args.dynamic_only:
+        print("static lint: kernels x optimization levels")
+        report["static"], f = lint_static()
+        failures += f
+        print("static lint: seeded misannotation fixtures")
+        report["fixtures"], f = lint_fixtures()
+        failures += f
+    if not args.static_only:
+        print(f"dynamic check: SPMD apps on {args.n_procs} nodes")
+        report["dynamic"], f = lint_dynamic(args.n_procs)
+        failures += f
+
+    report["failures"] = failures
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.out}")
+    print("lint:", "PASS" if failures == 0 else f"FAIL ({failures} problem(s))")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
