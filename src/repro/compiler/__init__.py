@@ -26,12 +26,17 @@ Pipeline (mirroring the paper's SUIF-based compiler):
    dispatch + null-handler deletion).  All passes respect the
    registry's ``optimizable`` flags and never move code past
    synchronization.
-6. **Execution** — :mod:`interp` runs the optimized IR as an SPMD
-   program on the simulated Ace runtime, charging per-op cycle costs,
-   so Table 4's ladder falls out of real pass behaviour.
+6. **Execution** — two bit-identical backends run the optimized IR as
+   an SPMD program on the simulated Ace runtime, charging per-op cycle
+   costs so Table 4's ladder falls out of real pass behaviour:
+   :mod:`codegen` (default) walks the IR once and emits pre-bound
+   Python closures fused per basic block; :mod:`interp` is the
+   tree-walking interpreter, retained as the differential-testing
+   oracle (``compile_source(backend="interp")``).
 """
 
 from repro.compiler.driver import (
+    BACKENDS,
     OPT_BASE,
     OPT_DIRECT,
     OPT_LI,
@@ -47,6 +52,7 @@ __all__ = [
     "AceCompileError",
     "AceRuntimeErr",
     "AceSyntaxError",
+    "BACKENDS",
     "CompiledProgram",
     "OPT_BASE",
     "OPT_DIRECT",

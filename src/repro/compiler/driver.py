@@ -34,6 +34,30 @@ OPT_LI_MC = OptConfig(True, True, False, "LI+MC")
 OPT_DIRECT = OptConfig(True, True, True, "LI+MC+DC")
 
 
+#: execution backends for compiled programs: the closure codegen is the
+#: default hot path; the tree-walking interpreter stays available as
+#: the differential-testing oracle (DESIGN.md §12).
+BACKENDS = ("closures", "interp")
+
+
+#: memoized front end: benchmarks (and Table 4 itself) compile the same
+#: source at all four optimization levels, and lexing + parsing
+#: dominate compile time.  Lowering never mutates the AST — it builds
+#: fresh IR structures — so one AST is safely shared across compiles
+#: (the determinism tests pin dump-for-dump identical output).
+_PARSE_CACHE: dict[str, object] = {}
+_PARSE_CACHE_MAX = 128
+
+
+def _parse_cached(source: str):
+    ast = _PARSE_CACHE.get(source)
+    if ast is None:
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+            _PARSE_CACHE.clear()
+        ast = _PARSE_CACHE[source] = parse(source)
+    return ast
+
+
 @dataclass
 class CompiledProgram:
     """Compiled AceC: IR plus what the passes did."""
@@ -42,9 +66,19 @@ class CompiledProgram:
     opt: OptConfig
     registry: ProtocolRegistry
     pass_stats: dict = field(default_factory=dict)
+    backend: str = "closures"
+    _closures: object = field(default=None, repr=False, compare=False)
 
     def dump(self) -> str:
         return self.ir.dump()
+
+    def closures(self):
+        """The closure-compiled form (built once, after the passes ran)."""
+        if self._closures is None:
+            from repro.compiler.codegen import compile_closures
+
+            self._closures = compile_closures(self.ir)
+        return self._closures
 
 
 @dataclass
@@ -71,6 +105,7 @@ def compile_source(
     opt: OptConfig = OPT_DIRECT,
     registry: ProtocolRegistry | None = None,
     sanitize: bool = False,
+    backend: str = "closures",
 ) -> CompiledProgram:
     """Compile AceC source at the given optimization level.
 
@@ -79,9 +114,17 @@ def compile_source(
     again after the optimization passes (pass bugs) — raising
     :class:`~repro.compiler.errors.AnnotationError` on any discipline
     violation.  ``pass_stats["sanitize"]`` records both clean phases.
+
+    ``backend`` picks the execution engine ``run_compiled`` will use:
+    ``"closures"`` (default) walks the optimized IR once and emits
+    pre-bound Python closures; ``"interp"`` is the tree-walking
+    interpreter, kept as the differential-testing oracle.  Both produce
+    bit-identical results, simulated cycles, and kernel event streams.
     """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}")
     registry = registry or default_registry
-    ast = parse(source)
+    ast = _parse_cached(source)
     ir = lower_program(ast)
     insert_annotations(ir)
     analyze(ir, registry)
@@ -101,7 +144,7 @@ def compile_source(
     if sanitize:
         check_or_raise(ir, registry, phase=f"post-optimization ({opt.name})", strict=False)
         stats["sanitize"] = ["post-lowering", f"post-optimization ({opt.name})"]
-    return CompiledProgram(ir=ir, opt=opt, registry=registry, pass_stats=stats)
+    return CompiledProgram(ir=ir, opt=opt, registry=registry, pass_stats=stats, backend=backend)
 
 
 def run_compiled(
@@ -109,13 +152,33 @@ def run_compiled(
     n_procs: int = 4,
     host_data: dict | None = None,
     machine_config: MachineConfig | None = None,
+    backend: str | None = None,
 ) -> CompiledRun:
-    """Execute a compiled program SPMD on a fresh simulated machine."""
+    """Execute a compiled program SPMD on a fresh simulated machine.
+
+    ``backend`` overrides the one recorded at :func:`compile_source`
+    time (``"closures"`` or ``"interp"``); the two are bit-identical in
+    results, cycles, and kernel events (the oracle tests pin this).
+    """
+    which = backend if backend is not None else program.backend
     bb: dict = {}
     prints: list = []
 
-    def spmd(ctx):
-        return Interp(program.ir, ctx, bb, prints, host_data).run()
+    if which == "closures":
+        from repro.compiler.codegen import bind_node
+
+        closures = program.closures()
+
+        def spmd(ctx):
+            return bind_node(closures, ctx, bb, prints, host_data)
+
+    elif which == "interp":
+
+        def spmd(ctx):
+            return Interp(program.ir, ctx, bb, prints, host_data).run()
+
+    else:
+        raise ValueError(f"unknown backend {which!r}; choose from {sorted(BACKENDS)}")
 
     res = run_spmd(
         spmd,

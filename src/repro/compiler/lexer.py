@@ -55,6 +55,11 @@ OPERATORS = [
 ]
 
 
+#: maximal munch, precomputed: try the two-char slice first, then one
+_TWO_CHAR_OPS = frozenset(op for op in OPERATORS if len(op) == 2)
+_ONE_CHAR_OPS = frozenset(op for op in OPERATORS if len(op) == 1)
+
+
 @dataclass(frozen=True)
 class Token:
     kind: str  # 'num', 'str', 'ident', 'kw', 'op', 'eof'
@@ -88,19 +93,20 @@ def tokenize(source: str) -> list[Token]:
             i += 1
             col += 1
             continue
-        if source.startswith("//", i):
-            while i < n and source[i] != "\n":
-                i += 1
-            continue
-        if source.startswith("/*", i):
-            end = source.find("*/", i + 2)
-            if end < 0:
-                error("unterminated block comment")
-            skipped = source[i : end + 2]
-            line += skipped.count("\n")
-            col = 1 if "\n" in skipped else col + len(skipped)
-            i = end + 2
-            continue
+        if c == "/":
+            if source.startswith("//", i):
+                while i < n and source[i] != "\n":
+                    i += 1
+                continue
+            if source.startswith("/*", i):
+                end = source.find("*/", i + 2)
+                if end < 0:
+                    error("unterminated block comment")
+                skipped = source[i : end + 2]
+                line += skipped.count("\n")
+                col = 1 if "\n" in skipped else col + len(skipped)
+                i = end + 2
+                continue
         if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
             j = i
             seen_dot = False
@@ -141,12 +147,15 @@ def tokenize(source: str) -> list[Token]:
             col += j - i
             i = j
             continue
-        for op in OPERATORS:
-            if source.startswith(op, i):
-                tokens.append(Token("op", op, line, col))
-                col += len(op)
-                i += len(op)
-                break
+        two = source[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("op", two, line, col))
+            col += 2
+            i += 2
+        elif c in _ONE_CHAR_OPS:
+            tokens.append(Token("op", c, line, col))
+            col += 1
+            i += 1
         else:
             error(f"unexpected character {c!r}")
     tokens.append(Token("eof", "", line, col))

@@ -251,7 +251,7 @@ class AceRuntime:
         """Generator: ``Ace_Barrier(space)`` — the space's protocol barrier."""
         space = self._space(sid)
         yield self._d_dispatch
-        self._stats.count("ace.barrier")
+        self._counts["ace.barrier"] += 1
         yield from space.protocol.barrier(nid)
 
     def lock(self, nid: int, rid: int, direct: bool = False):
@@ -259,7 +259,7 @@ class AceRuntime:
         space = self._space_of_rid(rid)
         if not direct and not space.protocol.spec.hardware:
             yield self._d_dispatch
-        self._stats.count("ace.lock")
+        self._counts["ace.lock"] += 1
         yield from space.protocol.lock(nid, rid)
 
     def unlock(self, nid: int, rid: int, direct: bool = False):
@@ -267,7 +267,7 @@ class AceRuntime:
         space = self._space_of_rid(rid)
         if not direct and not space.protocol.spec.hardware:
             yield self._d_dispatch
-        self._stats.count("ace.unlock")
+        self._counts["ace.unlock"] += 1
         yield from space.protocol.unlock(nid, rid)
 
     # ------------------------------------------------------------------
@@ -278,7 +278,7 @@ class AceRuntime:
         space = self._space_of_rid(rid)
         if not direct and not space.protocol.spec.hardware:
             yield self._d_dispatch
-        self._stats.count("ace.map")
+        self._counts["ace.map"] += 1
         handle = yield from space.protocol.map(nid, rid)
         meta = handle.meta
         meta["ace_gen"] = space.generation
@@ -292,7 +292,7 @@ class AceRuntime:
         space = self._space_of_handle(handle)
         if not direct and not space.protocol.spec.hardware:
             yield self._d_dispatch
-        self._stats.count("ace.unmap")
+        self._counts["ace.unmap"] += 1
         yield from space.protocol.unmap(nid, handle)
 
     # The four access primitives below inline ``_dispatch`` (and fetch

@@ -115,6 +115,11 @@ class Protocol:
         # Pre-computed dispatch flag: the access primitives test it on
         # every shared access, so one attribute probe beats two.
         self.soft = not self.spec.hardware
+        # Hot-path counter plumbing: the live Counter plus memoized
+        # full key strings, so _count skips the f-string and the stats
+        # method call on every protocol event.
+        self._counts = runtime.transport.stats.counter_ref()
+        self._count_keys: dict = {}
 
     # -- identity -------------------------------------------------------
     @property
@@ -122,7 +127,10 @@ class Protocol:
         return self.spec.name
 
     def _count(self, event: str, n: int = 1) -> None:
-        self.transport.stats.count(f"proto.{self.spec.name}.{event}", n)
+        key = self._count_keys.get(event)
+        if key is None:
+            key = self._count_keys[event] = f"proto.{self.spec.name}.{event}"
+        self._counts[key] += n
 
     # -- lifecycle (collective) ------------------------------------------
     def init_space(self, nid: int):

@@ -40,9 +40,18 @@ requires (see DESIGN.md §6 for the full story):
   already-resolved :class:`Future` and *no other event is pending at
   the current cycle*, its continuation would be the very next event —
   so the kernel steps the generator again immediately (bounded by
-  ``_TRAMPOLINE_MAX``), skipping the queue round-trip.  The pending
-  check makes this unobservable: ordering is exactly what the queue
-  would have produced.
+  ``_TRAMPOLINE_MAX``), skipping the queue round-trip.  The same
+  applies to a nonzero ``Delay`` when every queued event is strictly
+  later than the task's resume time: the kernel advances ``now``
+  in place and keeps stepping (disabled under ``run(until=...)``
+  and structured tracing, where the heap path enforces the pause
+  boundary / the pinned ``task.step`` stream).  The pending checks
+  make this unobservable: ordering, cycle counts, and event counts
+  are exactly what the queue would have produced.
+* **Batched ring drain.**  When the heap holds nothing at the ring's
+  cycle, the run loop drains the whole same-cycle ring — including
+  events appended mid-drain — through one dispatch loop instead of
+  re-entering the scheduler per event.
 * **Fail-fast flag.**  A task crash used to be detected by scanning
   every task after every event; now ``Future.fail`` on a task's
   ``done`` future records the first failure on the simulator directly.
@@ -245,6 +254,30 @@ class Task:
                     sim.events += 1
                     value = exc = None
                     continue
+                if (
+                    steps > 0
+                    and not ring
+                    and jitter is None
+                    and sim._failure is None
+                    and sim._until is None
+                    and obs is None
+                    and (not queue or queue[0][0] > now + cycles)
+                ):
+                    # Nonzero-delay inlining: the continuation is still
+                    # the sole next event (every queued event is
+                    # strictly later than now + cycles), so advance
+                    # simulated time here and keep stepping.  Event
+                    # count and (time, seq) order are exactly what the
+                    # heap round-trip would have produced.  Disabled
+                    # under run(until=...) — the heap path enforces the
+                    # pause boundary — and with structured tracing on,
+                    # so the pinned obs event stream (one ``task.step``
+                    # per kernel dispatch) is unchanged.
+                    steps -= 1
+                    sim.events += 1
+                    sim.now = now = now + cycles
+                    value = exc = None
+                    continue
                 # schedule(cycles, resume), inlined — one call per
                 # yield is a measurable share of the event loop.  Delay
                 # guarantees cycles >= 0, so the negative check is moot.
@@ -338,6 +371,7 @@ class Simulator:
         "_failure",
         "_jitter",
         "_obs",
+        "_until",
     )
 
     def __init__(
@@ -371,6 +405,11 @@ class Simulator:
         self._trace = trace
         self._running = False
         self._failure: BaseException | None = None
+        # Bound of the current run(until=...) call, or None.  The
+        # nonzero-delay trampoline consults it: inlined time advances
+        # must not cross a pause boundary, so bounded runs always take
+        # the heap path for positive delays.
+        self._until: int | None = None
         self._jitter = random.Random(jitter_seed) if jitter_seed is not None else None
         # Per-layer tracer handle, or None: resolved once here so the
         # disabled path never probes or formats anything.
@@ -455,6 +494,7 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        self._until = until
         queue = self._queue
         ring = self._ring
         heappop = heapq.heappop
@@ -467,19 +507,36 @@ class Simulator:
                 while queue or ring:
                     # A non-empty ring implies a canonical run, so the
                     # heap holds 3-tuples and seq sits at index 1.
-                    if ring and (
-                        not queue
-                        or queue[0][0] > self._ring_time
-                        or (queue[0][0] == self._ring_time and queue[0][1] > ring[0][0])
-                    ):
-                        self.now = self._ring_time
-                        fn = ring.popleft()[1]
-                    else:
-                        entry = heappop(queue)
-                        self.now = entry[0]
-                        fn = entry[-1]
+                    if ring:
+                        if not queue or queue[0][0] > self._ring_time:
+                            # Batched delivery: every queued event is
+                            # strictly later than the ring, and nothing
+                            # executed at this cycle can change that —
+                            # delay-0 schedules land on the ring (it is
+                            # non-empty, so ``_ring_time == now`` holds)
+                            # and positive delays land strictly in the
+                            # future.  Drain the whole ring, including
+                            # events appended mid-drain, in one dispatch
+                            # loop: same pops, same (time, seq) order,
+                            # same event count as the per-event path.
+                            self.now = self._ring_time
+                            popleft = ring.popleft
+                            while ring:
+                                fired += 1
+                                popleft()[1]()
+                            continue
+                        if queue[0][0] == self._ring_time and queue[0][1] > ring[0][0]:
+                            # Mixed same-cycle case (an earlier-seq heap
+                            # entry may interleave): single-step it.
+                            self.now = self._ring_time
+                            fn = ring.popleft()[1]
+                            fired += 1
+                            fn()
+                            continue
+                    entry = heappop(queue)
+                    self.now = entry[0]
                     fired += 1
-                    fn()
+                    entry[-1]()
             else:
                 while queue or ring:
                     if ring:
@@ -506,6 +563,7 @@ class Simulator:
         finally:
             self.events += fired
             self._running = False
+            self._until = None
         if self._failure is not None:
             raise self._failure
         blocked = [t for t in self._tasks if t.blocked_on is not None]

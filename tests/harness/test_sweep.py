@@ -1,0 +1,103 @@
+"""The parallel sweep driver: matrix construction, cell determinism,
+merged-artifact schema, and bench/chaos interoperability."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+import sweep  # noqa: E402
+
+
+def test_build_matrix_cross_product():
+    cells = sweep.build_matrix(["TSP", "EM3D"], [2, 4], ["none", "canonical"], [0, 1])
+    # pairs: TSP-SC, EM3D-SC, EM3D-dynamic, EM3D-static; "none" cells
+    # collapse the seed axis (a fault-free run has no seed to vary)
+    assert len(cells) == 4 * 2 * (1 + 2)
+    assert all(set(sweep.CELL_KEYS) <= set(c) for c in cells)
+    none_cells = [c for c in cells if c["plan"] == "none"]
+    assert all(c["seed"] == 0 for c in none_cells)
+
+
+def test_run_cell_records_measurements():
+    rec = sweep.run_cell(dict(app="TSP", variant="SC", procs=2, plan="none", seed=0))
+    assert rec["stalled"] is False
+    assert rec["cycles"] > 0
+    assert rec["events"] > 0
+    assert rec["faults"]["drop"] == 0
+
+
+def test_run_cell_deterministic_and_pool_invisible():
+    """The same cell must yield identical physics run over run — and
+    the pool path (jobs>1) must match the serial path exactly."""
+    cell = dict(app="TSP", variant="SC", procs=2, plan="canonical", seed=1)
+    a = sweep.run_cell(cell)
+    b = sweep.run_cell(cell)
+    assert (a["cycles"], a["events"], a["faults"]) == (b["cycles"], b["events"], b["faults"])
+
+    cells = [
+        dict(app="TSP", variant="SC", procs=2, plan="none", seed=0),
+        dict(app="TSP", variant="SC", procs=2, plan="canonical", seed=0),
+    ]
+    serial, _ = sweep.sweep(cells, jobs=1)
+    parallel, _ = sweep.sweep(cells, jobs=2)
+    for s, p in zip(serial, parallel):
+        assert (s["cycles"], s["events"]) == (p["cycles"], p["events"])
+
+
+def test_merged_artifact_is_bench_comparable():
+    """The suites.sweep block must satisfy bench.compare()'s schema."""
+    import bench
+
+    cells = [dict(app="TSP", variant="SC", procs=2, plan="none", seed=0)]
+    records, wall = sweep.sweep(cells, jobs=1)
+    report = sweep.merge(records, wall, jobs=1)
+    suite = report["suites"]["sweep"]
+    assert suite["events"] == records[0]["events"]
+    assert suite["rows"] == [["TSP", "SC", 2, "none", 0, records[0]["cycles"]]]
+    # identical artifacts gate clean through bench's comparator
+    lines = bench.compare(report, report, gate=True)
+    assert lines and "cycles identical" in lines[0]
+    assert not any("REGRESSED" in line or "DIFFER" in line for line in lines)
+    # and the whole report is JSON-serializable as produced
+    json.dumps(report)
+
+
+def test_smoke_matrix_cli(tmp_path):
+    out = tmp_path / "sweep.json"
+    rc = sweep.main(["--smoke", "--jobs", "2", "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert len(report["cells"]) == 4  # TSP+EM3D x SC x {none, canonical seed 0}
+    assert all(not c["stalled"] for c in report["cells"])
+    faulted = [c for c in report["cells"] if c["plan"] == "canonical"]
+    assert faulted and all(
+        c["faults"]["drop"] + c["faults"]["dup"] + c["faults"]["delay"] > 0
+        for c in faulted
+    )
+
+
+def test_chaos_from_sweep_roundtrip(tmp_path):
+    """chaos --from-sweep must verify a fresh sweep artifact clean."""
+    import chaos
+
+    out = tmp_path / "sweep.json"
+    rc = sweep.main(
+        ["--apps", "TSP", "--procs", "2", "--seeds", "0", "--jobs", "1",
+         "--out", str(out)]
+    )
+    assert rc == 0
+    rc = chaos.main(["--from-sweep", str(out), "--out", str(tmp_path / "artifacts")])
+    assert rc == 0
+
+
+@pytest.mark.slow
+def test_compare_serial_full_matrix(tmp_path):
+    """16-cell acceptance shape: pool and serial physics identical."""
+    cells = sweep.build_matrix(["TSP", "EM3D"], [4], ["none", "canonical"], [0, 1, 2])
+    assert len(cells) == 16
+    records, _ = sweep.sweep(cells, jobs=4)
+    assert sweep.compare_serial(cells, records) == []

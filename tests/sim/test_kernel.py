@@ -158,6 +158,38 @@ def test_join_on_task_done():
     assert p.done.result() == (30, 99)
 
 
+def test_mixed_ring_and_heap_ordering():
+    """The nonzero-delay fast path must never jump ahead of queued work.
+
+    Task a mixes zero-delay (same-cycle ring) and nonzero-delay (heap)
+    yields while task b holds events in the heap at the same
+    timestamps; the trampoline is only legal when the ring is empty
+    and the heap's next event is later, so the observed interleaving
+    must match the plain queue discipline exactly (ties go to the
+    event scheduled first, ring work drains before later heap events).
+    """
+    sim = Simulator()
+    order = []
+
+    def stepper(name, delays):
+        for d in delays:
+            yield Delay(d)
+            order.append((sim.now, name))
+
+    sim.spawn(stepper("a", [5, 0, 0, 5]), name="a")
+    sim.spawn(stepper("b", [5, 5, 0]), name="b")
+    assert sim.run() == 10
+    assert order == [
+        (5, "a"),
+        (5, "b"),
+        (5, "a"),
+        (5, "a"),
+        (10, "b"),
+        (10, "a"),
+        (10, "b"),
+    ]
+
+
 def test_bad_yield_type_is_an_error():
     sim = Simulator()
 

@@ -98,7 +98,7 @@ def suite_fig7b(n_procs: int) -> dict:
     return _result(rows, events, time.perf_counter() - t0)
 
 
-def suite_table4(n_procs: int) -> dict:
+def suite_table4(n_procs: int, apps: list[str] | None = None) -> dict:
     """The compiler-optimization ladder (acec → simulator)."""
     from repro.compiler import OPT_BASE, compile_source, run_compiled
     from repro.harness.experiments import TABLE4_KERNELS, TABLE4_LEVELS
@@ -106,6 +106,8 @@ def suite_table4(n_procs: int) -> dict:
     rows, events = [], 0
     t0 = time.perf_counter()
     for app, spec in TABLE4_KERNELS.items():
+        if apps is not None and app not in apps:
+            continue
         wl = spec["wl"]
         host = spec["host"](wl)
         src = spec["source"](wl)
@@ -157,6 +159,10 @@ def run_bench(suites: list[str], n_procs: int, smoke: bool = False) -> dict:
     }
     if smoke:
         report["suites"]["smoke"] = suite_fig7a(n_procs=2, apps=["TSP"])
+        # the compiler path gets its own smoke entry (TSP kernel, all
+        # four levels + hand, both the gate's cycles and a throughput
+        # signal for the closure backend)
+        report["suites"]["smoke_table4"] = suite_table4(n_procs=2, apps=["TSP"])
         return report
     for name in suites:
         print(f"running suite {name} ...", file=sys.stderr)
@@ -201,10 +207,66 @@ def compare(
                 line += f"  events {base_ev} -> {cur_ev} REGRESSED"
             if base["wall_s"] and cur["wall_s"] > base["wall_s"] * wall_factor:
                 line += f"  wall REGRESSED (> {wall_factor:.1f}x baseline)"
+            # throughput delta is informational (host-dependent): the
+            # gate itself stays on cycles + events + the wall backstop
+            base_eps, cur_eps = base.get("events_per_s"), cur.get("events_per_s")
+            if base_eps and cur_eps:
+                delta = (cur_eps - base_eps) / base_eps * 100
+                line += f"  throughput {base_eps} -> {cur_eps} events/s ({delta:+.1f}%)"
         lines.append(line)
     if gate and not lines:
         lines.append("no suites in common with baseline: REGRESSED (gate has nothing to check)")
     return lines
+
+
+def profile_suite(name: str, n_procs: int, out: Path | None, top: int = 20) -> int:
+    """cProfile one suite; dump the top-N cumulative entries as JSON.
+
+    The artifact answers "what is the next hot path?" without ad-hoc
+    scripting: each entry carries calls, tottime, and cumtime, sorted
+    by cumulative time, plus the suite's usual wall/event numbers so
+    the profile is anchored to a throughput measurement.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    suite = SUITES[name](n_procs=n_procs)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    entries = []
+    for func in stats.fcn_list[:top]:  # fcn_list is in sort order
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, lineno, funcname = func
+        entries.append(
+            {
+                "function": f"{filename}:{lineno}({funcname})",
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    report = {
+        "stamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "suite": name,
+        "n_procs": n_procs,
+        "host": host_fingerprint(),
+        "wall_s": suite["wall_s"],
+        "events": suite["events"],
+        "events_per_s": suite["events_per_s"],
+        "sort": "cumulative",
+        "top": entries,
+    }
+    path = out or Path(f"PROFILE_{name}_{report['stamp'].replace(':', '')}.json")
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {path}")
+    for e in entries[:5]:
+        print(f"  {e['cumtime_s']:8.3f}s cum  {e['function']}")
+    return 0
 
 
 def trace_overhead(n_procs: int) -> int:
@@ -236,6 +298,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true", help="tiny CI run: one small workload")
     parser.add_argument("--trace-overhead", action="store_true",
                         help="run fig7a off+on tracing, report wall delta, check cycles identical")
+    parser.add_argument("--profile", choices=sorted(SUITES), default=None, metavar="SUITE",
+                        help="cProfile one suite; dump top-20 cumulative to a JSON artifact")
     parser.add_argument("--out", type=Path, default=None, help="output path (default BENCH_<stamp>.json)")
     parser.add_argument("--baseline", type=Path, default=None, help="earlier BENCH_*.json to compare against")
     parser.add_argument("--gate", action="store_true",
@@ -244,6 +308,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.trace_overhead:
         return trace_overhead(n_procs=args.procs)
+    if args.profile:
+        return profile_suite(args.profile, n_procs=args.procs, out=args.out)
 
     # Read the baseline up front: a bad path should fail before the
     # suites burn minutes, not after.

@@ -158,6 +158,57 @@ def chaos_matrix(args) -> int:
     return failures
 
 
+def from_sweep(args) -> int:
+    """Re-verify the faulted cells of a ``tools/sweep.py`` artifact.
+
+    The sweep records what happened (cycles, fault counters); this mode
+    proves it was *correct*: each faulted cell is re-run and compared
+    against a fresh fault-free baseline, and its simulated cycles must
+    match the artifact exactly (the sweep and the replay see the same
+    physics, or somebody's determinism is broken).
+    """
+    data = json.loads(args.from_sweep.read_text())
+    cells = [c for c in data.get("cells", []) if c.get("plan", "none") != "none"]
+    if not cells:
+        print("chaos: sweep artifact has no faulted cells to verify")
+        return 0
+    failures = 0
+    baselines: dict = {}
+    for cell in cells:
+        app, variant, procs = cell["app"], cell["variant"], cell["procs"]
+        key = (app, variant, procs)
+        if key not in baselines:
+            baselines[key] = canon(app, run_one(app, variant, procs).results)
+        want = baselines[key]
+        plan = PLANS[cell["plan"]](cell["seed"])
+        tag = f"{app}-{variant}-p{procs}-{cell['plan']}-seed{cell['seed']}"
+        try:
+            res = run_one(app, variant, procs, fault_plan=plan)
+        except StallError as err:
+            if cell.get("stalled"):
+                print(f"{tag}: stall reproduced (as recorded)")
+                continue
+            failures += 1
+            print(f"{tag}: STALL not present in sweep — {err.report.reason}")
+            save_artifact(args.out, f"{tag}-plan.json", plan.to_json())
+            save_artifact(args.out, f"{tag}-stall.json", err.report.to_json())
+            continue
+        problems = []
+        if cell.get("stalled"):
+            problems.append("sweep recorded a stall; replay completed")
+        if not equal(want, canon(app, res.results), approx=app in APPROX_APPS):
+            problems.append("results differ from fault-free baseline")
+        if cell.get("cycles") is not None and res.time != cell["cycles"]:
+            problems.append(f"cycles {res.time} != recorded {cell['cycles']}")
+        if problems:
+            failures += 1
+            print(f"{tag}: FAIL — {'; '.join(problems)}")
+            save_artifact(args.out, f"{tag}-plan.json", plan.to_json())
+        else:
+            print(f"{tag}: ok — {res.time} cycles match, results fault-invariant")
+    return failures
+
+
 def stall_check(args) -> int:
     """A permanently dead link must yield a StallReport, not a hang."""
     shared = {}
@@ -225,7 +276,20 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-stall-check", action="store_true", help="skip the dead-link StallReport check"
     )
+    parser.add_argument(
+        "--from-sweep", type=Path, default=None, metavar="SWEEP_JSON",
+        help="re-verify the faulted cells of a tools/sweep.py artifact "
+             "instead of running the built-in matrix",
+    )
     args = parser.parse_args(argv)
+
+    if args.from_sweep is not None:
+        failures = from_sweep(args)
+        if failures:
+            print(f"chaos: {failures} failure(s); artifacts in {args.out}/")
+            return 1
+        print("chaos: sweep artifact verified")
+        return 0
 
     unknown = [a for a in args.apps if a not in experiments.FIG7_WORKLOADS]
     if unknown:

@@ -1,0 +1,303 @@
+#!/usr/bin/env python
+"""Parallel sweep driver: farm independent experiment cells across cores.
+
+Every simulation in this repo is deterministic and single-threaded, so
+an experiment matrix — protocol variant × app × node count × fault
+plan — is embarrassingly parallel: each cell runs in its own worker
+process and the merged report is byte-for-byte independent of worker
+count and scheduling (``--compare-serial`` proves it on demand).
+
+The merged JSON carries two views of the same run:
+
+* ``cells`` — one record per cell with its simulated cycles, kernel
+  events, wall clock, and fault/retry counters: what ``tools/chaos.py
+  --from-sweep`` consumes to re-verify fault tolerance on exactly the
+  swept matrix;
+* ``suites.sweep`` — a ``tools/bench.py``-shaped block (``wall_s`` /
+  ``events`` / ``events_per_s`` / ``rows``), so two sweep artifacts can
+  be diffed with bench's ``compare()`` and its cycles-identical gate.
+
+Cells that stall under an un-maskable fault plan are recorded (not
+fatal): the offending :class:`~repro.dsm.FaultPlan` and stall report
+are written next to the merged JSON so the cell can be reproduced from
+artifacts alone.
+
+Examples::
+
+    PYTHONPATH=src python tools/sweep.py                         # default matrix
+    PYTHONPATH=src python tools/sweep.py --smoke --jobs 2        # CI sanity run
+    PYTHONPATH=src python tools/sweep.py --apps TSP,EM3D --seeds 0-2
+    PYTHONPATH=src python tools/sweep.py --compare-serial        # determinism proof
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from multiprocessing import Pool
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.dsm import FaultPlan, StallError  # noqa: E402
+from repro.facade import run_spmd  # noqa: E402
+from repro.harness import experiments  # noqa: E402
+
+PLANS = {
+    "none": FaultPlan.none,
+    "canonical": FaultPlan.canonical,
+    "drop_retry": FaultPlan.drop_retry,
+}
+
+#: cell-record keys that identify a cell (the rest is measurement)
+CELL_KEYS = ("app", "variant", "procs", "plan", "seed")
+
+
+def default_pairs(apps: list[str]) -> list[tuple[str, str]]:
+    """(app, variant) pairs: SC everywhere plus EM3D's update ladder."""
+    pairs = [(app, "SC") for app in apps]
+    if "EM3D" in apps:
+        pairs += [("EM3D", "dynamic"), ("EM3D", "static")]
+    return pairs
+
+
+def build_matrix(
+    apps: list[str], procs: list[int], plans: list[str], seeds: list[int]
+) -> list[dict]:
+    """The cross product, as plain dicts (picklable, JSON-able)."""
+    cells = []
+    for app, variant in default_pairs(apps):
+        for n in procs:
+            for plan in plans:
+                for seed in seeds if plan != "none" else [0]:
+                    cells.append(
+                        dict(app=app, variant=variant, procs=n, plan=plan, seed=seed)
+                    )
+    return cells
+
+
+def run_cell(cell: dict) -> dict:
+    """Run one cell; returns the cell plus its measurements.
+
+    Top-level (picklable) so a worker pool can map over it; a cell
+    that stalls reports ``stalled`` with the plan and report JSON
+    embedded rather than raising, so one bad cell can't sink a sweep.
+    """
+    program_fn, _, _ = experiments._PROGRAMS[cell["app"]]
+    plan = experiments.plan_for(cell["app"], cell["variant"])
+    wl = experiments.FIG7_WORKLOADS[cell["app"]]()
+    fault_plan = PLANS[cell["plan"]](cell["seed"])
+    kwargs = {} if cell["plan"] == "none" else {"fault_plan": fault_plan}
+    t0 = time.perf_counter()
+    try:
+        res = run_spmd(
+            program_fn(wl, plan), backend="ace", n_procs=cell["procs"], **kwargs
+        )
+    except StallError as err:
+        return {
+            **cell,
+            "wall_s": round(time.perf_counter() - t0, 4),
+            "stalled": True,
+            "fault_plan": json.loads(fault_plan.to_json()),
+            "stall_report": json.loads(err.report.to_json()),
+        }
+    return {
+        **cell,
+        "wall_s": round(time.perf_counter() - t0, 4),
+        "stalled": False,
+        "cycles": res.time,
+        "events": getattr(res.machine.sim, "events", None),
+        "faults": {
+            "drop": res.stats.get("fault.drop"),
+            "dup": res.stats.get("fault.dup"),
+            "delay": res.stats.get("fault.delay"),
+            "retries": res.stats.get("rel.retry"),
+        },
+    }
+
+
+def sweep(cells: list[dict], jobs: int) -> tuple[list[dict], float]:
+    """Run the matrix; returns (records in cell order, wall seconds)."""
+    t0 = time.perf_counter()
+    if jobs <= 1:
+        records = [run_cell(c) for c in cells]
+    else:
+        with Pool(processes=min(jobs, len(cells))) as pool:
+            records = pool.map(run_cell, cells)
+    return records, time.perf_counter() - t0
+
+
+def merge(records: list[dict], wall: float, jobs: int) -> dict:
+    """Fold cell records into the merged artifact (see module doc)."""
+    events = 0
+    rows = []
+    for r in records:
+        if r["stalled"]:
+            rows.append([r["app"], r["variant"], r["procs"], r["plan"], r["seed"], "STALL"])
+            events = None if events is None else events
+            continue
+        rows.append([r["app"], r["variant"], r["procs"], r["plan"], r["seed"], r["cycles"]])
+        if events is not None and r["events"] is not None:
+            events += r["events"]
+    return {
+        "stamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "jobs": jobs,
+        "cells": records,
+        "suites": {
+            "sweep": {
+                "wall_s": round(wall, 4),
+                "events": events,
+                "events_per_s": round(events / wall) if events and wall else None,
+                "rows": rows,
+            }
+        },
+    }
+
+
+def write_failure_artifacts(records: list[dict], out_dir: Path) -> list[Path]:
+    """Dump each stalled cell's plan + report for standalone repro."""
+    paths = []
+    for r in records:
+        if not r["stalled"]:
+            continue
+        tag = "-".join(str(r[k]) for k in CELL_KEYS)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for suffix, payload in (
+            ("plan", r["fault_plan"]),
+            ("stall", r["stall_report"]),
+        ):
+            path = out_dir / f"{tag}-{suffix}.json"
+            path.write_text(json.dumps(payload, indent=2) + "\n")
+            paths.append(path)
+    return paths
+
+
+def compare_serial(cells: list[dict], records: list[dict]) -> list[str]:
+    """Re-run every cell serially; report any cycles/events divergence.
+
+    This is the determinism proof for the pool: worker processes must
+    be invisible in the physics.  Returns human-readable mismatch
+    lines (empty = identical).
+    """
+    mismatches = []
+    for cell, par in zip(cells, records):
+        ser = run_cell(cell)
+        tag = "-".join(str(cell[k]) for k in CELL_KEYS)
+        for field in ("stalled", "cycles", "events"):
+            if ser.get(field) != par.get(field):
+                mismatches.append(
+                    f"{tag}: {field} parallel={par.get(field)} serial={ser.get(field)}"
+                )
+    return mismatches
+
+
+def parse_seeds(spec: str) -> list[int]:
+    """``"0,2,5-7"`` → [0, 2, 5, 6, 7]."""
+    seeds = []
+    for part in spec.split(","):
+        if "-" in part:
+            lo, hi = part.split("-")
+            seeds.extend(range(int(lo), int(hi) + 1))
+        else:
+            seeds.append(int(part))
+    return seeds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--apps",
+        type=lambda s: s.split(","),
+        default=list(experiments.FIG7_WORKLOADS),
+        help="comma-separated app subset (default: all five)",
+    )
+    parser.add_argument(
+        "--procs",
+        type=lambda s: [int(x) for x in s.split(",")],
+        default=[4],
+        help="comma-separated simulated node counts (default: 4)",
+    )
+    parser.add_argument(
+        "--plans",
+        type=lambda s: s.split(","),
+        default=["none", "canonical"],
+        help=f"fault-plan families from {sorted(PLANS)} (default: none,canonical)",
+    )
+    parser.add_argument("--seeds", default="0", help="fault seeds, e.g. 0,1 or 0-4")
+    parser.add_argument(
+        "--jobs", type=int, default=os.cpu_count() or 1,
+        help="worker processes (1 = serial; default: all cores)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI matrix: TSP+EM3D, SC only, 2 nodes, one faulted seed",
+    )
+    parser.add_argument(
+        "--compare-serial", action="store_true",
+        help="re-run every cell serially and fail on any cycle mismatch",
+    )
+    parser.add_argument("--out", type=Path, default=None,
+                        help="merged JSON path (default SWEEP_<stamp>.json)")
+    parser.add_argument(
+        "--artifacts", type=Path, default=Path("sweep-artifacts"),
+        help="directory for stalled-cell fault plans / reports",
+    )
+    args = parser.parse_args(argv)
+
+    unknown = [a for a in args.apps if a not in experiments.FIG7_WORKLOADS]
+    if unknown:
+        parser.error(f"unknown apps {unknown}; choose from {list(experiments.FIG7_WORKLOADS)}")
+    unknown = [p for p in args.plans if p not in PLANS]
+    if unknown:
+        parser.error(f"unknown plans {unknown}; choose from {sorted(PLANS)}")
+
+    if args.smoke:
+        cells = build_matrix(["TSP", "EM3D"], [2], ["none", "canonical"], [0])
+        # smoke keeps only the SC pairs: small, but still one faulted
+        # run per app so the retry machinery is exercised
+        cells = [c for c in cells if c["variant"] == "SC"]
+    else:
+        cells = build_matrix(args.apps, args.procs, args.plans, parse_seeds(args.seeds))
+
+    print(f"sweep: {len(cells)} cells on {args.jobs} worker(s)", file=sys.stderr)
+    records, wall = sweep(cells, args.jobs)
+    report = merge(records, wall, args.jobs)
+
+    out = args.out or Path(f"SWEEP_{report['stamp'].replace(':', '')}.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    suite = report["suites"]["sweep"]
+    print(f"wrote {out}")
+    print(
+        f"  sweep: {len(cells)} cells, {suite['wall_s']:.3f}s"
+        + (f", {suite['events']} events, {suite['events_per_s']} events/s"
+           if suite["events"] else "")
+    )
+
+    stalled = [r for r in records if r["stalled"]]
+    if stalled:
+        paths = write_failure_artifacts(records, args.artifacts)
+        print(f"  {len(stalled)} cell(s) stalled; artifacts: {[str(p) for p in paths]}")
+
+    if args.compare_serial:
+        print("re-running serially for the determinism check ...", file=sys.stderr)
+        mismatches = compare_serial(cells, records)
+        if mismatches:
+            for line in mismatches:
+                print("  MISMATCH " + line)
+            return 1
+        print(f"  serial check: all {len(cells)} cells identical")
+    return 1 if stalled else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
