@@ -213,6 +213,16 @@ class AceRuntime:
         space.regions.append(rid)
         self.region_space[rid] = space
         self._stats.count("ace.gmalloc")
+        if self._obs is not None:
+            # Region→space mapping as data: attribution joins this with
+            # space.new / space.protocol events to fold per-region wait
+            # cycles into per-protocol buckets.
+            self._obs.emit(
+                self._sim.now,
+                "region.alloc",
+                node=nid,
+                data={"rid": rid, "sid": sid, "size": size, "proto": space.protocol.name},
+            )
         return rid
 
     def change_protocol(self, nid: int, sid: int, protocol_name: str):

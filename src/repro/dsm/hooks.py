@@ -230,6 +230,12 @@ class ProtocolHooks:
             self._counts[self._k_read_hit] += 1
             return
         self._counts[self._k_read_miss] += 1
+        if self._obs is not None:
+            # Pre-RPC miss marker: attribution reads it as "the next
+            # directory wait on this node is for this region".
+            self._obs.emit(
+                self._sim.now, "dsm.miss", node=nid, data={"rid": region.rid, "op": "read"}
+            )
         yield self._d_start_miss
         fut = Future(name=f"read:{region.rid}@{nid}")
         if nid == region.home:
@@ -288,6 +294,10 @@ class ProtocolHooks:
             self._counts[self._k_write_hit] += 1
             return
         self._counts[self._k_write_miss] += 1
+        if self._obs is not None:
+            self._obs.emit(
+                self._sim.now, "dsm.miss", node=nid, data={"rid": region.rid, "op": "write"}
+            )
         yield self._d_start_miss
         fut = Future(name=f"write:{region.rid}@{nid}")
         if nid == region.home:
@@ -346,6 +356,7 @@ class ProtocolHooks:
         copy.state = "invalid"
         if self._obs is not None:
             self._trace_state(nid, rid, "invalid")
+            self._obs.emit(self._sim.now, "dsm.miss", node=nid, data={"rid": rid, "op": "flush"})
         yield from self._rpc(
             nid,
             region.home,

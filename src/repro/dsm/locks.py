@@ -195,7 +195,10 @@ class LockService:
         if self._obs is not None:
             now = self._sim.now
             self._grant_at[(rid, dst)] = now
-            self._obs.emit(now, "lock.grant", node=dst, data={"rid": rid})
+            # Stamp the local-grant future so the woken task.step
+            # parents to this event (remote grants get their wake
+            # parent from the reply receive instead).
+            fut._obs_eid = self._obs.emit(now, "lock.grant", node=dst, data={"rid": rid})
         home = self.regions.get(rid).home
         if dst == home:
             fut.resolve(None)

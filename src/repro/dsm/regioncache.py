@@ -54,6 +54,7 @@ class RegionCache:
         self._sim = transport.sim
         self._post = transport.post
         self._after = transport.after
+        self._defer_post = transport.defer_post
         # Stable bound handler (see DirectoryService).
         self._h_inval_req = self._on_inval_req
         # Home-side invalidation-ack handler; see wire_directory.
@@ -168,20 +169,19 @@ class RegionCache:
         if self._obs is not None:
             self._trace_state(copy.node, region.rid, copy.state)
         payload = region.size if dirty else self.costs.meta_words
-        # handler work before the ack leaves the node
-        self._after(
+        # handler work before the ack leaves the node; defer_post keeps
+        # the causal link to the inval request across the deferral
+        self._defer_post(
             self.costs.inval_handler,
-            lambda: self._post(
-                copy.node,
-                region.home,
-                self._h_inval_ack,
-                region.rid,
-                copy.node,
-                mode,
-                data,
-                payload_words=payload,
-                category=self._cat_inval_ack,
-            ),
+            copy.node,
+            region.home,
+            self._h_inval_ack,
+            region.rid,
+            copy.node,
+            mode,
+            data,
+            payload_words=payload,
+            category=self._cat_inval_ack,
         )
 
     def _fire_deferred(self, copy: RegionCopy) -> None:

@@ -45,6 +45,9 @@ class Transport:
     ``after(delay, fn)``
         Run ``fn()`` after ``delay`` simulated cycles (handler-side
         deferred work, e.g. invalidation-handler cost).
+    ``defer_post(delay, src, dst, handler, *args, ...)``
+        ``after(delay)`` followed by ``post`` as one operation, so a
+        traced fabric can keep the causal chain across the deferral.
     ``hw_barrier(nid)``
         Generator: global rendezvous over all nodes.
 
@@ -80,6 +83,11 @@ class Transport:
     def after(self, delay: int, fn: Callable) -> None:
         raise NotImplementedError
 
+    def defer_post(self, delay: int, src: int, dst: int, handler: Callable, *args, **kw) -> None:
+        # Generic composition; machine-backed fabrics bind the
+        # machine's own (possibly traced) implementation instead.
+        self.after(delay, lambda: self.post(src, dst, handler, *args, **kw))
+
     def hw_barrier(self, nid: int):
         raise NotImplementedError
 
@@ -105,6 +113,7 @@ class SimTransport(Transport):
         self.rpc = machine.rpc
         self.reply = machine.reply
         self.after = machine.sim.schedule
+        self.defer_post = machine.defer_post
         self.hw_barrier = machine.hw_barrier
 
 

@@ -103,19 +103,22 @@ def trace_run(
     backend: str = "ace",
     n_procs: int = BENCH_PROCS,
     capacity: int = 1 << 18,
+    metrics=None,
 ):
     """Run one (app, plan) with observability on; returns ``(RunResult, TraceBuffer)``.
 
     This is the recording entry point ``tools/trace.py`` and the
     examples build on: same workloads as fig7a/fig7b, but with a
     :class:`repro.obs.TraceBuffer` wired through every layer.
+    ``metrics`` is an optional :class:`repro.obs.MetricsWindow` fed
+    inline at emit time (it sees every event even if the ring wraps).
     """
     from repro.obs import TraceBuffer
 
     program_fn, _, _ = _PROGRAMS[app]
     plan = plan_for(app, variant)
     wl = FIG7_WORKLOADS[app]()
-    buf = TraceBuffer(capacity=capacity)
+    buf = TraceBuffer(capacity=capacity, metrics=metrics)
     res = run_spmd(program_fn(wl, plan), backend=backend, n_procs=n_procs, tracer=buf)
     return res, buf
 

@@ -101,12 +101,18 @@ class Machine:
             self._deliver = self._deliver_traced
             self.rpc = self._rpc_traced
             self.reply = self._reply_traced
+            self.post = self._post_traced
+            self.defer_post = self._defer_post_traced
             self._node_sent = [
                 self.stats.node(i).key("msg.sent") for i in range(self.config.n_procs)
             ]
             self._node_recv = [
                 self.stats.node(i).key("msg.recv") for i in range(self.config.n_procs)
             ]
+            # Per-(src, category) RPC histogram handles, cached so the
+            # round-trip hot path never builds a "node<i>.rpc.<cat>"
+            # string twice; run_summary merges them cluster-wide.
+            self._rpc_hist_cache = {}
         else:
             self._obs = None
 
@@ -158,6 +164,33 @@ class Machine:
             partial(self._deliver, src, dst, handler, args, payload_words, category),
         )
 
+    def defer_post(
+        self,
+        delay: int,
+        src: int,
+        dst: int,
+        handler: Callable,
+        *args,
+        payload_words: int = 0,
+        category: str = "am.post",
+    ) -> None:
+        """``after(delay)`` then :meth:`post`, as one fabric operation.
+
+        Handler-side deferred work that ends in a send (e.g. the
+        invalidation-handler cost before the ack leaves) goes through
+        here so the traced variant can capture the causal context *now*
+        — by the time the deferral fires, the handler extent is gone.
+        Cost model: identical to ``schedule(delay, lambda: post(...))``
+        (two schedule draws, same delays).
+        """
+        self.sim.schedule(
+            delay,
+            partial(
+                self.post, src, dst, handler, *args,
+                payload_words=payload_words, category=category,
+            ),
+        )
+
     def _deliver(self, src, dst, handler, args, payload_words, category) -> None:
         if not (0 <= dst < self.n_procs):
             raise ValueError(f"bad destination node {dst}")
@@ -205,9 +238,51 @@ class Machine:
     # inlined schedule with the same (delay, seq) draws — plus causal
     # event emission.  Keeping them separate (instead of branching
     # inside the fast path) is what makes tracing-off literally free.
+    def _ctx(self) -> int:
+        """Current dispatch context (task step or handler receive), or -1.
+
+        The ts guard rejects stale contexts: a dispatch that set no
+        context of its own (a bare scheduled partial) inherits one only
+        within the same cycle, where the resulting zero-weight edge is
+        harmless.
+        """
+        buf = self.tracer
+        return buf.ctx_eid if buf.ctx_ts == self.sim.now else -1
+
+    def _post_traced(self, src, dst, handler, *args, payload_words=0, category="am.post"):
+        # Same schedule as post() (send overhead folded into delivery);
+        # the causal parent is captured *now*, because by the time the
+        # partial fires the emitting extent is gone.
+        self.sim.schedule(
+            self.config.am_send_overhead,
+            partial(
+                self._deliver_traced,
+                src, dst, handler, args, payload_words, category, self._ctx(),
+            ),
+        )
+
+    def _defer_post_traced(self, delay, src, dst, handler, *args, payload_words=0, category="am.post"):
+        # Two schedule draws with the same delays as the untraced
+        # defer_post; only the captured causal parent differs.
+        self.sim.schedule(
+            delay,
+            partial(
+                self._post_parent_traced,
+                self._ctx(), src, dst, handler, args, payload_words, category,
+            ),
+        )
+
+    def _post_parent_traced(self, parent, src, dst, handler, args, payload_words, category):
+        self.sim.schedule(
+            self.config.am_send_overhead,
+            partial(self._deliver_traced, src, dst, handler, args, payload_words, category, parent),
+        )
+
     def _deliver_traced(self, src, dst, handler, args, payload_words, category, parent=-1):
         if not (0 <= dst < self.n_procs):
             raise ValueError(f"bad destination node {dst}")
+        if parent == -1:
+            parent = self._ctx()
         counts = self._counts
         key = self._msg_keys.get(category)
         if key is None:
@@ -242,14 +317,21 @@ class Machine:
             hname = getattr(handler, "__name__", "anon")
             hkey = handler_keys[handler] = intern_key("handler", hname)
         self._counts[hkey] += 1
-        self._obs.emit(
+        eid = self._obs.emit(
             self.sim.now,
             "msg.recv",
             node=node.nid,
             parent=parent_eid,
             data={"src": src, "handler": hkey[len("handler."):]},
         )
-        result = handler(node, src, *args)
+        buf = self.tracer
+        prev_eid, prev_ts = buf.ctx_eid, buf.ctx_ts
+        buf.ctx_eid = eid
+        buf.ctx_ts = self.sim.now
+        try:
+            result = handler(node, src, *args)
+        finally:
+            buf.ctx_eid, buf.ctx_ts = prev_eid, prev_ts
         if result is not None and hasattr(result, "send"):
             self.sim.spawn(result, name=f"handler@{node.nid}")
 
@@ -266,8 +348,22 @@ class Machine:
         value = yield fut
         # Round trip as the caller experienced it (send overhead, both
         # wire legs, handler work) — the trace-level "stall time".
-        self.tracer.hist("rpc." + category).add(self.sim.now - t0)
-        obs.emit(self.sim.now, "rpc.return", node=src, parent=eid, data={"category": category})
+        # Recorded per node so run_summary can show both the cluster
+        # aggregate (via Histogram.merge) and per-node tails.
+        lat = self.sim.now - t0
+        hist = self._rpc_hist_cache.get((src, category))
+        if hist is None:
+            hist = self._rpc_hist_cache[(src, category)] = self.tracer.hist(
+                f"node{src}.rpc.{category}"
+            )
+        hist.add(lat)
+        obs.emit(
+            self.sim.now,
+            "rpc.return",
+            node=src,
+            parent=eid,
+            data={"category": category, "lat": lat},
+        )
         return value
 
     def _reply_traced(self, fut: Future, value=None, payload_words: int = 0, category: str = "am.reply") -> None:
@@ -280,10 +376,12 @@ class Machine:
         counts["msg.words"] += payload_words
         # Replies carry no explicit src/dst (the future is the address),
         # so the events sit on the global track; the flow arrow still
-        # links send to receive.
+        # links send to receive, and the context parent links the reply
+        # back to the request (or task dispatch) it services.
         eid = self._obs.emit(
             self.sim.now,
             "msg.send",
+            parent=self._ctx(),
             data={"category": category, "words": payload_words},
         )
         delay = self._reply_base + self._per_word * payload_words
@@ -298,12 +396,15 @@ class Machine:
             _heappush(sim._queue, (sim.now + delay, seq, fn))
 
     def _reply_arrive_traced(self, parent_eid, category, fut, value) -> None:
-        self._obs.emit(
+        eid = self._obs.emit(
             self.sim.now,
             "msg.recv",
             parent=parent_eid,
             data={"category": category, "future": fut.name},
         )
+        # Stamp the waker: the task.step this resolve wakes will parent
+        # to this receive, carrying the critical path across the wire.
+        fut._obs_eid = eid
         fut.resolve(value)
 
     def rpc(
@@ -366,7 +467,7 @@ class Machine:
         obs = self._obs
         epoch = self._barrier_gen
         if obs is not None:
-            obs.emit(self.sim.now, "barrier.arrive", node=nid, data={"epoch": epoch})
+            arrive_eid = obs.emit(self.sim.now, "barrier.arrive", node=nid, data={"epoch": epoch})
         fut = self._barrier_fut
         if self._barrier_count == self.n_procs:
             self._barrier_count = 0
@@ -376,8 +477,16 @@ class Machine:
             if obs is None:
                 self.sim.schedule(self.HW_BARRIER_COST, lambda: released.resolve(None))
             else:
+                # The release is caused by the *last* arrival — this
+                # one — so the edge carries exactly HW_BARRIER_COST and
+                # every woken task.step parents to the release.
                 def _release():
-                    obs.emit(self.sim.now, "barrier.release", data={"epoch": epoch})
+                    released._obs_eid = obs.emit(
+                        self.sim.now,
+                        "barrier.release",
+                        parent=arrive_eid,
+                        data={"epoch": epoch},
+                    )
                     released.resolve(None)
 
                 self.sim.schedule(self.HW_BARRIER_COST, _release)

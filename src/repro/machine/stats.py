@@ -133,6 +133,30 @@ class Stats:
             k: v for k, v in self._counts.items() if k == bare or k.startswith(dotted)
         }
 
+    def by_node(self, prefix: str | None = None) -> dict:
+        """Counters grouped by node id: ``{nid: {rest: value}}``.
+
+        Selects every ``node<i>.<rest>`` counter; with ``prefix``, only
+        those whose ``rest`` matches it under the same whole-token rule
+        as :meth:`with_prefix`.  The summarizers in
+        :mod:`repro.obs.export` and ``tools/profile.py`` use this to
+        render per-node tables without re-parsing key strings.
+        """
+        bare = None if prefix is None else prefix.rstrip(".")
+        dotted = None if bare is None else bare + "."
+        out: dict[int, dict] = {}
+        for key, v in self._counts.items():
+            if not key.startswith("node"):
+                continue
+            head, _, rest = key.partition(".")
+            nid = head[4:]
+            if not rest or not nid.isdigit():
+                continue
+            if dotted is not None and rest != bare and not rest.startswith(dotted):
+                continue
+            out.setdefault(int(nid), {})[rest] = v
+        return out
+
     # -- scoping --------------------------------------------------------
     def node(self, nid: int) -> _NodeStats:
         """Cached per-node counting adapter (keys under ``node<nid>.``)."""

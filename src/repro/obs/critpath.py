@@ -1,0 +1,311 @@
+"""Critical-path extraction over the causal trace DAG.
+
+The trace is a DAG: every event was emitted at a fixed simulated time,
+and causal edges (message send→receive, handler receive→reply send,
+barrier last-arrival→release, future-resolution→woken ``task.step``)
+always point from an earlier-emitted event to a later one — so the
+buffer's append order is already a topological order, and the longest
+weighted path falls out of a single forward scan.
+
+Edges and weights
+-----------------
+``compute``
+    consecutive kernel events of one task across an on-CPU stretch
+    (weight = elapsed cycles);
+``wire``
+    ``msg.send`` → ``msg.recv`` (network latency + per-word cost);
+``send``
+    a deferred injection (handler post) back to its causal context;
+``service``/``local``
+    zero-weight structural edges tying events emitted during one
+    dispatch to the dispatch head (a handler's receive, a task's step);
+``wake``
+    the event that resolved a future → the ``task.step`` it woke;
+``barrier``
+    last ``barrier.arrive`` → ``barrier.release`` (the hardware cost);
+``block:<bucket>``
+    fallback when a wakeup has no recorded cause (locally-resolved
+    future): the task's own block → step span, classified like
+    attribution buckets.
+
+Because every edge weight equals the timestamp difference of its
+endpoints, any root-to-event path measures ``ts(event) - ts(root)`` —
+so the critical-path length is at most ``res.time``, with equality
+exactly when a causal chain connects a time-0 root to a run-final
+event (synchronization-bound runs; EM3D static hits it).
+
+What-if mode re-runs the same forward scan with selected edge classes
+zeroed (e.g. ``("wire", "send")`` = free interconnect) and reports the
+shortened makespan — an *upper bound* on achievable speedup, with the
+usual what-if caveat that second-order effects (lock queueing order,
+protocol round trips that would restructure) are not re-simulated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.obs.attrib import classify_wait, phase_intervals
+
+__all__ = ["CriticalPath", "critical_path", "WHAT_IF_PRESETS"]
+
+#: Edge-class sets for the standard what-if questions.
+WHAT_IF_PRESETS = {
+    "zero_message_latency": ("wire", "send"),
+    "free_barriers": ("barrier", "block:barrier"),
+    "free_locks": ("wake:lock", "block:lock"),
+}
+
+#: Event kinds that begin a new dispatch cluster (everything emitted
+#: after them at the same timestamp, until the next head, happened
+#: inside the same kernel dispatch).
+_HEADS = frozenset(
+    {"task.spawn", "task.step", "task.finish", "task.crash", "msg.recv", "barrier.release", "rel.retry"}
+)
+
+_TASK_KINDS = frozenset({"task.spawn", "task.step", "task.block", "task.finish", "task.crash"})
+
+
+def _task_name(ev):
+    data = ev.data
+    return data["task"] if type(data) is dict else data
+
+
+def _matches(cat: str, zero) -> bool:
+    for z in zero:
+        if cat == z or cat.startswith(z + ":"):
+            return True
+    return False
+
+
+class CriticalPath:
+    """Longest causal chain through one traced run."""
+
+    __slots__ = (
+        "length",
+        "res_time",
+        "by_category",
+        "path",
+        "orphaned_edges",
+        "n_events",
+        "n_edges",
+        "_events",
+        "_incoming",
+        "_phases",
+    )
+
+    def __init__(self, events, incoming, length, path, by_category, orphaned, res_time):
+        self._events = events
+        self._incoming = incoming
+        self._phases = None
+        self.length = length
+        self.path = path
+        self.by_category = by_category
+        self.orphaned_edges = orphaned
+        self.res_time = res_time
+        self.n_events = len(events)
+        self.n_edges = sum(len(v) for v in incoming.values())
+
+    # -- composition ----------------------------------------------------
+    def segments(self):
+        """Merge consecutive same-category path edges into segments."""
+        segs = []
+        for src, dst, weight, cat in self.path:
+            if segs and segs[-1]["category"] == cat:
+                segs[-1]["cycles"] += weight
+                segs[-1]["to_ts"] = dst.ts
+                segs[-1]["events"] += 1
+            else:
+                node = dst.node
+                if node < 0 and dst.kind in _TASK_KINDS:
+                    # Kernel task events carry no node; recover it from
+                    # the SPMD task naming convention (proc<N>).
+                    name = _task_name(dst)
+                    if name.startswith("proc") and name[4:].isdigit():
+                        node = int(name[4:])
+                segs.append(
+                    {
+                        "category": cat,
+                        "cycles": weight,
+                        "from_ts": src.ts,
+                        "to_ts": dst.ts,
+                        "node": node,
+                        "kind": dst.kind,
+                        "events": 1,
+                    }
+                )
+        return segs
+
+    def top_segments(self, k: int = 10, res_time: int | None = None):
+        """The ``k`` heaviest path segments, annotated with their phase."""
+        total = res_time if res_time is not None else self.res_time
+        if self._phases is None:
+            self._phases = phase_intervals(self._events, total)
+        segs = sorted(self.segments(), key=lambda s: -s["cycles"])[:k]
+        for seg in segs:
+            name = None
+            for t0, t1, pname in self._phases:
+                if t0 <= seg["from_ts"] < t1:
+                    name = pname
+                    break
+            seg["phase"] = name if name is not None else "(no phase)"
+        return segs
+
+    # -- what-if --------------------------------------------------------
+    def what_if(self, zero) -> int:
+        """Makespan lower bound with the edge classes in ``zero`` free.
+
+        Re-runs the forward longest-path scan with matching edges at
+        weight 0; the DAG (all true dependencies) is unchanged, so the
+        result bounds what any implementation that only removed those
+        costs could achieve.
+        """
+        dist: dict[int, int] = {}
+        best = 0
+        incoming = self._incoming
+        for ev in self._events:
+            d = 0
+            for src_eid, weight, cat in incoming.get(ev.eid, ()):
+                w = 0 if _matches(cat, zero) else weight
+                cand = dist.get(src_eid, 0) + w
+                if cand > d:
+                    d = cand
+            dist[ev.eid] = d
+            if d > best:
+                best = d
+        return best
+
+    def speedup_bound(self, zero) -> float:
+        """Upper bound on speedup from zeroing ``zero`` edge classes."""
+        shortened = self.what_if(zero)
+        return self.length / shortened if shortened else float("inf")
+
+    def to_dict(self, top_k: int = 10) -> dict:
+        return {
+            "length": self.length,
+            "res_time": self.res_time,
+            "by_category": dict(self.by_category),
+            "orphaned_edges": self.orphaned_edges,
+            "n_events": self.n_events,
+            "n_edges": self.n_edges,
+            "top_segments": self.top_segments(top_k),
+            "what_if": {
+                name: {
+                    "bound_cycles": (b := self.what_if(zero)),
+                    "speedup_bound": round(self.length / b, 3) if b else None,
+                }
+                for name, zero in WHAT_IF_PRESETS.items()
+            },
+        }
+
+
+def critical_path(buf, res_time: int | None = None) -> CriticalPath:
+    """Extract the longest weighted causal chain from a trace.
+
+    Tolerates ring eviction: edges whose causal parent was dropped are
+    skipped and counted in ``orphaned_edges`` (the path then starts at
+    the oldest surviving cause instead).
+    """
+    events = buf.events() if hasattr(buf, "events") else list(buf)
+    by_id = {ev.eid: ev for ev in events}
+    incoming = defaultdict(list)  # eid -> [(src_eid, weight, category)]
+    orphaned = 0
+
+    prev_task: dict[str, object] = {}  # task name -> its previous kernel event
+    cluster_head = None
+    prev_ts = None
+
+    for ev in events:
+        kind = ev.kind
+        # -- dispatch clusters: tie same-dispatch emissions together --
+        if kind in _HEADS or ev.ts != prev_ts:
+            cluster_head = ev
+        elif cluster_head is not None and cluster_head.eid != ev.eid:
+            incoming[ev.eid].append((cluster_head.eid, 0, "local"))
+        prev_ts = ev.ts
+
+        # -- explicit causal parents ----------------------------------
+        parent = ev.parent
+        if parent != -1 and kind != "rpc.return":
+            # rpc.return keeps its call as Perfetto slice parent, but
+            # that edge telescopes the whole round trip — the path
+            # already crosses it via wire + service + wake edges.
+            src = by_id.get(parent)
+            if src is None:
+                orphaned += 1
+            else:
+                weight = ev.ts - src.ts
+                if kind == "msg.recv":
+                    cat = "wire"
+                elif kind == "task.step":
+                    cat = "wake"
+                    wait = prev_task.get(_task_name(ev))
+                    if wait is not None and wait.kind == "task.block":
+                        cat = "wake:" + classify_wait(wait.data["on"])[0]
+                elif kind == "msg.send":
+                    cat = "send"
+                elif kind == "barrier.release":
+                    cat = "barrier"
+                else:
+                    cat = "cause"
+                incoming[ev.eid].append((src.eid, weight, cat))
+
+        # -- per-task chains ------------------------------------------
+        if kind in _TASK_KINDS:
+            name = _task_name(ev)
+            prev = prev_task.get(name)
+            if prev is not None:
+                if prev.kind == "task.block":
+                    if ev.parent == -1 or ev.parent not in by_id:
+                        # No recorded waker (locally-resolved future or
+                        # evicted cause): fall back to the task's own
+                        # blocked span so the chain stays connected.
+                        bucket = classify_wait(prev.data["on"])[0]
+                        incoming[ev.eid].append(
+                            (prev.eid, ev.ts - prev.ts, "block:" + bucket)
+                        )
+                else:
+                    incoming[ev.eid].append((prev.eid, ev.ts - prev.ts, "compute"))
+            prev_task[name] = ev
+
+    # -- forward longest-path scan (buffer order is topological) ------
+    dist: dict[int, int] = {}
+    best_pred: dict[int, tuple] = {}
+    end_eid = None
+    best = -1
+    for ev in events:
+        d = 0
+        pred = None
+        for src_eid, weight, cat in incoming.get(ev.eid, ()):
+            cand = dist.get(src_eid, 0) + weight
+            if cand > d or (cand == d and pred is None):
+                d = cand
+                pred = (src_eid, weight, cat)
+        dist[ev.eid] = d
+        if pred is not None:
+            best_pred[ev.eid] = pred
+        if d >= best:
+            best = d
+            end_eid = ev.eid
+
+    # -- backtrack ----------------------------------------------------
+    path = []
+    by_category = defaultdict(int)
+    eid = end_eid
+    while eid is not None and eid in best_pred:
+        src_eid, weight, cat = best_pred[eid]
+        path.append((by_id[src_eid], by_id[eid], weight, cat))
+        by_category[cat] += weight
+        eid = src_eid
+    path.reverse()
+
+    length = max(best, 0)
+    return CriticalPath(
+        events,
+        dict(incoming),
+        length,
+        path,
+        dict(by_category),
+        orphaned,
+        res_time if res_time is not None else (events[-1].ts if events else 0),
+    )

@@ -87,6 +87,34 @@ class Histogram:
             self.max = value
         self.buckets[value.bit_length()] += 1
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram in place; returns ``self``.
+
+        Bucket counts add, so every percentile of the merged histogram
+        equals the percentile of a single histogram fed both streams —
+        exactly, because :meth:`add` classifies by value alone.  Used
+        by :func:`repro.obs.export.run_summary` to aggregate per-node
+        RPC latency histograms cluster-wide.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.buckets.update(other.buckets)
+        return self
+
+    def copy(self) -> "Histogram":
+        """An independent duplicate (merge target that leaves the source intact)."""
+        h = Histogram()
+        h.count = self.count
+        h.total = self.total
+        h.min = self.min
+        h.max = self.max
+        h.buckets = Counter(self.buckets)
+        return h
+
     def percentile(self, p: float) -> int:
         """Upper bound of the bucket containing the ``p``-quantile,
         clamped to the observed maximum."""
@@ -146,7 +174,7 @@ class TraceBuffer:
     ids, which exporters treat as unknown roots.
     """
 
-    def __init__(self, capacity: int = 1 << 16):
+    def __init__(self, capacity: int = 1 << 16, metrics=None):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.capacity = capacity
@@ -154,6 +182,22 @@ class TraceBuffer:
         self._events: deque = deque(maxlen=capacity)
         self._next_id = 0
         self.hists: dict[str, Histogram] = {}
+        # Optional windowed-metrics sink (repro.obs.metrics.MetricsWindow).
+        # Fed inline at emit time, so it sees every event even after the
+        # ring has evicted it — a tiny ring plus metrics is the cheap
+        # "leave it on" configuration.  When None, emit() stays the
+        # original two-branch append (the common case selects the plain
+        # emit body once, at construction).
+        self.metrics = metrics
+        if metrics is not None:
+            self.emit = self._emit_metered  # type: ignore[method-assign]
+        # Current dispatch context: the event id heading the kernel
+        # dispatch executing right now (a task.step or a msg.recv) and
+        # its timestamp.  The kernel and machine publish it; traced
+        # sends read it as their causal parent.  ctx_ts guards against
+        # staleness — a context is only valid at its own cycle.
+        self.ctx_eid = -1
+        self.ctx_ts = -1
 
     # -- recording ------------------------------------------------------
     def emit(self, ts: int, layer: str, kind: str, node: int = -1, parent: int = -1, data=None) -> int:
@@ -164,6 +208,17 @@ class TraceBuffer:
         if len(q) == self.capacity:
             self.dropped += 1
         q.append(TraceEvent(eid, ts, layer, kind, node, parent, data))
+        return eid
+
+    def _emit_metered(self, ts: int, layer: str, kind: str, node: int = -1, parent: int = -1, data=None) -> int:
+        """emit() variant installed when a MetricsWindow is attached."""
+        eid = self._next_id
+        self._next_id = eid + 1
+        q = self._events
+        if len(q) == self.capacity:
+            self.dropped += 1
+        q.append(TraceEvent(eid, ts, layer, kind, node, parent, data))
+        self.metrics.observe(ts, kind, data)
         return eid
 
     def tracer(self, layer: str) -> Tracer:

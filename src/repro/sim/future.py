@@ -23,7 +23,7 @@ class Future:
         Optional label used in deadlock reports and traces.
     """
 
-    __slots__ = ("name", "_value", "_exc", "_callbacks", "_fail_hook")
+    __slots__ = ("name", "_value", "_exc", "_callbacks", "_fail_hook", "_obs_eid")
 
     def __init__(self, name: str = ""):
         self.name = name
@@ -33,6 +33,12 @@ class Future:
         # Set by the kernel on task ``done`` futures: lets a crash be
         # reported fail-fast instead of scanning every task per event.
         self._fail_hook = None
+        # Trace id of the event that resolved this future (reply
+        # receive, barrier release, lock grant), set only by traced
+        # resolvers just before resolve().  The kernel stamps it as the
+        # causal parent of the woken task's ``task.step`` so critical
+        # paths cross wakeups.  -1 = unknown/untraced.
+        self._obs_eid = -1
 
     # -- inspection ---------------------------------------------------
     @property

@@ -150,6 +150,7 @@ class Task:
         "_ring",
         "_jitter",
         "_obs",
+        "_obs_buf",
     )
 
     def __init__(self, gen: Generator, name: str, sim: "Simulator"):
@@ -176,6 +177,7 @@ class Task:
         # observability is off, so the per-step cost of the disabled
         # path is one slot load and branch (see repro.obs.trace).
         self._obs = sim._obs
+        self._obs_buf = sim._obs_buf
 
     def _step(self) -> None:
         """Advance the generator one yield (plus inline trampolining).
@@ -201,7 +203,22 @@ class Task:
         now = sim.now  # time cannot advance while a task is stepping
         obs = self._obs
         if obs is not None:
-            obs.emit(now, "task.step", data=self.name)
+            # The wake parent is the event that resolved the awaited
+            # future (reply receive, barrier release, lock grant — set
+            # by the resolver via Future._obs_eid), or -1 for plain
+            # delays and locally-resolved futures.  Attribution pairs
+            # this step with the task's preceding ``task.block``;
+            # critical-path extraction follows the parent edge.  The
+            # step becomes the buffer's dispatch context, so sends
+            # issued while this task runs parent back to it.
+            buf = self._obs_buf
+            buf.ctx_eid = obs.emit(
+                now,
+                "task.step",
+                parent=-1 if fut is None else fut._obs_eid,
+                data=self.name,
+            )
+            buf.ctx_ts = now
         self.blocked_on = None
         steps = _TRAMPOLINE_MAX
         while True:
@@ -321,6 +338,13 @@ class Task:
             self.blocked_on = item
             if trace:
                 trace(now, f"{self.name} waits on {item.name}")
+            if obs is not None:
+                # Pure observation: the span from this event to the
+                # task's next ``task.step`` is exactly the cycles spent
+                # blocked on ``item`` — the raw material for cycle
+                # attribution (repro.obs.attrib classifies the future's
+                # name into wait buckets).
+                obs.emit(now, "task.block", data={"task": self.name, "on": item.name})
             item._callbacks.append(self._wake)
             return
 
@@ -371,6 +395,7 @@ class Simulator:
         "_failure",
         "_jitter",
         "_obs",
+        "_obs_buf",
         "_until",
     )
 
@@ -412,8 +437,11 @@ class Simulator:
         self._until: int | None = None
         self._jitter = random.Random(jitter_seed) if jitter_seed is not None else None
         # Per-layer tracer handle, or None: resolved once here so the
-        # disabled path never probes or formats anything.
+        # disabled path never probes or formats anything.  The buffer
+        # itself is kept too: task steps publish the dispatch context
+        # (TraceBuffer.ctx_eid) traced sends use as causal parent.
         self._obs = tracer.tracer("kernel") if tracer is not None else None
+        self._obs_buf = tracer
 
     # -- low-level event interface -------------------------------------
     def schedule(self, delay: int, fn: Callable[[], None]) -> None:

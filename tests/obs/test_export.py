@@ -153,3 +153,63 @@ def test_ring_overflow_reported(tmp_path):
     to_jsonl(buf, path)
     header = json.loads(path.read_text().splitlines()[0])
     assert header["trace"]["dropped"] == buf.dropped
+
+
+def test_perfetto_tolerates_wrapped_ring(tmp_path):
+    # Regression: a wrapped ring leaves msg.recv / rpc.return events
+    # whose causal parent was evicted; the exporter must skip the flow
+    # arrow / slice and count the orphan instead of KeyError-ing.
+    res, buf = trace_run("TSP", "SC", n_procs=4, capacity=256)
+    assert buf.dropped > 0
+    path = tmp_path / "wrapped.perfetto.json"
+    to_perfetto(buf, path)
+    doc = json.loads(path.read_text())
+    assert doc["otherData"]["dropped"] == buf.dropped
+    assert doc["otherData"]["orphaned_edges"] > 0
+    evs = doc["traceEvents"]
+    # surviving flow arrows still pair up and reference surviving sends
+    starts = {e["id"] for e in evs if e["ph"] == "s"}
+    finishes = {e["id"] for e in evs if e["ph"] == "f"}
+    assert starts == finishes
+    surviving = {ev.eid for ev in buf.events()}
+    assert starts <= surviving
+
+
+def test_orphaned_edges_zero_without_drops(tsp_run):
+    from repro.obs import orphaned_edges
+
+    _, buf = tsp_run
+    assert buf.dropped == 0
+    assert orphaned_edges(buf) == 0
+    s = run_summary(*tsp_run)
+    assert s["orphaned_edges"] == 0
+
+
+def test_orphaned_edges_counted_in_summary():
+    from repro.obs import orphaned_edges
+
+    res, buf = trace_run("TSP", "SC", n_procs=2, capacity=64)
+    n = orphaned_edges(buf)
+    assert n > 0
+    assert run_summary(res, buf)["orphaned_edges"] == n
+
+
+def test_cluster_hists_fold_per_node_rpc(tsp_run):
+    from repro.obs import cluster_hists, stall_cycles
+
+    _, buf = tsp_run
+    merged = cluster_hists(buf)
+    per_node = {n: h for n, h in buf.hists.items()
+                if n.startswith("node") and ".rpc." in n}
+    assert per_node, "traced machine should record per-node RPC hists"
+    for name, h in merged.items():
+        if not name.startswith("rpc."):
+            continue
+        parts = [src for key, src in per_node.items()
+                 if key.split(".", 1)[1] == name]
+        assert h.count == sum(p.count for p in parts)
+        assert h.total == sum(p.total for p in parts)
+    # stall totals are the merged hist totals, so the cluster-wide
+    # number is identical to summing the per-node ones directly
+    stalls = stall_cycles(buf)
+    assert sum(stalls.values()) == sum(h.total for h in per_node.values())

@@ -1,0 +1,119 @@
+"""Windowed metrics tests (repro.obs.metrics.MetricsWindow)."""
+
+import json
+
+import pytest
+
+from repro.harness.experiments import trace_run
+from repro.obs import MetricsWindow, run_summary, to_perfetto
+
+
+@pytest.fixture(scope="module")
+def metered_run():
+    metrics = MetricsWindow(width=2048)
+    res, buf = trace_run("TSP", "SC", n_procs=4, metrics=metrics)
+    return res, buf, metrics
+
+
+def test_window_width_must_be_positive():
+    with pytest.raises(ValueError):
+        MetricsWindow(width=0)
+
+
+def test_observe_unit_counters():
+    m = MetricsWindow(width=100)
+    m.observe(10, "msg.send", {"category": "a.b", "words": 4})
+    m.observe(20, "msg.send", {"category": "a.c", "words": 2})
+    m.observe(150, "rpc.return", {"category": "a.b", "lat": 77})
+    m.observe(160, "task.block", {"task": "proc0", "on": "read:1@0"})
+    m.observe(170, "region.state", {"rid": 3, "state": "shared"})
+    m.observe(180, "task.step", "proc0")  # untracked kind: ignored
+    rows = m.rows()
+    assert [r["window"] for r in rows] == [0, 1]
+    assert rows[0] == {
+        "window": 0, "start": 0, "end": 100, "msgs": 2, "words": 6,
+        "rpcs": 0, "stall": 0, "blocks": 0, "transitions": 0,
+        "mix": {"a.b": 1, "a.c": 1}, "states": {}, "rids": {},
+    }
+    assert rows[1]["stall"] == 77 and rows[1]["blocks"] == 1
+    assert rows[1]["transitions"] == 1 and rows[1]["states"] == {"shared": 1}
+    assert rows[1]["rids"] == {"3": 1}
+    assert m.observed == 5
+
+
+def test_totals_match_counters(metered_run):
+    res, _, metrics = metered_run
+    s = metrics.summary(res.time, 4)
+    assert s["msgs"] == res.stats.get("msg.total")
+    assert s["words"] == res.stats.get("msg.words")
+    assert sum(s["mix"].values()) == s["msgs"]
+    assert 0 < s["stall_fraction"] < 1
+
+
+def test_metrics_survive_ring_eviction():
+    # The window hangs off emit(), not the ring: totals must match the
+    # exact counters even when almost every event was evicted.
+    metrics = MetricsWindow(width=2048)
+    res, buf = trace_run("TSP", "SC", n_procs=4, capacity=64, metrics=metrics)
+    assert buf.dropped > 0 and len(buf) == 64
+    s = metrics.summary()
+    assert s["msgs"] == res.stats.get("msg.total")
+    assert s["words"] == res.stats.get("msg.words")
+
+
+def test_windows_tile_the_run(metered_run):
+    res, _, metrics = metered_run
+    rows = metrics.rows()
+    assert rows == sorted(rows, key=lambda r: r["window"])
+    assert all(r["end"] - r["start"] == metrics.width for r in rows)
+    assert rows[-1]["start"] <= res.time
+    # per-window stall never exceeds aggregate capacity in that window
+    assert all(r["stall"] <= metrics.width * 4 for r in rows)
+
+
+def test_jsonl_export(metered_run, tmp_path):
+    _, _, metrics = metered_run
+    path = tmp_path / "metrics.jsonl"
+    n = metrics.to_jsonl(path)
+    lines = path.read_text().splitlines()
+    assert len(lines) == n + 1
+    header = json.loads(lines[0])
+    assert header["metrics"]["windows"] == n
+    first = json.loads(lines[1])
+    assert {"window", "start", "end", "msgs", "stall", "mix"} <= set(first)
+
+
+def test_perfetto_counter_tracks(metered_run, tmp_path):
+    _, buf, metrics = metered_run
+    path = tmp_path / "metered.perfetto.json"
+    to_perfetto(buf, path)
+    doc = json.loads(path.read_text())
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert counters, "attached metrics should emit counter tracks"
+    names = {e["name"] for e in counters}
+    assert {"msgs/window", "stall/window", "blocks/window"} <= names
+    msg_total = sum(e["args"]["msgs"] for e in counters if e["name"] == "msgs/window")
+    assert msg_total == metrics.summary()["msgs"]
+
+
+def test_counter_gaps_get_zero_samples():
+    m = MetricsWindow(width=10)
+    m.observe(5, "msg.send", {"category": "x", "words": 1})
+    m.observe(95, "msg.send", {"category": "x", "words": 1})  # window 9
+    counters = m.perfetto_counters()
+    msgs = [(e["ts"], e["args"]["msgs"]) for e in counters if e["name"] == "msgs/window"]
+    assert (0, 1) in msgs and (90, 1) in msgs
+    assert (10, 0) in msgs  # explicit return-to-zero after window 0
+
+
+def test_run_summary_includes_metrics(metered_run):
+    res, buf, metrics = metered_run
+    s = run_summary(res, buf)
+    assert s["metrics"]["msgs"] == metrics.summary()["msgs"]
+    assert "stall_fraction" in s["metrics"]
+
+
+def test_plain_buffer_has_no_metrics_block():
+    res, buf = trace_run("TSP", "custom", n_procs=2)
+    assert buf.metrics is None
+    assert "metrics" not in run_summary(res, buf)

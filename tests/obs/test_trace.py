@@ -90,3 +90,46 @@ def test_histogram_of_zeros():
 def test_empty_histogram_summary():
     s = Histogram().summary()
     assert s["count"] == 0 and s["mean"] == 0 and s["p50"] == 0
+
+
+def test_histogram_merge_preserves_percentiles():
+    # Feeding two streams into separate histograms and merging must
+    # give exactly the same digest as one histogram fed both streams —
+    # the property run_summary relies on when it folds per-node RPC
+    # hists cluster-wide.
+    left, right, combined = Histogram(), Histogram(), Histogram()
+    stream_a = [0, 1, 3, 9, 120, 4096]
+    stream_b = [2, 2, 7, 513, 513]
+    for v in stream_a:
+        left.add(v)
+        combined.add(v)
+    for v in stream_b:
+        right.add(v)
+        combined.add(v)
+    merged = left.copy().merge(right)
+    assert merged.count == combined.count
+    assert merged.total == combined.total
+    assert merged.min == combined.min and merged.max == combined.max
+    assert merged.buckets == combined.buckets
+    for p in (0.1, 0.5, 0.9, 0.99, 1.0):
+        assert merged.percentile(p) == combined.percentile(p)
+    assert merged.summary() == combined.summary()
+
+
+def test_histogram_merge_with_empty_sides():
+    h = Histogram()
+    h.add(5)
+    assert h.copy().merge(Histogram()).summary() == h.summary()
+    empty = Histogram()
+    assert empty.merge(h).summary() == h.summary()
+    # merge returns self, enabling fold chains
+    assert (m := Histogram()).merge(h) is m
+
+
+def test_histogram_copy_is_independent():
+    h = Histogram()
+    h.add(3)
+    c = h.copy()
+    c.add(1000)
+    assert h.count == 1 and h.max == 3
+    assert c.count == 2 and c.max == 1000

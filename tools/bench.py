@@ -40,6 +40,7 @@ import argparse
 import json
 import os
 import platform
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -135,6 +136,32 @@ def _result(rows: list, events: int | None, wall: float) -> dict:
 SUITES = {"fig7a": suite_fig7a, "fig7b": suite_fig7b, "table4": suite_table4}
 
 
+def _repeated(fn, repeat: int, **kw) -> dict:
+    """Run a suite ``repeat`` times; report best-of-N wall with spread.
+
+    Wall-clock numbers on shared CI runners are noisy; min is the
+    standard "closest to true cost" estimator, and the spread block
+    (min/median/max/stddev over all N runs) lets a reader judge how
+    trustworthy a comparison is.  Simulated-cycle rows and kernel event
+    counts must be bit-identical across repeats — the suite result says
+    so if they are not (``nondeterministic: true``), which would be a
+    determinism bug worth more than any perf number.
+    """
+    runs = [fn(**kw) for _ in range(repeat)]
+    walls = [r["wall_s"] for r in runs]
+    best = min(runs, key=lambda r: r["wall_s"])
+    best["spread"] = {
+        "runs": repeat,
+        "min": round(min(walls), 4),
+        "median": round(statistics.median(walls), 4),
+        "max": round(max(walls), 4),
+        "stddev": round(statistics.stdev(walls), 4) if repeat > 1 else 0.0,
+    }
+    if any(r["rows"] != runs[0]["rows"] or r["events"] != runs[0]["events"] for r in runs[1:]):
+        best["nondeterministic"] = True  # pragma: no cover - determinism bug canary
+    return best
+
+
 def host_fingerprint() -> dict:
     """Who produced these numbers: wall-clock comparisons across hosts
     or interpreters are meaningless without this block."""
@@ -147,7 +174,7 @@ def host_fingerprint() -> dict:
     }
 
 
-def run_bench(suites: list[str], n_procs: int, smoke: bool = False) -> dict:
+def run_bench(suites: list[str], n_procs: int, smoke: bool = False, repeat: int = 1) -> dict:
     report = {
         "stamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
@@ -155,18 +182,19 @@ def run_bench(suites: list[str], n_procs: int, smoke: bool = False) -> dict:
         "host": host_fingerprint(),
         "n_procs": n_procs,
         "smoke": smoke,
+        "repeat": repeat,
         "suites": {},
     }
     if smoke:
-        report["suites"]["smoke"] = suite_fig7a(n_procs=2, apps=["TSP"])
+        report["suites"]["smoke"] = _repeated(suite_fig7a, repeat, n_procs=2, apps=["TSP"])
         # the compiler path gets its own smoke entry (TSP kernel, all
         # four levels + hand, both the gate's cycles and a throughput
         # signal for the closure backend)
-        report["suites"]["smoke_table4"] = suite_table4(n_procs=2, apps=["TSP"])
+        report["suites"]["smoke_table4"] = _repeated(suite_table4, repeat, n_procs=2, apps=["TSP"])
         return report
     for name in suites:
         print(f"running suite {name} ...", file=sys.stderr)
-        report["suites"][name] = SUITES[name](n_procs=n_procs)
+        report["suites"][name] = _repeated(SUITES[name], repeat, n_procs=n_procs)
     return report
 
 
@@ -296,6 +324,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--suites", nargs="+", choices=sorted(SUITES), default=sorted(SUITES))
     parser.add_argument("--procs", type=int, default=4, help="simulated processors (default 4)")
     parser.add_argument("--smoke", action="store_true", help="tiny CI run: one small workload")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run each suite N times; record best-of-N wall with "
+                             "min/median/max/stddev spread (default 1)")
     parser.add_argument("--trace-overhead", action="store_true",
                         help="run fig7a off+on tracing, report wall delta, check cycles identical")
     parser.add_argument("--profile", choices=sorted(SUITES), default=None, metavar="SUITE",
@@ -314,16 +345,23 @@ def main(argv: list[str] | None = None) -> int:
     # Read the baseline up front: a bad path should fail before the
     # suites burn minutes, not after.
     baseline = json.loads(args.baseline.read_text()) if args.baseline else None
-    report = run_bench(args.suites, n_procs=args.procs, smoke=args.smoke)
+    if args.repeat < 1:
+        parser.error(f"--repeat must be >= 1 (got {args.repeat})")
+    report = run_bench(args.suites, n_procs=args.procs, smoke=args.smoke, repeat=args.repeat)
     out = args.out or Path(f"BENCH_{report['stamp'].replace(':', '')}.json")
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
     for name, suite in report["suites"].items():
         eps = suite["events_per_s"]
-        print(
+        spread = suite.get("spread")
+        line = (
             f"  {name}: {suite['wall_s']:.3f}s, {suite['events']} events"
             + (f", {eps} events/s" if eps else "")
         )
+        if spread and spread["runs"] > 1:
+            line += (f"  [best of {spread['runs']}: median {spread['median']:.3f}s, "
+                     f"stddev {spread['stddev']:.3f}s]")
+        print(line)
     if baseline is not None:
         lines = compare(report, baseline, gate=args.gate)
         print(f"vs {args.baseline}:")

@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Profile traced workload runs: cycle attribution, critical path, what-ifs.
+
+For each requested (app, protocol-variant) pair this runs the bench
+workload with observability on and prints
+
+* the **cycle attribution table** — every node's timeline decomposed
+  into compute / message wait / lock wait / barrier wait / directory
+  service / retry / join / idle buckets.  The decomposition is exact:
+  buckets sum to ``cycles × nodes`` (checked, and ``--check`` fails
+  the process if it ever does not);
+* the **critical path** — the longest weighted chain of causal edges
+  (compute stretches, message wire hops, wakeups, barrier releases)
+  with its per-category composition and the top-k heaviest segments,
+  each annotated with the application phase it crossed;
+* **what-if bounds** — the same path re-scanned with selected edge
+  classes zeroed (free interconnect, free barriers, free locks): an
+  upper bound on the speedup any optimization of that cost could buy;
+* the **windowed metrics** digest (message mix, stall fraction) fed by
+  a :class:`repro.obs.MetricsWindow` attached to the trace ring.
+
+and writes one ``<out>/<app>-<variant>.profile.json`` artifact per run
+for CI to archive and diff.
+
+    PYTHONPATH=src python tools/profile.py                    # EM3D + TSP
+    PYTHONPATH=src python tools/profile.py --apps Water --variants SC custom
+    PYTHONPATH=src python tools/profile.py --apps all --check --out profiles
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ALL_APPS = ["Barnes-Hut", "BSC", "EM3D", "TSP", "Water"]
+#: Attribution buckets in table order (idle last; zero columns elided).
+COLUMNS = ["compute", "msg", "lock", "barrier", "dir", "retry", "join", "other", "idle"]
+
+
+def variants_for(app: str, requested: list[str]) -> list[str]:
+    """EM3D's protocol ladder names its steps dynamic/static, not custom."""
+    if app == "EM3D":
+        return [{"custom": "static"}.get(v, v) for v in requested]
+    return [v for v in requested if v in ("SC", "custom")] or requested
+
+
+def profile_one(app: str, variant: str, args):
+    from repro.harness.experiments import trace_run
+    from repro.obs import MetricsWindow, attribute, critical_path
+
+    metrics = MetricsWindow(width=args.window)
+    res, buf = trace_run(
+        app, variant, backend=args.backend, n_procs=args.procs,
+        capacity=args.capacity, metrics=metrics,
+    )
+    attr = attribute(buf, res.time, args.procs, strict=False)
+    cp = critical_path(buf, res.time)
+    return res, buf, metrics, attr, cp
+
+
+def print_attribution(app, variant, res, attr) -> None:
+    from repro.harness.experiments import format_table
+
+    cols = [c for c in COLUMNS if attr.buckets.get(c)]
+    rows = []
+    for nid in sorted(attr.per_node):
+        b = attr.per_node[nid]
+        rows.append([f"node{nid}"] + [b.get(c, 0) for c in cols] + [sum(b.values())])
+    total = sum(attr.buckets.values())
+    rows.append(["TOTAL"] + [attr.buckets.get(c, 0) for c in cols] + [total])
+    rows.append(["%"] + [f"{attr.buckets.get(c, 0) / total * 100:.1f}" for c in cols] + [""])
+    status = "exact" if attr.exact else f"approx ({attr.dropped} events dropped)"
+    print(format_table(
+        f"{app} [{variant}] cycle attribution — {res.time} cycles x "
+        f"{attr.n_nodes} nodes ({status})",
+        ["node"] + cols + ["sum"],
+        rows,
+    ))
+
+
+def print_critpath(cp, res, top_k: int) -> None:
+    pct = cp.length / res.time * 100 if res.time else 0.0
+    comp = ", ".join(
+        f"{cat}:{cyc}" for cat, cyc in sorted(cp.by_category.items(), key=lambda kv: -kv[1]) if cyc
+    )
+    print(f"\n  critical path: {cp.length} cycles ({pct:.1f}% of makespan), "
+          f"{cp.n_events} events, {cp.n_edges} edges, "
+          f"{cp.orphaned_edges} orphaned")
+    print(f"  composition:   {comp}")
+    print(f"  top {top_k} segments:")
+    for seg in cp.top_segments(top_k):
+        print(f"    {seg['cycles']:8d} cyc  {seg['category']:<14s} "
+              f"phase={seg['phase']:<12s} node={seg['node']:>2d} "
+              f"[{seg['from_ts']}..{seg['to_ts']}]")
+    print("  what-if bounds (upper bounds; dependencies not re-simulated):")
+    for name, bound in cp.to_dict(top_k=0)["what_if"].items():
+        sp = bound["speedup_bound"]
+        print(f"    {name:<22s} makespan >= {bound['bound_cycles']:8d}  "
+              f"speedup <= {sp if sp is not None else 'inf'}")
+
+
+def check_run(app, variant, res, attr, cp, failures: list) -> None:
+    """--check assertions; append human-readable failures."""
+    tag = f"{app}/{variant}"
+    if attr.exact and not attr.reconciles():
+        failures.append(
+            f"{tag}: attribution does not reconcile "
+            f"({sum(attr.buckets.values())} != {attr.total})"
+        )
+    if cp.length > res.time:
+        failures.append(
+            f"{tag}: critical path {cp.length} exceeds makespan {res.time}"
+        )
+    if attr.exact and cp.orphaned_edges:
+        failures.append(
+            f"{tag}: {cp.orphaned_edges} orphaned edges with no ring evictions"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", nargs="+", default=["EM3D", "TSP"],
+                        help="bench apps, or 'all' (default: EM3D TSP)")
+    parser.add_argument("--variants", nargs="+", default=["SC", "custom"],
+                        help="protocol variants: SC, custom; EM3D maps custom->static "
+                             "and also accepts dynamic")
+    parser.add_argument("--backend", default="ace", choices=["ace", "crl"])
+    parser.add_argument("--procs", type=int, default=4, help="simulated processors (default 4)")
+    parser.add_argument("--capacity", type=int, default=1 << 20,
+                        help="trace ring capacity in events (default 1M — attribution "
+                             "is only exact if nothing is evicted)")
+    parser.add_argument("--window", type=int, default=4096,
+                        help="metrics window width in cycles (default 4096)")
+    parser.add_argument("--top", type=int, default=8, metavar="K",
+                        help="critical-path segments to print (default 8)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory for <app>-<variant>.profile.json artifacts")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless attribution reconciles exactly and "
+                             "the critical path is <= the makespan on every run")
+    args = parser.parse_args(argv)
+
+    apps = ALL_APPS if args.apps == ["all"] else args.apps
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    failures: list[str] = []
+    for app in apps:
+        for variant in dict.fromkeys(variants_for(app, args.variants)):
+            res, buf, metrics, attr, cp = profile_one(app, variant, args)
+            print_attribution(app, variant, res, attr)
+            print_critpath(cp, res, args.top)
+            ms = metrics.summary(res.time, args.procs)
+            print(f"  metrics: {ms['windows']} windows x {ms['width']} cyc, "
+                  f"{ms['msgs']} msgs, stall fraction {ms.get('stall_fraction', 0)}\n")
+            if args.check:
+                check_run(app, variant, res, attr, cp, failures)
+            if args.out is not None:
+                artifact = {
+                    "app": app,
+                    "variant": variant,
+                    "backend": args.backend,
+                    "procs": args.procs,
+                    "cycles": res.time,
+                    "events": len(buf),
+                    "dropped": buf.dropped,
+                    "attribution": attr.to_dict(),
+                    "critical_path": cp.to_dict(top_k=args.top),
+                    "metrics": ms,
+                }
+                path = args.out / f"{app.lower()}-{variant.lower()}.profile.json"
+                path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+                print(f"wrote {path}", file=sys.stderr)
+
+    if failures:
+        print("CHECK FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    if args.check:
+        print("all profiling checks passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    raise SystemExit(main())

@@ -18,11 +18,13 @@ wins: fewer messages, fewer misses, less stall time).
     PYTHONPATH=src python tools/trace.py                       # EM3D + TSP, SC vs custom
     PYTHONPATH=src python tools/trace.py --apps EM3D --variants SC static --procs 8
     PYTHONPATH=src python tools/trace.py --summary-only
+    PYTHONPATH=src python tools/trace.py --summary-only --json -   # summaries as JSON
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -56,6 +58,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="output directory (default ./traces)")
     parser.add_argument("--summary-only", action="store_true",
                         help="print summaries without writing trace files")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also emit the run summaries as one JSON document "
+                             "('-' for stdout; suppresses the text report there)")
     args = parser.parse_args(argv)
 
     from repro.harness.experiments import format_table, trace_run
@@ -84,6 +89,19 @@ def main(argv: list[str] | None = None) -> int:
                 to_perfetto(buf, perfetto)
                 print(f"wrote {jsonl} and {perfetto} ({n} events, "
                       f"{buf.dropped} dropped)", file=sys.stderr)
+
+    if args.json is not None:
+        doc = {
+            "backend": args.backend,
+            "procs": args.procs,
+            "runs": {f"{app}/{proto}": summary for app, proto, summary in details},
+        }
+        if args.json == "-":
+            json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+            print()
+            return 0
+        Path(args.json).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}", file=sys.stderr)
 
     print(format_table(
         f"Message mix / stall summary ({args.backend}, {args.procs} procs)",
