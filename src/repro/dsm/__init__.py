@@ -31,6 +31,7 @@ from repro.dsm.faults import (
     StallError,
     StallReport,
 )
+from repro.dsm.msi import HW_SC_TABLE, MSI_TABLE, EngineView, engine_view
 from repro.dsm.directory import DirEntry, DirectoryService
 from repro.dsm.regioncache import RegionCache
 from repro.dsm.hooks import ProtocolHooks
@@ -47,10 +48,13 @@ __all__ = [
     "DirEntry",
     "DirectoryEngine",
     "DirectoryService",
+    "EngineView",
     "FaultPlan",
     "FaultTransport",
+    "HW_SC_TABLE",
     "LinkFaults",
     "LockService",
+    "MSI_TABLE",
     "OneShot",
     "ProtocolError",
     "ProtocolHooks",
@@ -61,4 +65,5 @@ __all__ = [
     "StallReport",
     "Transport",
     "as_transport",
+    "engine_view",
 ]

@@ -44,6 +44,7 @@ from __future__ import annotations
 from repro.dsm.costs import DSMCosts
 from repro.dsm.directory import DirectoryService
 from repro.dsm.hooks import ProtocolHooks
+from repro.dsm.msi import MSI_TABLE
 from repro.dsm.regioncache import RegionCache
 from repro.dsm.transport import as_transport
 from repro.memory import RegionDirectory
@@ -80,6 +81,10 @@ class CoherenceEngine:
         hooks validate mapping discipline on every access — both via
         the instance-attribute swap pattern, so a checker-less engine
         runs the exact same code paths as before.
+    table:
+        The :class:`~repro.spec.table.ProtocolTable` the three layers
+        derive their state machine from (defaults to
+        :data:`~repro.dsm.msi.MSI_TABLE`).
     """
 
     def __init__(
@@ -90,6 +95,7 @@ class CoherenceEngine:
         stats_prefix: str = "dsm",
         n_dir_shards: int = 1,
         checker=None,
+        table=None,
     ):
         transport = as_transport(fabric)
         self.transport = transport
@@ -98,15 +104,27 @@ class CoherenceEngine:
         self.costs = costs
         self.prefix = stats_prefix
         self.checker = checker
+        self.table = table if table is not None else MSI_TABLE
         # One observability handle for the whole engine (None when
         # tracing is off), shared by the layers that emit region state.
         tracer = transport.tracer
         obs = tracer.tracer("dsm." + stats_prefix) if tracer is not None else None
         self.cache = RegionCache(
-            transport, regions, costs, prefix=stats_prefix, obs=obs, checker=checker
+            transport,
+            regions,
+            costs,
+            prefix=stats_prefix,
+            obs=obs,
+            checker=checker,
+            table=self.table,
         )
         self.directory = DirectoryService(
-            transport, regions, costs, prefix=stats_prefix, n_shards=n_dir_shards
+            transport,
+            regions,
+            costs,
+            prefix=stats_prefix,
+            n_shards=n_dir_shards,
+            table=self.table,
         )
         # The two cross-layer handler edges, wired once: the directory's
         # recall fan-out posts to the cache's invalidation handler; the
@@ -122,6 +140,7 @@ class CoherenceEngine:
             prefix=stats_prefix,
             obs=obs,
             checker=checker,
+            table=self.table,
         )
         # Public API: the hook generators, bound through (callers drive
         # the hooks frame directly; no adapter generator in between).

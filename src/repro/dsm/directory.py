@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.dsm.costs import DSMCosts
 from repro.dsm.errors import ProtocolError
+from repro.dsm.msi import MSI_TABLE, engine_view
 from repro.dsm.transport import Transport
 from repro.machine.stats import intern_key
 from repro.memory import Region, RegionDirectory
@@ -60,6 +61,7 @@ class DirectoryService:
         costs: DSMCosts,
         prefix: str = "dsm",
         n_shards: int = 1,
+        table=None,
     ):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -68,6 +70,13 @@ class DirectoryService:
         self.costs = costs
         self.prefix = prefix
         self.n_shards = n_shards
+        # Recall policy, derived from the protocol table (repro.dsm.msi):
+        # which mode each request kind fans out with, and which modes
+        # leave the recalled node holding a readable (sharer) copy.
+        view = engine_view(table if table is not None else MSI_TABLE)
+        self._recall_read = view.recall_mode["read"]
+        self._recall_write = view.recall_mode["write"]
+        self._sharer_modes = view.sharer_modes
         self._shards: tuple[dict[int, DirEntry], ...] = tuple({} for _ in range(n_shards))
         # Stat keys and message categories are interned once here so the
         # handlers never build an f-string (see machine.stats).
@@ -179,7 +188,9 @@ class DirectoryService:
             if ent.home_writing and src != home:
                 return False
             if ent.owner is not None and ent.owner != src:
-                self._begin_recall(region, ent, kind, src, fut, targets=[(ent.owner, "downgrade")])
+                self._begin_recall(
+                    region, ent, kind, src, fut, targets=[(ent.owner, self._recall_read)]
+                )
                 return True
             self._serve_read(region, ent, src, fut)
             return True
@@ -188,9 +199,9 @@ class DirectoryService:
             return False
         targets = []
         if ent.owner is not None and ent.owner != src:
-            targets.append((ent.owner, "invalidate"))
+            targets.append((ent.owner, self._recall_write))
         if ent.sharers:
-            targets.extend((s, "invalidate") for s in sorted(ent.sharers) if s != src)
+            targets.extend((s, self._recall_write) for s in sorted(ent.sharers) if s != src)
         if targets:
             self._begin_recall(region, ent, kind, src, fut, targets=targets)
             return True
@@ -321,7 +332,7 @@ class DirectoryService:
         if ent.owner == target:
             ent.owner = None
         ent.sharers.discard(target)
-        if mode == "downgrade":
+        if mode in self._sharer_modes:
             ent.sharers.add(target)
         pending = ent.pending
         if pending is None:  # pragma: no cover - acks only while pending

@@ -25,6 +25,7 @@ import numpy as np
 from repro.dsm.costs import DSMCosts
 from repro.dsm.directory import DirectoryService
 from repro.dsm.errors import ProtocolError
+from repro.dsm.msi import MSI_TABLE, engine_view
 from repro.dsm.regioncache import RegionCache
 from repro.dsm.transport import Transport
 from repro.machine.stats import intern_key
@@ -45,6 +46,7 @@ class ProtocolHooks:
         prefix: str = "dsm",
         obs=None,
         checker=None,
+        table=None,
     ):
         self.transport = transport
         self.regions = regions
@@ -53,6 +55,19 @@ class ProtocolHooks:
         self.cache = cache
         self.prefix = prefix
         self._key = f"dir:{prefix}"
+        # Requester-side state machine, derived from the protocol table
+        # (repro.dsm.msi): the hit states, the home-alias state, the
+        # states misses fill into, and what counts as dirty on a flush.
+        # Bound once at construction — the per-access fast path reads
+        # these attributes exactly as it used to read string literals.
+        view = engine_view(table if table is not None else MSI_TABLE)
+        self._read_hit = view.read_hit
+        self._write_hit = view.write_hit
+        self._home_state = view.home_state
+        self._fill_read = view.fill_read
+        self._fill_write = view.fill_write
+        self._base_state = view.base_state
+        self._dirty_states = view.dirty_states
         # Observability handle (None when tracing is off): region state
         # transitions are emitted from the miss/invalidate paths only —
         # hits change no state, so the hot hit path stays untouched.
@@ -165,7 +180,7 @@ class ProtocolHooks:
         self.cache.install(nid, region)
         self._count("create")
         if self._obs is not None:
-            self._trace_state(nid, region.rid, "home")
+            self._trace_state(nid, region.rid, self._home_state)
         return region.rid
 
     def map(self, nid: int, rid: int):
@@ -221,10 +236,10 @@ class ProtocolHooks:
         if ent is None:
             ent = meta[key] = self._entry(region.rid)
         state = copy.state
-        if state in ("shared", "excl") or (
-            state == "home" and ent.owner is None and not ent.busy
+        if state in self._read_hit or (
+            state == self._home_state and ent.owner is None and not ent.busy
         ):
-            if state == "home":
+            if state == self._home_state:
                 ent.home_readers += 1
             meta["read_count"] += 1
             self._counts[self._k_read_hit] += 1
@@ -251,9 +266,9 @@ class ProtocolHooks:
                 category=self._cat_read_req,
             )
             np.copyto(copy.data, data)
-            copy.state = "shared"
+            copy.state = self._fill_read
             if self._obs is not None:
-                self._trace_state(nid, region.rid, "shared")
+                self._trace_state(nid, region.rid, copy.state)
             self._send_grant_ack(nid, region)
         meta["read_count"] += 1
 
@@ -264,7 +279,7 @@ class ProtocolHooks:
             raise ProtocolError(f"end_read without start_read on region {copy.rid} node {nid}")
         yield self._d_end_op
         meta["read_count"] -= 1
-        if copy.state == "home":
+        if copy.state == self._home_state:
             key = self._key
             ent = meta.get(key)
             if ent is None:
@@ -285,10 +300,10 @@ class ProtocolHooks:
         if ent is None:
             ent = meta[key] = self._entry(region.rid)
         state = copy.state
-        if state == "excl" or (
-            state == "home" and ent.owner is None and not ent.sharers and not ent.busy
+        if state in self._write_hit or (
+            state == self._home_state and ent.owner is None and not ent.sharers and not ent.busy
         ):
-            if state == "home":
+            if state == self._home_state:
                 ent.home_writing = True
             meta["write_count"] += 1
             self._counts[self._k_write_hit] += 1
@@ -314,9 +329,9 @@ class ProtocolHooks:
             )
             if data is not None:
                 np.copyto(copy.data, data)
-            copy.state = "excl"
+            copy.state = self._fill_write
             if self._obs is not None:
-                self._trace_state(nid, region.rid, "excl")
+                self._trace_state(nid, region.rid, copy.state)
             self._send_grant_ack(nid, region)
         meta["write_count"] += 1
 
@@ -327,7 +342,7 @@ class ProtocolHooks:
             raise ProtocolError(f"end_write without start_write on region {copy.rid} node {nid}")
         yield self._d_end_op
         meta["write_count"] -= 1
-        if copy.state == "home":
+        if copy.state == self._home_state:
             key = self._key
             ent = meta.get(key)
             if ent is None:
@@ -347,15 +362,15 @@ class ProtocolHooks:
         """
         copy = self._copies[nid].get(rid)
         region = self.regions.get(rid)
-        if copy is None or nid == region.home or copy.state == "invalid":
+        if copy is None or nid == region.home or copy.state == self._base_state:
             return
         yield self._d_flush
-        dirty = copy.state == "excl"
+        dirty = copy.state in self._dirty_states
         payload = region.size if dirty else self.costs.meta_words
         data = copy.data.copy() if dirty else None
-        copy.state = "invalid"
+        copy.state = self._base_state
         if self._obs is not None:
-            self._trace_state(nid, rid, "invalid")
+            self._trace_state(nid, rid, copy.state)
             self._obs.emit(self._sim.now, "dsm.miss", node=nid, data={"rid": rid, "op": "flush"})
         yield from self._rpc(
             nid,

@@ -22,6 +22,7 @@ import numpy as np
 from repro.dsm.costs import DSMCosts
 from repro.dsm.errors import ProtocolError
 from repro.dsm.faults import _DEFER
+from repro.dsm.msi import MSI_TABLE, engine_view
 from repro.dsm.transport import Transport
 from repro.machine.stats import intern_key
 from repro.memory import Region, RegionCopy, RegionDirectory
@@ -38,11 +39,20 @@ class RegionCache:
         prefix: str = "dsm",
         obs=None,
         checker=None,
+        table=None,
     ):
         self.transport = transport
         self.regions = regions
         self.costs = costs
         self.prefix = prefix
+        # The node-side state machine, derived from the protocol table
+        # (see repro.dsm.msi): which states are dirty and where each
+        # recall mode sends them.  Bound once; the handlers below read
+        # these exactly as they used to read string literals.
+        view = engine_view(table if table is not None else MSI_TABLE)
+        self._home_state = view.home_state
+        self._dirty_states = view.dirty_states
+        self._inval_next = view.inval_next
         # Observability handle (None when tracing is off): shared with
         # the hooks layer by the composing engine.
         self._obs = obs
@@ -133,7 +143,7 @@ class RegionCache:
         copy = RegionCopy(region, nid)
         if region.home == nid:
             copy.data = region.home_data  # the home's copy aliases canonical storage
-            copy.state = "home"
+            copy.state = self._home_state
         copy.meta["read_count"] = 0
         copy.meta["write_count"] = 0
         copy.meta["map_count"] = 0
@@ -160,12 +170,12 @@ class RegionCache:
 
     def _apply_inval(self, copy: RegionCopy, mode: str) -> None:
         region = copy.region
-        dirty = copy.state == "excl"
+        st = copy.state
+        dirty = st in self._dirty_states
         data = copy.data.copy() if dirty else None
-        if mode == "invalidate":
-            copy.state = "invalid"
-        else:  # downgrade
-            copy.state = "shared" if dirty else copy.state
+        # The table's next-state map for this recall mode; states it
+        # does not cover (already invalid, home alias) keep their state.
+        copy.state = self._inval_next[mode].get(st, st)
         if self._obs is not None:
             self._trace_state(copy.node, region.rid, copy.state)
         payload = region.size if dirty else self.costs.meta_words
@@ -212,12 +222,10 @@ class RegionCache:
 
     def _apply_inval_r(self, copy: RegionCopy, mode: str, fut, seq) -> None:
         region = copy.region
-        dirty = copy.state == "excl"
+        st = copy.state
+        dirty = st in self._dirty_states
         data = copy.data.copy() if dirty else None
-        if mode == "invalidate":
-            copy.state = "invalid"
-        else:  # downgrade
-            copy.state = "shared" if dirty else copy.state
+        copy.state = self._inval_next[mode].get(st, st)
         if self._obs is not None:
             self._trace_state(copy.node, region.rid, copy.state)
         payload = region.size if dirty else self.costs.meta_words

@@ -26,6 +26,8 @@ Shipped protocols
 ``RaceDetect``      Larus-style per-epoch data-race checking (§2.1)
 ``HwSC``            SC with hardware access-fault control (§6, Typhoon)
 ``BufferedUpdate``  any-writer batched updates, built from §6's blocks
+``SelfInvalidate``  barrier self-invalidation with write self-downgrade
+``Owned``           MOESI-style owned state; dirty owners supply readers
 ==================  =====================================================
 
 :mod:`repro.protocols.blocks` holds the §6 protocol-building-block
@@ -48,6 +50,8 @@ from repro.protocols import (  # noqa: E402  (order matters: registry first)
     race_detect,
     hw_assisted,
     buffered_update,
+    self_invalidate,
+    owned,
 )
 
 __all__ = [
@@ -67,4 +71,6 @@ __all__ = [
     "race_detect",
     "hw_assisted",
     "buffered_update",
+    "self_invalidate",
+    "owned",
 ]

@@ -23,6 +23,7 @@ import numpy as np
 from repro.memory import Region
 from repro.sim import Delay
 from repro.sim.errors import SimulationError
+from repro.spec.table import HOOK_EVENTS, KEEP, WILDCARD, ProtocolTable, TableError
 
 
 class ProtocolMisuse(SimulationError):
@@ -75,6 +76,24 @@ class ProtocolSpec:
         """Derived handler name, e.g. ``Update_StartRead`` (Figure 1)."""
         camel = "".join(part.capitalize() for part in hook.split("_"))
         return f"{self.name}_{camel}"
+
+    @classmethod
+    def from_table(cls, table: ProtocolTable) -> "ProtocolSpec":
+        """Derive the registration record from a protocol's table.
+
+        The table is the single artifact: optimizability, null hooks,
+        the hardware flag, and the write-path constraint all come from
+        its metadata, so the registry never needs per-protocol special
+        cases and the spec cannot drift from the machine it describes.
+        """
+        return cls(
+            name=table.name,
+            optimizable=table.optimizable,
+            null_hooks=frozenset(table.null_hooks),
+            description=table.description,
+            hardware=table.hardware,
+            home_writer=table.home_writer,
+        )
 
 
 @runtime_checkable
@@ -190,3 +209,146 @@ class Protocol:
     def _charge(self, cycles: int):
         """Generator: charge handler work to the calling task."""
         yield Delay(cycles)
+
+
+class TableProtocol(Protocol):
+    """A protocol whose hook dispatch is *interpreted from its table*.
+
+    Subclasses declare a class-level :class:`~repro.spec.table.ProtocolTable`
+    and implement the table's action primitives as ``act_<name>``
+    generator methods and its guards as ``g_<name>`` predicates (SLICC
+    keeps the same split: tables sequence named code fragments).  At
+    construction the node-role rows are compiled into the hook
+    entry points, so the state machine — which events are handled in
+    which states, what each dispatch charges, which actions fire, what
+    state results — comes from the declarative artifact, and only the
+    primitive bodies remain imperative.
+
+    Dispatch semantics, chosen to be cycle-compatible with the
+    hand-written hooks they replaced:
+
+    1. charge the event's *entry cost* (``table.entry_costs``), if any;
+    2. read the copy's current state (after the entry charge — a
+       concurrent handler may have moved it during those cycles);
+    3. first matching row wins: explicit-state rows in definition
+       order, then wildcard rows; a row matches when its guard (if
+       any) passes;
+    4. charge the row's cost, run its actions in order, then apply the
+       ``next`` state.
+
+    Events with no rows inherit the base class's null hooks.  A
+    single-row event with no state filter, guard, costs, or state
+    change binds its action *directly* as the hook — the interpreter
+    adds zero frames on such paths.
+    """
+
+    #: the declarative core; subclasses must override.
+    table: ProtocolTable | None = None
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._compile_table()
+
+    def _compile_table(self) -> None:
+        tbl = self.table
+        if tbl is None:
+            raise TableError(f"{type(self).__name__} declares no ProtocolTable")
+        if tbl.name != self.spec.name:
+            raise TableError(
+                f"{type(self).__name__}: table {tbl.name!r} does not match spec {self.spec.name!r}"
+            )
+        for event in HOOK_EVENTS:
+            rows = tbl.rows("node", event)
+            if not rows:
+                continue
+            if event == "barrier":
+                self.barrier = self._compile_barrier(tbl, rows)
+            else:
+                setattr(self, event, self._compile_hook(tbl, event, rows))
+
+    def _resolve(self, kind: str, name: str):
+        try:
+            return getattr(self, kind + name)
+        except AttributeError:
+            raise TableError(
+                f"{self.spec.name}: table references {kind}{name} but "
+                f"{type(self).__name__} does not define it"
+            ) from None
+
+    def _compile_hook(self, tbl: ProtocolTable, event: str, rows):
+        entry = tbl.entry_costs.get(event, 0)
+        d_entry = Delay(entry) if entry else None
+        ordered = [t for t in rows if t.state != WILDCARD] + [
+            t for t in rows if t.state == WILDCARD
+        ]
+        compiled = tuple(
+            (
+                None if t.state == WILDCARD else t.state,
+                self._resolve("g_", t.guard) if t.guard else None,
+                Delay(t.cost) if t.cost else None,
+                tuple(self._resolve("act_", a) for a in t.actions),
+                None if t.next == KEEP else t.next,
+            )
+            for t in ordered
+        )
+        if d_entry is None and len(compiled) == 1:
+            state, guard, delay, acts, nxt = compiled[0]
+            if state is None and guard is None and delay is None and nxt is None and len(acts) == 1:
+                return acts[0]  # the action generator IS the hook
+
+        def hook(nid, handle, _entry=d_entry, _rows=compiled):
+            if _entry is not None:
+                yield _entry
+            st = handle.state
+            for state, guard, delay, acts, nxt in _rows:
+                if state is not None and st != state:
+                    continue
+                if guard is not None and not guard(nid, handle):
+                    continue
+                if delay is not None:
+                    yield delay
+                for act in acts:
+                    yield from act(nid, handle)
+                if nxt is not None:
+                    handle.state = nxt
+                return
+
+        hook.__name__ = f"{tbl.name}_{event}"
+        return hook
+
+    def _compile_barrier(self, tbl: ProtocolTable, rows):
+        """Barrier rows take no handle: guards/actions are ``(nid)``."""
+        entry = tbl.entry_costs.get("barrier", 0)
+        d_entry = Delay(entry) if entry else None
+        compiled = tuple(
+            (
+                self._resolve("g_", t.guard) if t.guard else None,
+                Delay(t.cost) if t.cost else None,
+                tuple(self._resolve("act_", a) for a in t.actions),
+            )
+            for t in rows
+        )
+        if d_entry is None and len(compiled) == 1:
+            guard, delay, acts = compiled[0]
+            if guard is None and delay is None and len(acts) == 1:
+                return acts[0]
+
+        def barrier(nid, _entry=d_entry, _rows=compiled):
+            if _entry is not None:
+                yield _entry
+            for guard, delay, acts in _rows:
+                if guard is not None and not guard(nid):
+                    continue
+                if delay is not None:
+                    yield delay
+                for act in acts:
+                    yield from act(nid)
+                return
+
+        barrier.__name__ = f"{tbl.name}_barrier"
+        return barrier
+
+    # -- common action primitives ------------------------------------------
+    def act_rendezvous(self, nid: int):
+        """The global barrier rendezvous, as a table-referable action."""
+        yield from self.runtime.rendezvous(nid)

@@ -11,7 +11,7 @@ epoch writers raise).
 
 Implementation-wise this protocol is deliberately thin: sharer
 tracking, fan-out acking, and version bookkeeping all come from
-:mod:`repro.protocols.blocks`.
+:mod:`repro.protocols.blocks`, and the table is three rows.
 """
 
 from __future__ import annotations
@@ -20,21 +20,57 @@ import numpy as np
 
 from repro.protocols.base import ProtocolMisuse, ProtocolSpec
 from repro.protocols.blocks import AckCollector, SharerDirectory, VersionTable
-from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.caching import CachedTableProtocol
 from repro.protocols.registry import default_registry
-from repro.sim import Delay, Future
+from repro.sim import Future
+from repro.spec import ProtocolTable, Transition
+
+BUFFERED_UPDATE_TABLE = ProtocolTable(
+    name="BufferedUpdate",
+    description="writes buffered locally; one push per dirty region per barrier",
+    node_states=("invalid", "valid", "home"),
+    home_states=("idle",),
+    base_state="invalid",
+    transitions=(
+        Transition(
+            "node",
+            "*",
+            "end_write",
+            cost=4,
+            actions=("mark_dirty",),
+            effects=("mark_dirty",),
+        ),
+        Transition(
+            "node",
+            "*",
+            "barrier",
+            actions=("ship_dirty", "rendezvous", "advance_epoch"),
+            msg="update",
+            effects=("write_home", "push_sharers", "epoch_advance"),
+        ),
+        Transition(
+            "home",
+            "idle",
+            "update",
+            actions=("check_epoch_writer", "apply_update", "fan_out"),
+            msg="push",
+            note="one writer per region per epoch (misuse otherwise)",
+        ),
+    ),
+    costs={"end_write": 4},
+    optimizable=True,
+    null_hooks=frozenset({"start_read", "end_read", "start_write"}),
+    sync_model="barrier",
+    writer_model="epoch",
+)
 
 
 @default_registry.register
-class BufferedUpdateProtocol(CachedCopyProtocol):
+class BufferedUpdateProtocol(CachedTableProtocol):
     """Any-writer batched updates, shipped once per barrier epoch."""
 
-    spec = ProtocolSpec(
-        name="BufferedUpdate",
-        optimizable=True,
-        null_hooks=frozenset({"start_read", "end_read", "start_write"}),
-        description="writes buffered locally; one push per dirty region per barrier",
-    )
+    table = BUFFERED_UPDATE_TABLE
+    spec = ProtocolSpec.from_table(BUFFERED_UPDATE_TABLE)
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
@@ -51,12 +87,14 @@ class BufferedUpdateProtocol(CachedCopyProtocol):
         self._sharers.register(rid, src)
         return None
 
-    def end_write(self, nid: int, handle):
-        yield Delay(4)
+    # -- actions (table-referenced) ---------------------------------------
+    def act_mark_dirty(self, nid: int, handle):
         self._dirty[nid].add(handle.region.rid)
+        return
+        yield  # pragma: no cover - makes this a generator
 
-    def barrier(self, nid: int):
-        """Ship dirty regions to their homes, drain, rendezvous."""
+    def act_ship_dirty(self, nid: int):
+        """Ship dirty regions to their homes and drain the acks."""
         dirty = sorted(self._dirty[nid])
         self._dirty[nid].clear()
         epoch = self._epoch[nid]
@@ -83,8 +121,11 @@ class BufferedUpdateProtocol(CachedCopyProtocol):
                     category="proto.BufferedUpdate.update",
                 )
         yield done
-        yield from self.runtime.rendezvous(nid)
+
+    def act_advance_epoch(self, nid: int):
         self._epoch[nid] += 1
+        return
+        yield  # pragma: no cover - makes this a generator
 
     # -- home side (handler context) -------------------------------------
     def _on_update(self, node, src, rid, epoch, data, state):

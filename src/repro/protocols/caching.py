@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.memory import RegionCopy
-from repro.protocols.base import Protocol
+from repro.protocols.base import Protocol, TableProtocol
 from repro.sim import Delay
 
 
@@ -148,3 +148,14 @@ class CachedCopyProtocol(Protocol):
     # -- introspection (tests) ---------------------------------------------
     def cached_copy(self, nid: int, rid: int) -> RegionCopy | None:
         return self._copies[nid].get(rid)
+
+
+class CachedTableProtocol(TableProtocol, CachedCopyProtocol):
+    """Cached-copy data management with table-interpreted hook dispatch.
+
+    The MRO runs :class:`CachedCopyProtocol`'s constructor (copy
+    tables, reliability kit) before :class:`TableProtocol` compiles the
+    hook entry points, so compiled actions may rely on both.  Most
+    table-driven library protocols derive from this.
+    """
+

@@ -23,21 +23,63 @@ from collections import deque
 import numpy as np
 
 from repro.protocols.base import ProtocolSpec
-from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.caching import CachedTableProtocol
 from repro.protocols.registry import default_registry
-from repro.sim import Delay, Future
+from repro.sim import Future
+from repro.spec import ProtocolTable, Transition
+
+COUNTER_TABLE = ProtocolTable(
+    name="Counter",
+    description="home-serialized read-modify-write; one round trip per access",
+    node_states=("invalid", "valid", "home"),
+    home_states=("free", "held"),
+    base_state="invalid",
+    transitions=(
+        Transition(
+            "node",
+            "*",
+            "start_write",
+            cost=8,
+            actions=("acquire_rmw",),
+            msg="acquire",
+            effects=("serialize_at_home",),
+        ),
+        Transition(
+            "node",
+            "*",
+            "end_write",
+            cost=8,
+            actions=("commit",),
+            msg="commit",
+            effects=("home_current", "release_home"),
+        ),
+        Transition(
+            "node",
+            "*",
+            "start_read",
+            guard="remote",
+            cost=6,
+            actions=("fetch_value",),
+            msg="read",
+        ),
+        Transition("home", "free", "acquire", next="held", actions=("grant",)),
+        Transition("home", "held", "acquire", actions=("queue_request",)),
+        Transition("home", "held", "commit", next="free", actions=("apply_commit", "grant_next")),
+    ),
+    costs={"start_write": 8, "end_write": 8, "read": 6},
+    optimizable=False,  # accesses are atomic RMW transactions: no motion
+    null_hooks=frozenset({"end_read"}),
+    sync_model="access",
+    writer_model="serialized",
+)
 
 
 @default_registry.register
-class CounterProtocol(CachedCopyProtocol):
+class CounterProtocol(CachedTableProtocol):
     """Home-serialized fetch/modify/commit for small hot regions."""
 
-    spec = ProtocolSpec(
-        name="Counter",
-        optimizable=False,  # accesses are atomic RMW transactions: no motion
-        null_hooks=frozenset({"end_read"}),
-        description="home-serialized read-modify-write; one round trip per access",
-    )
+    table = COUNTER_TABLE
+    spec = ProtocolSpec.from_table(COUNTER_TABLE)
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
@@ -51,10 +93,13 @@ class CounterProtocol(CachedCopyProtocol):
             self._locks[rid] = st
         return st
 
-    def start_write(self, nid: int, handle):
+    # -- guards / actions (table-referenced) ------------------------------
+    def g_remote(self, nid: int, handle) -> bool:
+        return handle.region.home != nid
+
+    def act_acquire_rmw(self, nid: int, handle):
         """Acquire the home-side serialization point and fetch fresh data."""
         region = handle.region
-        yield Delay(8)
         fut = Future(name=f"ctr:{region.rid}@{nid}")
         if nid == region.home:
             self._on_acquire(self.transport.nodes[nid], nid, fut, region.rid)
@@ -74,10 +119,9 @@ class CounterProtocol(CachedCopyProtocol):
         handle.state = "valid"
         self._count("rmw")
 
-    def end_write(self, nid: int, handle):
+    def act_commit(self, nid: int, handle):
         """Commit the new value and release in a single one-way message."""
         region = handle.region
-        yield Delay(8)
         if nid == region.home:
             self._on_commit(self.transport.nodes[nid], nid, region.rid, None)
         else:
@@ -91,12 +135,9 @@ class CounterProtocol(CachedCopyProtocol):
                 category="proto.Counter.commit",
             )
 
-    def start_read(self, nid: int, handle):
+    def act_fetch_value(self, nid: int, handle):
         """Fetch the current committed value (no serialization)."""
         region = handle.region
-        if nid == region.home:
-            return
-        yield Delay(6)
         data = yield from self.transport.rpc(
             nid,
             region.home,

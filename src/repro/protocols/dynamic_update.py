@@ -19,6 +19,10 @@ Mechanics
   the compiler deletes them (this protocol's assertion: regions have a
   single writer at a time, e.g. a Barnes-Hut body is written only by
   its owner).
+
+The message rows (``update``/``push``) are not interpreted by the hook
+dispatcher; they declare the home/sharer machines for the model
+checker and the protocol reference docs.
 """
 
 from __future__ import annotations
@@ -28,24 +32,62 @@ from functools import partial
 import numpy as np
 
 from repro.protocols.base import ProtocolSpec
-from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.caching import CachedTableProtocol
 from repro.protocols.registry import default_registry
-from repro.sim import Delay, Future
+from repro.sim import Future
+from repro.spec import ProtocolTable, Transition
+
+DYNAMIC_UPDATE_TABLE = ProtocolTable(
+    name="DynamicUpdate",
+    description="writes propagated to all sharers after each write",
+    node_states=("invalid", "valid", "home"),
+    home_states=("idle",),
+    base_state="invalid",
+    transitions=(
+        Transition(
+            "node",
+            "*",
+            "end_write",
+            cost=20,
+            actions=("propagate_write",),
+            msg="update",
+            effects=("write_home", "push_sharers"),
+            note="ship whole region to home; block until sharers ack",
+        ),
+        Transition(
+            "home",
+            "idle",
+            "update",
+            actions=("apply_update", "fan_out"),
+            msg="push",
+            effects=("home_current",),
+        ),
+        Transition(
+            "node",
+            "valid",
+            "push",
+            actions=("apply_push",),
+            msg="push_ack",
+            effects=("copy_current",),
+        ),
+    ),
+    costs={"end_write": 20, "apply": 15},
+    optimizable=True,
+    null_hooks=frozenset({"start_read", "end_read", "start_write"}),
+    sync_model="immediate",
+    writer_model="none",
+)
 
 
 @default_registry.register
-class DynamicUpdateProtocol(CachedCopyProtocol):
+class DynamicUpdateProtocol(CachedTableProtocol):
     """Write-through-with-multicast update protocol."""
 
-    spec = ProtocolSpec(
-        name="DynamicUpdate",
-        optimizable=True,
-        null_hooks=frozenset({"start_read", "end_read", "start_write"}),
-        description="writes propagated to all sharers after each write",
-    )
+    table = DYNAMIC_UPDATE_TABLE
+    spec = ProtocolSpec.from_table(DYNAMIC_UPDATE_TABLE)
 
-    END_WRITE_COST = 20
-    APPLY_COST = 15
+    END_WRITE_COST = DYNAMIC_UPDATE_TABLE.cost("end_write")
+    APPLY_COST = DYNAMIC_UPDATE_TABLE.cost("apply")
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
@@ -55,10 +97,9 @@ class DynamicUpdateProtocol(CachedCopyProtocol):
         self._sharers.setdefault(rid, set()).add(src)
         return None
 
-    def end_write(self, nid: int, handle):
+    def act_propagate_write(self, nid: int, handle):
         """Push the written region to home + all sharers; wait for acks."""
         region = handle.region
-        yield Delay(self.END_WRITE_COST)
         self._count("propagate")
         data = np.array(handle.data, copy=True)
         if nid == region.home:

@@ -19,24 +19,61 @@ from __future__ import annotations
 import numpy as np
 
 from repro.protocols.base import ProtocolMisuse, ProtocolSpec
-from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.caching import CachedTableProtocol
 from repro.protocols.registry import default_registry
-from repro.sim import Delay
+from repro.spec import ProtocolTable, Transition
+
+HOME_WRITE_TABLE = ProtocolTable(
+    name="HomeWrite",
+    description="only the home writes; readers bulk-fetch and version-check",
+    node_states=("invalid", "valid", "home"),
+    home_states=("idle",),
+    base_state="invalid",
+    transitions=(
+        Transition(
+            "node",
+            "*",
+            "start_read",
+            guard="remote",
+            cost=10,
+            actions=("revalidate",),
+            msg="check",
+            effects=("version_check",),
+        ),
+        Transition(
+            "node",
+            "*",
+            "start_write",
+            guard="remote",
+            actions=("reject_remote_write",),
+            note="creators own their data; remote writes are misuse",
+        ),
+        Transition(
+            "node",
+            "*",
+            "end_write",
+            cost=4,
+            actions=("bump_version",),
+            effects=("version_bump",),
+        ),
+    ),
+    costs={"check": 10, "end_write": 4},
+    optimizable=True,
+    null_hooks=frozenset({"end_read"}),
+    home_writer=True,
+    sync_model="access",
+    writer_model="home",
+)
 
 
 @default_registry.register
-class HomeWriteProtocol(CachedCopyProtocol):
+class HomeWriteProtocol(CachedTableProtocol):
     """Single-writer-at-home; readers revalidate cached copies by version."""
 
-    spec = ProtocolSpec(
-        name="HomeWrite",
-        optimizable=True,
-        null_hooks=frozenset({"end_read"}),
-        description="only the home writes; readers bulk-fetch and version-check",
-        home_writer=True,
-    )
+    table = HOME_WRITE_TABLE
+    spec = ProtocolSpec.from_table(HOME_WRITE_TABLE)
 
-    CHECK_COST = 10
+    CHECK_COST = HOME_WRITE_TABLE.cost("check")
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
@@ -48,25 +85,26 @@ class HomeWriteProtocol(CachedCopyProtocol):
     def _after_fetch(self, nid: int, copy, extra) -> None:
         copy.meta["version"] = extra
 
-    def start_write(self, nid: int, handle):
-        if handle.region.home != nid:
-            raise ProtocolMisuse(
-                f"HomeWrite: node {nid} wrote region {handle.region.rid} homed at "
-                f"{handle.region.home}; this protocol asserts creators own their data"
-            )
+    # -- guards / actions (table-referenced) ------------------------------
+    def g_remote(self, nid: int, handle) -> bool:
+        return handle.region.home != nid
+
+    def act_reject_remote_write(self, nid: int, handle):
+        raise ProtocolMisuse(
+            f"HomeWrite: node {nid} wrote region {handle.region.rid} homed at "
+            f"{handle.region.home}; this protocol asserts creators own their data"
+        )
+        yield  # pragma: no cover - makes this a generator
+
+    def act_bump_version(self, nid: int, handle):
+        rid = handle.region.rid
+        self._versions[rid] = self._versions.get(rid, 0) + 1
         return
         yield  # pragma: no cover - makes this a generator
 
-    def end_write(self, nid: int, handle):
-        yield Delay(4)
-        rid = handle.region.rid
-        self._versions[rid] = self._versions.get(rid, 0) + 1
-
-    def start_read(self, nid: int, handle):
+    def act_revalidate(self, nid: int, handle):
+        """Version round trip; refetch the whole region when stale."""
         region = handle.region
-        if nid == region.home:
-            return
-        yield Delay(self.CHECK_COST)
         current = yield from self.transport.rpc(
             nid,
             region.home,

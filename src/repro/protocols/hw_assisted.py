@@ -19,6 +19,7 @@ call and no other change.
 from __future__ import annotations
 
 from repro.dsm import CoherenceEngine, DSMCosts
+from repro.dsm.msi import HW_SC_TABLE
 from repro.protocols.base import ProtocolSpec
 from repro.protocols.registry import default_registry
 from repro.protocols.sc_invalidate import SCProtocol
@@ -44,16 +45,17 @@ HW_SC_COSTS = DSMCosts(
 class HwAssistedSCProtocol(SCProtocol):
     """Sequentially consistent invalidation with hardware access checks."""
 
-    spec = ProtocolSpec(
-        name="HwSC",
-        optimizable=False,
-        null_hooks=frozenset(),
-        description="SC invalidation; hit-path checks done by hardware access control",
-        hardware=True,
-    )
+    table = HW_SC_TABLE
+    spec = ProtocolSpec.from_table(HW_SC_TABLE)
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
         self._bind_engine(
-            CoherenceEngine(runtime.transport, runtime.regions, HW_SC_COSTS, stats_prefix="ace.hwsc")
+            CoherenceEngine(
+                runtime.transport,
+                runtime.regions,
+                HW_SC_COSTS,
+                stats_prefix="ace.hwsc",
+                table=HW_SC_TABLE,
+            )
         )

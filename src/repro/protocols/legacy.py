@@ -1,0 +1,1147 @@
+"""Frozen hand-written protocol implementations (differential oracle).
+
+The table-driven port (ROADMAP item 4) rewrote every shipped protocol's
+hook dispatch as a :class:`~repro.spec.table.ProtocolTable` interpreted
+by :class:`~repro.protocols.base.TableProtocol`.  This module preserves
+the pre-port generator classes **verbatim** and registers them in a
+separate :data:`legacy_registry`, so the differential-oracle test
+(``tests/protocols/test_table_oracle.py``) can run the same programs
+under both registries and assert bit-identical simulated cycles,
+results, and protocol counters:
+
+    run_spmd(prog)                               # table-driven library
+    run_spmd(prog, registry=legacy_registry)     # this module
+
+The classes here are snapshots, not shared code: they must NOT import
+from the (now table-driven) protocol modules, only from the stable
+infrastructure (``base``, ``caching``, ``blocks``, ``repro.dsm``).
+Their specs are field-identical to the shipped ones, so the compiler
+makes the same direct-dispatch and deletion decisions for both
+registries and any cycle difference is attributable to the port alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import partial
+
+import numpy as np
+
+from repro.dsm import CoherenceEngine, DSMCosts
+from repro.memory import RegionCopy
+from repro.protocols.base import Protocol, ProtocolMisuse, ProtocolSpec
+from repro.protocols.blocks import AckCollector, SharerDirectory, VersionTable
+from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.registry import ProtocolRegistry
+from repro.sim import Delay, Future
+
+#: The oracle registry: same names, pre-port implementations.
+legacy_registry = ProtocolRegistry()
+
+
+@legacy_registry.register
+class LegacySCProtocol(Protocol):
+    """Sequentially consistent invalidation protocol (pre-port snapshot)."""
+
+    spec = ProtocolSpec(
+        name="SC",
+        optimizable=False,
+        null_hooks=frozenset(),
+        description="home-based MSI invalidation; sequentially consistent",
+    )
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._bind_engine(runtime.sc_engine)
+
+    def _bind_engine(self, engine) -> None:
+        self._engine = engine
+        self.create = engine.create
+        self.map = engine.map
+        self.unmap = engine.unmap
+        self.start_read = engine.start_read
+        self.end_read = engine.end_read
+        self.start_write = engine.start_write
+        self.end_write = engine.end_write
+
+    @property
+    def engine(self):
+        return self._engine
+
+    def flush_node(self, nid: int):
+        for rid in self.space.regions:
+            yield from self._engine.flush(nid, rid)
+
+
+#: the hardware unit checks access tags in a couple of cycles; the
+#: software-only miss machinery is unchanged from the Ace SC table.
+LEGACY_HW_SC_COSTS = DSMCosts(
+    create=100,
+    map_hit=2,
+    map_cold=60,
+    map_needs_lookup=False,
+    unmap=2,
+    start_hit=2,
+    start_miss=45,
+    end_op=1,
+    dir_handler=40,
+    inval_handler=32,
+    flush=40,
+)
+
+
+@legacy_registry.register
+class LegacyHwAssistedSCProtocol(LegacySCProtocol):
+    """SC with hardware access checks (pre-port snapshot)."""
+
+    spec = ProtocolSpec(
+        name="HwSC",
+        optimizable=False,
+        null_hooks=frozenset(),
+        description="SC invalidation; hit-path checks done by hardware access control",
+        hardware=True,
+    )
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._bind_engine(
+            CoherenceEngine(
+                runtime.transport, runtime.regions, LEGACY_HW_SC_COSTS, stats_prefix="ace.hwsc"
+            )
+        )
+
+
+@legacy_registry.register
+class LegacyNullProtocol(CachedCopyProtocol):
+    """No coherence: local data stays local; remote reads get a snapshot."""
+
+    spec = ProtocolSpec(
+        name="Null",
+        optimizable=True,
+        null_hooks=frozenset({"start_read", "end_read", "end_write"}),
+        description="no coherence actions; remote writes are protocol misuse",
+        home_writer=True,
+    )
+
+    def start_write(self, nid: int, handle):
+        if handle.region.home != nid:
+            raise ProtocolMisuse(
+                f"Null protocol: node {nid} wrote region {handle.region.rid} "
+                f"homed at {handle.region.home}; the null protocol asserts "
+                "writes are home-local"
+            )
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+@legacy_registry.register
+class LegacyDynamicUpdateProtocol(CachedCopyProtocol):
+    """Write-through-with-multicast update protocol (pre-port snapshot)."""
+
+    spec = ProtocolSpec(
+        name="DynamicUpdate",
+        optimizable=True,
+        null_hooks=frozenset({"start_read", "end_read", "start_write"}),
+        description="writes propagated to all sharers after each write",
+    )
+
+    END_WRITE_COST = 20
+    APPLY_COST = 15
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._sharers: dict[int, set[int]] = {}
+
+    def _fetch_extra(self, rid: int, src: int):
+        self._sharers.setdefault(rid, set()).add(src)
+        return None
+
+    def end_write(self, nid: int, handle):
+        region = handle.region
+        yield Delay(self.END_WRITE_COST)
+        self._count("propagate")
+        data = np.array(handle.data, copy=True)
+        if nid == region.home:
+            done = Future(name=f"du:{region.rid}@{nid}")
+            self._fan_out(region, data, exclude=nid, done=done)
+            yield done
+        else:
+            yield from self._rpc(
+                nid,
+                region.home,
+                self._on_update,
+                region.rid,
+                data,
+                payload_words=region.size,
+                category="proto.DynamicUpdate.update",
+            )
+
+    def _on_update(self, node, src, fut, rid, data, seq=None):
+        if self._kit is not None and not self._dedup.admit(src, seq, fut):
+            return
+        reply = self.transport.reply if self._kit is None else self._dedup.reply
+        region = self.regions.get(rid)
+        np.copyto(region.home_data, data)
+        done = Future(name=f"du:{rid}@home")
+        done.add_callback(
+            lambda _: reply(fut, None, payload_words=1, category="proto.DynamicUpdate.update_ack")
+        )
+        self._fan_out(region, data, exclude=src, done=done)
+
+    def _fan_out(self, region, data, exclude: int, done: Future) -> None:
+        targets = sorted(self._sharers.get(region.rid, set()) - {exclude, region.home})
+        if not targets:
+            done.resolve(None)
+            return
+        state = {"need": len(targets), "done": done}
+        if self._kit is not None:
+            for t in targets:
+                self._kit.post(
+                    region.home,
+                    t,
+                    self._on_apply_r,
+                    region.rid,
+                    data,
+                    payload_words=region.size,
+                    category="proto.DynamicUpdate.push",
+                    on_ack=partial(self._ack_state, state),
+                )
+            return
+        for t in targets:
+            self.transport.post(
+                region.home,
+                t,
+                self._on_apply,
+                region.rid,
+                data,
+                state,
+                payload_words=region.size,
+                category="proto.DynamicUpdate.push",
+            )
+
+    def _on_apply(self, node, src, rid, data, state):
+        copy = self._copies[node.nid].get(rid)
+        if copy is not None:
+            np.copyto(copy.data, data)
+            copy.state = "valid"
+        self.transport.post(
+            node.nid,
+            src,
+            self._on_apply_ack,
+            state,
+            payload_words=1,
+            category="proto.DynamicUpdate.push_ack",
+        )
+
+    def _on_apply_r(self, node, src, fut, rid, data, seq=None):
+        if self._push_seen.first(src, seq):
+            copy = self._copies[node.nid].get(rid)
+            if copy is not None:
+                np.copyto(copy.data, data)
+                copy.state = "valid"
+        self.transport.reply(fut, None, payload_words=1, category="proto.DynamicUpdate.push_ack")
+
+    def _on_apply_ack(self, node, src, state):
+        state["need"] -= 1
+        if state["need"] == 0:
+            state["done"].resolve(None)
+
+
+@legacy_registry.register
+class LegacyStaticUpdateProtocol(CachedCopyProtocol):
+    """Falsafi-style static update (pre-port snapshot)."""
+
+    spec = ProtocolSpec(
+        name="StaticUpdate",
+        optimizable=True,
+        null_hooks=frozenset({"start_read", "end_read", "start_write"}),
+        description="sharer lists built at first map; homes push updates at barriers",
+        home_writer=True,
+    )
+
+    END_WRITE_COST = 8
+    PUSH_SETUP_COST = 12
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._sharers: dict[int, set[int]] = {}
+        self._dirty: list[set[int]] = [set() for _ in range(self.transport.n_procs)]
+
+    def _fetch_extra(self, rid: int, src: int):
+        self._sharers.setdefault(rid, set()).add(src)
+        return None
+
+    def end_write(self, nid: int, handle):
+        region = handle.region
+        if region.home != nid:
+            raise ProtocolMisuse(
+                f"StaticUpdate: node {nid} wrote region {region.rid} homed at "
+                f"{region.home}; this protocol asserts producers own their regions"
+            )
+        yield Delay(self.END_WRITE_COST)
+        self._dirty[nid].add(region.rid)
+
+    def barrier(self, nid: int):
+        dirty = sorted(self._dirty[nid])
+        self._dirty[nid].clear()
+        pushes = []
+        for rid in dirty:
+            region = self.regions.get(rid)
+            targets = sorted(self._sharers.get(rid, ()))
+            if not targets:
+                continue
+            pushes.append((region, targets))
+        if pushes:
+            yield Delay(self.PUSH_SETUP_COST)
+            done = Future(name=f"su:barrier@{nid}")
+            state = {"need": sum(len(t) for _, t in pushes), "done": done}
+            for region, targets in pushes:
+                data = region.home_data.copy()
+                self._count("push", len(targets))
+                for t in targets:
+                    if self._kit is not None:
+                        self._kit.post(
+                            nid,
+                            t,
+                            self._on_push_r,
+                            region.rid,
+                            data,
+                            payload_words=region.size,
+                            category="proto.StaticUpdate.push",
+                            on_ack=partial(self._ack_state, state),
+                        )
+                    else:
+                        self.transport.post(
+                            nid,
+                            t,
+                            self._on_push,
+                            region.rid,
+                            data,
+                            state,
+                            payload_words=region.size,
+                            category="proto.StaticUpdate.push",
+                        )
+            yield done
+        yield from self.runtime.rendezvous(nid)
+
+    def _on_push(self, node, src, rid, data, state):
+        copy = self._copies[node.nid].get(rid)
+        if copy is not None:
+            np.copyto(copy.data, data)
+            copy.state = "valid"
+        self.transport.post(
+            node.nid,
+            src,
+            self._on_push_ack,
+            state,
+            payload_words=1,
+            category="proto.StaticUpdate.push_ack",
+        )
+
+    def _on_push_ack(self, node, src, state):
+        state["need"] -= 1
+        if state["need"] == 0:
+            state["done"].resolve(None)
+
+    def _on_push_r(self, node, src, fut, rid, data, seq=None):
+        if self._push_seen.first(src, seq):
+            copy = self._copies[node.nid].get(rid)
+            if copy is not None:
+                np.copyto(copy.data, data)
+                copy.state = "valid"
+        self.transport.reply(fut, None, payload_words=1, category="proto.StaticUpdate.push_ack")
+
+
+@legacy_registry.register
+class LegacyMigratoryProtocol(Protocol):
+    """Exclusive, migrating single copy per region (pre-port snapshot)."""
+
+    spec = ProtocolSpec(
+        name="Migratory",
+        optimizable=True,
+        null_hooks=frozenset({"end_read"}),
+        description="single copy migrates to each accessor in turn",
+    )
+
+    CREATE_COST = 90
+    MAP_COST = 12
+    START_HIT_COST = 10
+    MISS_COST = 25
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._copies: list[dict[int, RegionCopy]] = [dict() for _ in range(self.transport.n_procs)]
+        self._dir: dict[int, dict] = {}
+
+    def init_space(self, nid: int):
+        for rid in self.space.regions:
+            region = self.regions.get(rid)
+            if region.home != nid or rid in self._dir:
+                continue
+            copy = RegionCopy(region, nid)
+            copy.data = region.home_data
+            copy.state = "valid"
+            copy.meta["use"] = 0
+            copy.meta["deferred"] = []
+            self._copies[nid][rid] = copy
+            self._dir[rid] = {"loc": nid, "busy": False, "queue": deque()}
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def create(self, nid: int, size: int):
+        yield Delay(self.CREATE_COST)
+        region = self.regions.alloc(home=nid, size=size)
+        copy = RegionCopy(region, nid)
+        copy.data = region.home_data
+        copy.state = "valid"
+        copy.meta["use"] = 0
+        copy.meta["deferred"] = []
+        self._copies[nid][region.rid] = copy
+        self._dir[region.rid] = {"loc": nid, "busy": False, "queue": deque()}
+        return region.rid
+
+    def map(self, nid: int, rid: int):
+        copy = self._copies[nid].get(rid)
+        if copy is None:
+            yield Delay(self.MAP_COST)
+            region = self.regions.get(rid)
+            copy = RegionCopy(region, nid)
+            copy.meta["use"] = 0
+            copy.meta["deferred"] = []
+            self._copies[nid][rid] = copy
+        else:
+            yield Delay(self.MAP_COST)
+        copy.mapped = True
+        return copy
+
+    def unmap(self, nid: int, handle):
+        yield Delay(4)
+        handle.mapped = False
+
+    def _acquire(self, nid: int, handle):
+        yield Delay(self.START_HIT_COST)
+        if handle.state == "valid":
+            handle.meta["use"] += 1
+            self._count("hit")
+            return
+        yield Delay(self.MISS_COST)
+        self._count("migrate")
+        region = handle.region
+        fut = Future(name=f"mig:{region.rid}@{nid}")
+        if nid == region.home:
+            self._on_request(self.transport.nodes[nid], nid, fut, region.rid)
+        else:
+            yield from self.transport.request(
+                nid,
+                region.home,
+                self._on_request,
+                fut,
+                region.rid,
+                payload_words=2,
+                category="proto.Migratory.req",
+            )
+        data = yield fut
+        if data is not None:
+            np.copyto(handle.data, data)
+        handle.state = "valid"
+        handle.meta["use"] += 1
+
+    def start_read(self, nid: int, handle):
+        yield from self._acquire(nid, handle)
+
+    def start_write(self, nid: int, handle):
+        yield from self._acquire(nid, handle)
+
+    def _release(self, nid: int, handle):
+        yield Delay(4)
+        handle.meta["use"] -= 1
+        if handle.meta["use"] == 0 and handle.meta["deferred"]:
+            for args in handle.meta["deferred"]:
+                self._hand_off(handle, *args)
+            handle.meta["deferred"].clear()
+
+    def end_read(self, nid: int, handle):
+        yield from self._release(nid, handle)
+
+    def end_write(self, nid: int, handle):
+        yield from self._release(nid, handle)
+
+    def _on_request(self, node, src, fut, rid):
+        ent = self._dir[rid]
+        if ent["busy"]:
+            ent["queue"].append((src, fut))
+            return
+        self._grant(rid, ent, src, fut)
+
+    def _grant(self, rid, ent, src, fut) -> None:
+        holder = ent["loc"]
+        region = self.regions.get(rid)
+        if holder == src:
+            fut.resolve(None)
+            return
+        ent["busy"] = True
+        self.transport.post(
+            region.home,
+            holder,
+            self._on_recall,
+            rid,
+            src,
+            fut,
+            payload_words=2,
+            category="proto.Migratory.recall",
+        )
+
+    def _on_recall(self, node, src_home, rid, dest, fut):
+        copy = self._copies[node.nid][rid]
+        if copy.meta["use"] > 0 or copy.state != "valid":
+            copy.meta["deferred"].append((rid, dest, fut))
+            return
+        self._hand_off(copy, rid, dest, fut)
+
+    def _hand_off(self, copy: RegionCopy, rid: int, dest: int, fut: Future) -> None:
+        region = copy.region
+        data = np.array(copy.data, copy=True)
+        copy.state = "invalid"
+        self.transport.post(
+            copy.node,
+            dest,
+            self._on_data,
+            rid,
+            data,
+            fut,
+            payload_words=region.size,
+            category="proto.Migratory.data",
+        )
+        self.transport.post(
+            copy.node,
+            region.home,
+            self._on_moved,
+            rid,
+            dest,
+            payload_words=2,
+            category="proto.Migratory.moved",
+        )
+
+    def _on_data(self, node, src, rid, data, fut):
+        if node.nid == self.regions.get(rid).home:
+            np.copyto(self.regions.get(rid).home_data, data)
+            fut.resolve(None)
+        else:
+            fut.resolve(data)
+
+    def _on_moved(self, node, src, rid, dest):
+        ent = self._dir[rid]
+        ent["loc"] = dest
+        ent["busy"] = False
+        if ent["queue"]:
+            nxt_src, nxt_fut = ent["queue"].popleft()
+            self._grant(rid, ent, nxt_src, nxt_fut)
+
+    def flush_node(self, nid: int):
+        for rid in self.space.regions:
+            region = self.regions.get(rid)
+            if nid != region.home:
+                continue
+            ent = self._dir[rid]
+            if ent["loc"] == nid or ent["busy"]:
+                continue
+            handle = self._copies[nid][rid]
+            handle.state = "invalid"
+            yield from self._acquire(nid, handle)
+            yield from self._release(nid, handle)
+
+
+@legacy_registry.register
+class LegacyHomeWriteProtocol(CachedCopyProtocol):
+    """Single-writer-at-home with version revalidation (pre-port snapshot)."""
+
+    spec = ProtocolSpec(
+        name="HomeWrite",
+        optimizable=True,
+        null_hooks=frozenset({"end_read"}),
+        description="only the home writes; readers bulk-fetch and version-check",
+        home_writer=True,
+    )
+
+    CHECK_COST = 10
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._versions: dict[int, int] = {}
+
+    def _fetch_extra(self, rid: int, src: int):
+        return self._versions.get(rid, 0)
+
+    def _after_fetch(self, nid: int, copy, extra) -> None:
+        copy.meta["version"] = extra
+
+    def start_write(self, nid: int, handle):
+        if handle.region.home != nid:
+            raise ProtocolMisuse(
+                f"HomeWrite: node {nid} wrote region {handle.region.rid} homed at "
+                f"{handle.region.home}; this protocol asserts creators own their data"
+            )
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def end_write(self, nid: int, handle):
+        yield Delay(4)
+        rid = handle.region.rid
+        self._versions[rid] = self._versions.get(rid, 0) + 1
+
+    def start_read(self, nid: int, handle):
+        region = handle.region
+        if nid == region.home:
+            return
+        yield Delay(self.CHECK_COST)
+        current = yield from self.transport.rpc(
+            nid,
+            region.home,
+            self._on_check,
+            region.rid,
+            handle.meta.get("version", -1),
+            payload_words=2,
+            category="proto.HomeWrite.check",
+        )
+        if current is not None:
+            version, data = current
+            np.copyto(handle.data, data)
+            handle.meta["version"] = version
+            handle.state = "valid"
+            self._count("refetch")
+        else:
+            self._count("revalidate_hit")
+
+    def _on_check(self, node, src, fut, rid, reader_version):
+        version = self._versions.get(rid, 0)
+        if version == reader_version:
+            self.transport.reply(fut, None, payload_words=1, category="proto.HomeWrite.ok")
+        else:
+            region = self.regions.get(rid)
+            self.transport.reply(
+                fut,
+                (version, region.home_data.copy()),
+                payload_words=region.size,
+                category="proto.HomeWrite.data",
+            )
+
+
+@legacy_registry.register
+class LegacyCounterProtocol(CachedCopyProtocol):
+    """Home-serialized fetch/modify/commit (pre-port snapshot)."""
+
+    spec = ProtocolSpec(
+        name="Counter",
+        optimizable=False,
+        null_hooks=frozenset({"end_read"}),
+        description="home-serialized read-modify-write; one round trip per access",
+    )
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._locks: dict[int, dict] = {}
+
+    def _lock_state(self, rid: int) -> dict:
+        st = self._locks.get(rid)
+        if st is None:
+            st = {"held_by": None, "queue": deque()}
+            self._locks[rid] = st
+        return st
+
+    def start_write(self, nid: int, handle):
+        region = handle.region
+        yield Delay(8)
+        fut = Future(name=f"ctr:{region.rid}@{nid}")
+        if nid == region.home:
+            self._on_acquire(self.transport.nodes[nid], nid, fut, region.rid)
+        else:
+            yield from self.transport.request(
+                nid,
+                region.home,
+                self._on_acquire,
+                fut,
+                region.rid,
+                payload_words=2,
+                category="proto.Counter.acquire",
+            )
+        data = yield fut
+        if data is not None:
+            np.copyto(handle.data, data)
+        handle.state = "valid"
+        self._count("rmw")
+
+    def end_write(self, nid: int, handle):
+        region = handle.region
+        yield Delay(8)
+        if nid == region.home:
+            self._on_commit(self.transport.nodes[nid], nid, region.rid, None)
+        else:
+            yield from self.transport.request(
+                nid,
+                region.home,
+                self._on_commit,
+                region.rid,
+                np.array(handle.data, copy=True),
+                payload_words=region.size,
+                category="proto.Counter.commit",
+            )
+
+    def start_read(self, nid: int, handle):
+        region = handle.region
+        if nid == region.home:
+            return
+        yield Delay(6)
+        data = yield from self.transport.rpc(
+            nid,
+            region.home,
+            self._on_read,
+            region.rid,
+            payload_words=2,
+            category="proto.Counter.read",
+        )
+        np.copyto(handle.data, data)
+        handle.state = "valid"
+
+    def _on_acquire(self, node, src, fut, rid):
+        st = self._lock_state(rid)
+        if st["held_by"] is None:
+            st["held_by"] = src
+            self._grant(rid, src, fut)
+        else:
+            st["queue"].append((src, fut))
+            self._count("contended")
+
+    def _grant(self, rid: int, src: int, fut: Future) -> None:
+        region = self.regions.get(rid)
+        if src == region.home:
+            fut.resolve(None)
+        else:
+            self.transport.reply(
+                fut,
+                region.home_data.copy(),
+                payload_words=region.size,
+                category="proto.Counter.grant",
+            )
+
+    def _on_commit(self, node, src, rid, data):
+        region = self.regions.get(rid)
+        st = self._lock_state(rid)
+        if data is not None:
+            np.copyto(region.home_data, data)
+        st["held_by"] = None
+        if st["queue"]:
+            nxt, fut = st["queue"].popleft()
+            st["held_by"] = nxt
+            self._grant(rid, nxt, fut)
+
+    def _on_read(self, node, src, fut, rid):
+        region = self.regions.get(rid)
+        self.transport.reply(
+            fut,
+            region.home_data.copy(),
+            payload_words=region.size,
+            category="proto.Counter.read_data",
+        )
+
+
+@legacy_registry.register
+class LegacyPipelinedWriteProtocol(CachedCopyProtocol):
+    """Accumulating pipelined writes (pre-port snapshot)."""
+
+    spec = ProtocolSpec(
+        name="PipelinedWrite",
+        optimizable=True,
+        null_hooks=frozenset({"end_read"}),
+        description="delta writes pipelined to home; drained at barriers",
+    )
+
+    ALIAS_HOME = False
+    SNAPSHOT_COST = 6
+    DELTA_COST = 12
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        self._phase = [0] * self.transport.n_procs
+        self._outstanding = [0] * self.transport.n_procs
+        self._drain_futs: list[Future | None] = [None] * self.transport.n_procs
+
+    def start_read(self, nid: int, handle):
+        region = handle.region
+        if region.home == nid:
+            if handle.meta.get("phase") != self._phase[nid]:
+                yield Delay(4)
+                np.copyto(handle.data, region.home_data)
+                handle.meta["phase"] = self._phase[nid]
+            return
+        if handle.meta.get("phase") == self._phase[nid]:
+            return
+        yield Delay(4)
+        data = yield from self.transport.rpc(
+            nid,
+            region.home,
+            self._on_refetch,
+            region.rid,
+            payload_words=2,
+            category="proto.PipelinedWrite.refetch",
+        )
+        np.copyto(handle.data, data)
+        handle.meta["phase"] = self._phase[nid]
+        self._count("refetch")
+
+    def _on_refetch(self, node, src, fut, rid):
+        region = self.regions.get(rid)
+        self.transport.reply(
+            fut,
+            region.home_data.copy(),
+            payload_words=region.size,
+            category="proto.PipelinedWrite.refetch_data",
+        )
+
+    def _after_fetch(self, nid: int, copy, extra) -> None:
+        copy.meta["phase"] = self._phase[nid]
+
+    def start_write(self, nid: int, handle):
+        yield Delay(self.SNAPSHOT_COST)
+        depth = handle.meta.get("wdepth", 0)
+        handle.meta["wdepth"] = depth + 1
+        if depth > 0:
+            return
+        if handle.meta.get("phase") != self._phase[nid]:
+            yield from self.start_read(nid, handle)
+        handle.meta["snapshot"] = np.array(handle.data, copy=True)
+
+    def end_write(self, nid: int, handle):
+        yield Delay(self.DELTA_COST)
+        depth = handle.meta.get("wdepth", 0) - 1
+        handle.meta["wdepth"] = max(depth, 0)
+        if depth > 0:
+            return
+        snapshot = handle.meta.pop("snapshot", None)
+        if snapshot is None:
+            snapshot = np.zeros_like(handle.data)
+        delta = handle.data - snapshot
+        region = handle.region
+        self._outstanding[nid] += 1
+        self._count("delta")
+        if nid == region.home:
+            region.home_data += delta
+            self._ack(nid)
+        else:
+            yield from self.transport.request(
+                nid,
+                region.home,
+                self._on_delta,
+                region.rid,
+                delta,
+                nid,
+                payload_words=region.size,
+                category="proto.PipelinedWrite.delta",
+            )
+
+    def _on_delta(self, node, src, rid, delta, writer):
+        region = self.regions.get(rid)
+        region.home_data += delta
+        self.transport.post(
+            node.nid,
+            writer,
+            self._on_delta_ack,
+            writer,
+            payload_words=1,
+            category="proto.PipelinedWrite.delta_ack",
+        )
+
+    def _on_delta_ack(self, node, src, writer):
+        self._ack(writer)
+
+    def _ack(self, nid: int) -> None:
+        self._outstanding[nid] -= 1
+        if self._outstanding[nid] == 0 and self._drain_futs[nid] is not None:
+            fut = self._drain_futs[nid]
+            self._drain_futs[nid] = None
+            fut.resolve(None)
+
+    def barrier(self, nid: int):
+        yield from self._drain(nid)
+        yield from self.runtime.rendezvous(nid)
+        self._phase[nid] += 1
+        for copy in self._copies[nid].values():
+            if copy.region.home == nid:
+                np.copyto(copy.data, copy.region.home_data)
+
+    def _drain(self, nid: int):
+        if self._outstanding[nid] > 0:
+            fut = Future(name=f"pw:drain@{nid}")
+            self._drain_futs[nid] = fut
+            yield fut
+
+    def flush_node(self, nid: int):
+        yield from self._drain(nid)
+        yield from self.runtime.rendezvous(nid)
+        self._copies[nid] = {
+            rid: c for rid, c in self._copies[nid].items() if c.region.home == nid
+        }
+
+
+@legacy_registry.register
+class LegacyRaceDetectProtocol(CachedCopyProtocol):
+    """Epoch-based race checker (pre-port snapshot)."""
+
+    spec = ProtocolSpec(
+        name="RaceDetect",
+        optimizable=False,
+        null_hooks=frozenset(),
+        description="records readers/writers per barrier epoch; reports conflicts",
+    )
+
+    RECORD_COST = 6
+    SUMMARY_WORDS = 4
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        n = self.transport.n_procs
+        self._checker = getattr(runtime, "checker", None)
+        self._epoch = [0] * n
+        self._touched: list[dict] = [dict() for _ in range(n)]
+        self._agg: dict = {}
+        self.races: list = []
+
+    def _touch(self, nid: int, handle, kind: str):
+        yield Delay(self.RECORD_COST)
+        rec = self._touched[nid].setdefault(handle.region.rid, {"r": False, "w": False})
+        rec[kind] = True
+
+    def start_read(self, nid: int, handle):
+        if handle.meta.get("epoch") != self._epoch[nid] and handle.region.home != nid:
+            yield Delay(4)
+            data = yield from self.transport.rpc(
+                nid,
+                handle.region.home,
+                self._on_refetch,
+                handle.region.rid,
+                payload_words=2,
+                category="proto.RaceDetect.refetch",
+            )
+            np.copyto(handle.data, data)
+        handle.meta["epoch"] = self._epoch[nid]
+        yield from self._touch(nid, handle, "r")
+
+    def end_read(self, nid: int, handle):
+        yield Delay(2)
+
+    def start_write(self, nid: int, handle):
+        handle.meta["epoch"] = self._epoch[nid]
+        yield from self._touch(nid, handle, "w")
+
+    def end_write(self, nid: int, handle):
+        yield Delay(2)
+
+    def _on_refetch(self, node, src, fut, rid):
+        region = self.regions.get(rid)
+        self.transport.reply(
+            fut,
+            region.home_data.copy(),
+            payload_words=region.size,
+            category="proto.RaceDetect.refetch_data",
+        )
+
+    def barrier(self, nid: int):
+        epoch = self._epoch[nid]
+        touched = self._touched[nid]
+        self._touched[nid] = {}
+        pending = len(touched)
+        done = Future(name=f"rd:summary@{nid}")
+        if pending == 0:
+            done.resolve(None)
+        state = {"need": pending, "done": done}
+        for rid, rec in sorted(touched.items()):
+            region = self.regions.get(rid)
+            data = handle_data = None
+            payload = self.SUMMARY_WORDS
+            if rec["w"]:
+                copy = self._copies[nid].get(rid)
+                if copy is not None:
+                    handle_data = np.array(copy.data, copy=True)
+                    payload += region.size
+            if nid == region.home:
+                self._on_summary(
+                    self.transport.nodes[nid], nid, rid, epoch, rec["r"], rec["w"], handle_data, state
+                )
+            else:
+                self.transport.post(
+                    nid,
+                    region.home,
+                    self._on_summary,
+                    rid,
+                    epoch,
+                    rec["r"],
+                    rec["w"],
+                    handle_data,
+                    state,
+                    payload_words=payload,
+                    category="proto.RaceDetect.summary",
+                )
+        yield done
+        yield from self.runtime.rendezvous(nid)
+        yield from self._close_epoch(nid, epoch)
+        yield from self.runtime.rendezvous(nid)
+        self._epoch[nid] += 1
+
+    def _on_summary(self, node, src, rid, epoch, read, wrote, data, state):
+        agg = self._agg.setdefault((rid, epoch), {"readers": set(), "writers": set()})
+        if read:
+            agg["readers"].add(src)
+        if wrote:
+            agg["writers"].add(src)
+            if data is not None:
+                np.copyto(self.regions.get(rid).home_data, data)
+        state["need"] -= 1
+        if state["need"] <= 0 and not state["done"].resolved:
+            state["done"].resolve(None)
+
+    def _close_epoch(self, nid: int, epoch: int):
+        pushes = []
+        closed = []
+        for (rid, ep), agg in sorted(self._agg.items()):
+            if ep != epoch:
+                continue
+            region = self.regions.get(rid)
+            if region.home != nid:
+                continue
+            closed.append((rid, ep))
+            readers = agg["readers"]
+            writers = agg["writers"]
+            if len(writers) > 1 or (writers and (readers - writers)):
+                self.races.append(
+                    (epoch, rid, tuple(sorted(readers)), tuple(sorted(writers)))
+                )
+                self._count("race")
+                if self._checker is not None:
+                    self._checker.adopt_protocol_race(epoch, rid, readers, writers)
+            if writers:
+                targets = sorted((readers | writers) - {nid})
+                if targets:
+                    pushes.append((region, targets))
+        for key in closed:
+            del self._agg[key]
+        if not pushes:
+            return
+        done = Future(name=f"rd:push@{nid}")
+        state = {"need": sum(len(t) for _, t in pushes), "done": done}
+        for region, targets in pushes:
+            data = region.home_data.copy()
+            for t in targets:
+                self.transport.post(
+                    nid,
+                    t,
+                    self._on_push,
+                    region.rid,
+                    data,
+                    state,
+                    payload_words=region.size,
+                    category="proto.RaceDetect.push",
+                )
+        yield done
+
+    def _on_push(self, node, src, rid, data, state):
+        copy = self._copies[node.nid].get(rid)
+        if copy is not None:
+            np.copyto(copy.data, data)
+        self.transport.post(
+            node.nid, src, self._on_push_ack, state, payload_words=1,
+            category="proto.RaceDetect.push_ack",
+        )
+
+    def _on_push_ack(self, node, src, state):
+        state["need"] -= 1
+        if state["need"] == 0:
+            state["done"].resolve(None)
+
+
+@legacy_registry.register
+class LegacyBufferedUpdateProtocol(CachedCopyProtocol):
+    """Any-writer batched updates (pre-port snapshot)."""
+
+    spec = ProtocolSpec(
+        name="BufferedUpdate",
+        optimizable=True,
+        null_hooks=frozenset({"start_read", "end_read", "start_write"}),
+        description="writes buffered locally; one push per dirty region per barrier",
+    )
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        n = self.transport.n_procs
+        self._dirty: list[set] = [set() for _ in range(n)]
+        self._sharers = SharerDirectory()
+        self._versions = VersionTable()
+        self._acks = AckCollector(self.machine, name="BufferedUpdate")
+        self._last_writer: dict = {}
+        self._epoch = [0] * n
+
+    def _fetch_extra(self, rid: int, src: int):
+        self._sharers.register(rid, src)
+        return None
+
+    def end_write(self, nid: int, handle):
+        yield Delay(4)
+        self._dirty[nid].add(handle.region.rid)
+
+    def barrier(self, nid: int):
+        dirty = sorted(self._dirty[nid])
+        self._dirty[nid].clear()
+        epoch = self._epoch[nid]
+        done = Future(name=f"bu:ship@{nid}")
+        state = {"need": len(dirty), "done": done}
+        if not dirty:
+            done.resolve(None)
+        for rid in dirty:
+            region = self.regions.get(rid)
+            copy = self._copies[nid][rid]
+            data = np.array(copy.data, copy=True)
+            if nid == region.home:
+                self._on_update(self.transport.nodes[nid], nid, rid, epoch, data, state)
+            else:
+                self.transport.post(
+                    nid,
+                    region.home,
+                    self._on_update,
+                    rid,
+                    epoch,
+                    data,
+                    state,
+                    payload_words=region.size,
+                    category="proto.BufferedUpdate.update",
+                )
+        yield done
+        yield from self.runtime.rendezvous(nid)
+        self._epoch[nid] += 1
+
+    def _on_update(self, node, src, rid, epoch, data, state):
+        key = (rid, epoch)
+        prev = self._last_writer.get(key)
+        if prev is not None and prev != src:
+            raise ProtocolMisuse(
+                f"BufferedUpdate: nodes {prev} and {src} both wrote region {rid} "
+                f"in epoch {epoch}; this protocol asserts one writer per epoch"
+            )
+        self._last_writer[key] = src
+        region = self.regions.get(rid)
+        np.copyto(region.home_data, data)
+        self._versions.bump(rid)
+        targets = self._sharers.sharers(rid, exclude=(src, region.home))
+        fanout = self._acks.fan_out(
+            region.home,
+            targets,
+            self._on_push,
+            rid,
+            data,
+            payload_words=region.size,
+            category="proto.BufferedUpdate.push",
+        )
+        fanout.add_callback(lambda _: self._acks.ack(state))
+
+    def _on_push(self, node, src, rid, data, state):
+        copy = self._copies[node.nid].get(rid)
+        if copy is not None:
+            np.copyto(copy.data, data)
+        self._acks.post_ack(node.nid, src, state, category="proto.BufferedUpdate.push_ack")

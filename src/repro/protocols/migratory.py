@@ -12,6 +12,16 @@ Both read and write accesses acquire the region exclusively; the home
 serializes competing requests with a busy/queue pair like the SC
 directory, and a holder actively using the region defers the hand-off
 until its matching end call.
+
+Table notes: the per-event *entry* cost (the access-check charge) is
+charged before the copy state is examined — a concurrent hand-off may
+land during those cycles, so match order is check-then-look.  The
+``end_read`` release is deliberately NOT a table row: the seed
+registers ``end_read`` null (so the compiler's direct-dispatch pass
+may delete those calls) while still shipping a release body for
+uncompiled paths — a pre-existing quirk the port preserves verbatim
+rather than silently "fixing" (the table validator rejects null hooks
+with rows, which is exactly why this one stays imperative).
 """
 
 from __future__ import annotations
@@ -21,26 +31,79 @@ from collections import deque
 import numpy as np
 
 from repro.memory import RegionCopy
-from repro.protocols.base import Protocol, ProtocolSpec
+from repro.protocols.base import ProtocolSpec, TableProtocol
 from repro.protocols.registry import default_registry
 from repro.sim import Delay, Future
+from repro.spec import ProtocolTable, Transition
+
+MIGRATORY_TABLE = ProtocolTable(
+    name="Migratory",
+    description="single copy migrates to each accessor in turn",
+    node_states=("invalid", "valid"),
+    home_states=("idle", "busy"),
+    base_state="invalid",
+    transitions=(
+        Transition("node", "valid", "start_read", actions=("hit",), effects=("use_open",)),
+        Transition(
+            "node",
+            "*",
+            "start_read",
+            cost=25,
+            actions=("migrate",),
+            msg="req",
+            effects=("acquire_copy",),
+        ),
+        Transition("node", "valid", "start_write", actions=("hit",), effects=("use_open",)),
+        Transition(
+            "node",
+            "*",
+            "start_write",
+            cost=25,
+            actions=("migrate",),
+            msg="req",
+            effects=("acquire_copy",),
+        ),
+        Transition("node", "*", "end_write", cost=4, actions=("release",), effects=("use_close",)),
+        Transition(
+            "home",
+            "idle",
+            "req",
+            next="busy",
+            actions=("recall_holder",),
+            msg="recall",
+        ),
+        Transition("home", "busy", "req", actions=("queue_request",)),
+        Transition(
+            "node",
+            "valid",
+            "recall",
+            next="invalid",
+            actions=("hand_off",),
+            msg="data",
+            note="deferred while the copy is in use or data is in flight",
+        ),
+        Transition("home", "busy", "moved", next="idle", actions=("record_location",)),
+    ),
+    costs={"create": 90, "map": 12, "start_hit": 10, "miss": 25, "release": 4, "unmap": 4},
+    entry_costs={"start_read": 10, "start_write": 10},
+    optimizable=True,
+    null_hooks=frozenset({"end_read"}),
+    sync_model="access",
+    writer_model="copy",
+)
 
 
 @default_registry.register
-class MigratoryProtocol(Protocol):
+class MigratoryProtocol(TableProtocol):
     """Exclusive, migrating single copy per region."""
 
-    spec = ProtocolSpec(
-        name="Migratory",
-        optimizable=True,
-        null_hooks=frozenset({"end_read"}),
-        description="single copy migrates to each accessor in turn",
-    )
+    table = MIGRATORY_TABLE
+    spec = ProtocolSpec.from_table(MIGRATORY_TABLE)
 
-    CREATE_COST = 90
-    MAP_COST = 12
-    START_HIT_COST = 10
-    MISS_COST = 25
+    CREATE_COST = MIGRATORY_TABLE.cost("create")
+    MAP_COST = MIGRATORY_TABLE.cost("map")
+    START_HIT_COST = MIGRATORY_TABLE.cost("start_hit")
+    MISS_COST = MIGRATORY_TABLE.cost("miss")
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
@@ -95,17 +158,18 @@ class MigratoryProtocol(Protocol):
         return copy
 
     def unmap(self, nid: int, handle):
-        yield Delay(4)
+        yield Delay(self.table.cost("unmap"))
         handle.mapped = False
 
-    # -- accesses ----------------------------------------------------------
-    def _acquire(self, nid: int, handle):
-        yield Delay(self.START_HIT_COST)
-        if handle.state == "valid":
-            handle.meta["use"] += 1
-            self._count("hit")
-            return
-        yield Delay(self.MISS_COST)
+    # -- guards / actions (table-referenced) --------------------------------
+    def act_hit(self, nid: int, handle):
+        handle.meta["use"] += 1
+        self._count("hit")
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def act_migrate(self, nid: int, handle):
+        """Pull the single copy here (three-hop home/recall/hand-off)."""
         self._count("migrate")
         region = handle.region
         fut = Future(name=f"mig:{region.rid}@{nid}")
@@ -127,25 +191,20 @@ class MigratoryProtocol(Protocol):
         handle.state = "valid"
         handle.meta["use"] += 1
 
-    def start_read(self, nid: int, handle):
-        yield from self._acquire(nid, handle)
-
-    def start_write(self, nid: int, handle):
-        yield from self._acquire(nid, handle)
-
-    def _release(self, nid: int, handle):
-        yield Delay(4)
+    def act_release(self, nid: int, handle):
         handle.meta["use"] -= 1
         if handle.meta["use"] == 0 and handle.meta["deferred"]:
             for args in handle.meta["deferred"]:
                 self._hand_off(handle, *args)
             handle.meta["deferred"].clear()
+        return
+        yield  # pragma: no cover - makes this a generator
 
     def end_read(self, nid: int, handle):
-        yield from self._release(nid, handle)
-
-    def end_write(self, nid: int, handle):
-        yield from self._release(nid, handle)
+        # Registered null (see module docstring) — kept imperative, not
+        # a table row, but identical to the end_write release path.
+        yield Delay(self.table.cost("release"))
+        yield from self.act_release(nid, handle)
 
     # -- home side (handler context) ----------------------------------------
     def _on_request(self, node, src, fut, rid):
@@ -236,8 +295,8 @@ class MigratoryProtocol(Protocol):
                 continue
             handle = self._copies[nid][rid]
             handle.state = "invalid"
-            yield from self._acquire(nid, handle)
-            yield from self._release(nid, handle)
+            yield from self.start_read(nid, handle)
+            yield from self.end_read(nid, handle)
         # Remote copies are NOT dropped here: the home's recall may still
         # be in flight toward them (change_protocol barriers after every
         # node's flush); they are discarded with this protocol instance.

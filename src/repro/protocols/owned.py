@@ -1,0 +1,739 @@
+"""Owned-state (MOESI-style) invalidation protocol with cache-to-cache supply.
+
+The SC table recalls a dirty copy all the way home before any other
+node may read it — two region-sized transfers for every
+producer/consumer hand-off.  This table adds the classic **owned**
+state: when a reader misses on a region whose dirty copy lives at
+another node, the home *forwards* the request and the owner supplies
+the data directly, downgrading itself ``excl -> owned`` (dirty but
+shared, responsible for supplying further readers).  Writes still
+serialize through the home with an invalidation fan-out, so the
+protocol stays in the paper's invalidation family and verifies under
+the same SWMR/freshness invariants as SC — the model checker's
+certificate covers the forwarding races (supply vs. queued writes,
+owner self-upgrades, deferred forwards) that make owned-state
+protocols notoriously easy to get wrong.
+
+Interesting rows, beyond MSI:
+
+* ``excl --fwd_read--> owned`` / ``owned --fwd_read--> owned``: the
+  owner answers the forwarded reader directly (``supply``); the home
+  stays busy until the reader's ``grant_ack`` records it as a sharer.
+* ``owned --invalidate--> invalid`` writes back: the owner is the only
+  current copy the home can trust, exactly like ``excl``.
+* An owner *upgrading* (``owned`` + sharers elsewhere, then a write)
+  takes the wildcard ``start_write`` miss like everyone else, but the
+  home answers with ``upgrade_ack`` — shipping home data would hand
+  the owner a stale base for its read-modify-write.
+* The home's own accesses use the guarded hit rows when the directory
+  is quiet and explicit ``fetch_*_home`` rows otherwise, so the home
+  alias state never decays into ``shared`` (its copy *is* canonical
+  storage).
+
+Reliability: requests ride :class:`~repro.dsm.faults.RetryKit` RPC
+with home-side dedup; the owner's supply goes through the dedup
+table's recording reply, so a retried ``read_req`` whose supply was
+dropped replays the recorded grant instead of re-running the forward.
+Invalidations are ack'd posts whose ack *is* the (possibly dirty)
+writeback; a deferred invalidation stays unacknowledged — retries keep
+it alive — until the open access releases.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import partial
+
+import numpy as np
+
+from repro.memory import RegionCopy
+from repro.protocols.base import ProtocolSpec, TableProtocol
+from repro.protocols.registry import default_registry
+from repro.sim import Delay, Future
+from repro.spec import ProtocolTable, Transition
+
+OWNED_TABLE = ProtocolTable(
+    name="Owned",
+    description="MOESI-style ownership: dirty owners supply readers cache-to-cache",
+    node_states=("invalid", "shared", "excl", "owned", "home"),
+    home_states=("idle", "busy"),
+    base_state="invalid",
+    transitions=(
+        # -- node: access hooks -----------------------------------------
+        Transition("node", "shared", "start_read", actions=("hit",)),
+        Transition("node", "excl", "start_read", actions=("hit",)),
+        Transition("node", "owned", "start_read", actions=("hit",)),
+        Transition(
+            "node",
+            "home",
+            "start_read",
+            guard="home_idle",
+            actions=("hit", "open_home_read"),
+            note="home alias reads locally unless a remote owner exists",
+        ),
+        Transition(
+            "node",
+            "home",
+            "start_read",
+            cost=25,
+            actions=("fetch_read_home",),
+            msg="read_req",
+            note="owner elsewhere: the home queues like any reader; its copy stays 'home'",
+        ),
+        Transition(
+            "node",
+            "*",
+            "start_read",
+            next="shared",
+            cost=25,
+            actions=("fetch_read",),
+            msg="read_req",
+            effects=("add_sharer", "copy_current"),
+        ),
+        Transition("node", "excl", "start_write", actions=("hit",)),
+        Transition(
+            "node",
+            "home",
+            "start_write",
+            guard="home_sole",
+            actions=("hit", "open_home_write"),
+            note="home alias writes locally unless remote copies exist",
+        ),
+        Transition(
+            "node",
+            "home",
+            "start_write",
+            cost=25,
+            actions=("fetch_write_home",),
+            msg="write_req",
+        ),
+        Transition(
+            "node",
+            "*",
+            "start_write",
+            next="excl",
+            cost=25,
+            actions=("fetch_write",),
+            msg="write_req",
+            effects=("set_owner", "drop_sharer", "copy_current"),
+            note="an owned-state upgrade also lands here; the home sends upgrade_ack",
+        ),
+        Transition("node", "home", "end_read", cost=4, actions=("release", "close_home_read")),
+        Transition("node", "*", "end_read", cost=4, actions=("release",), effects=("fire_deferred",)),
+        Transition("node", "home", "end_write", cost=4, actions=("release", "close_home_write")),
+        Transition("node", "*", "end_write", cost=4, actions=("release",), effects=("fire_deferred",)),
+        # -- node: recall receive side ------------------------------------
+        Transition(
+            "node",
+            "excl",
+            "invalidate",
+            next="invalid",
+            actions=("writeback", "ack"),
+            msg="inval_ack",
+            effects=("write_home",),
+        ),
+        Transition(
+            "node",
+            "owned",
+            "invalidate",
+            next="invalid",
+            actions=("writeback", "ack"),
+            msg="inval_ack",
+            effects=("write_home",),
+            note="the owner is the only trusted copy; its data rides the ack",
+        ),
+        Transition("node", "shared", "invalidate", next="invalid", actions=("ack",), msg="inval_ack"),
+        # -- node: forwarded reads (cache-to-cache supply) -----------------
+        Transition(
+            "node",
+            "excl",
+            "fwd_read",
+            next="owned",
+            actions=("supply",),
+            msg="supply",
+            effects=("add_sharer",),
+            note="first forwarded reader downgrades the owner excl -> owned",
+        ),
+        Transition(
+            "node",
+            "owned",
+            "fwd_read",
+            actions=("supply",),
+            msg="supply",
+            effects=("add_sharer",),
+        ),
+        # -- home: admission (atomic handler context) ----------------------
+        Transition("home", "idle", "read_req", guard="home_writing", actions=("enqueue",)),
+        Transition(
+            "home",
+            "idle",
+            "read_req",
+            guard="owned_elsewhere",
+            next="busy",
+            actions=("forward_read",),
+            msg="fwd_read",
+            note="three-hop read: home forwards, owner supplies, reader grant_acks",
+        ),
+        Transition(
+            "home",
+            "idle",
+            "read_req",
+            next="busy",
+            actions=("grant_shared",),
+            msg="read_data",
+            effects=("add_sharer",),
+        ),
+        Transition("home", "idle", "write_req", guard="home_open", actions=("enqueue",)),
+        Transition(
+            "home",
+            "idle",
+            "write_req",
+            guard="copies_elsewhere",
+            next="busy",
+            actions=("recall_invalidate",),
+            msg="invalidate",
+        ),
+        Transition(
+            "home",
+            "idle",
+            "write_req",
+            next="busy",
+            actions=("grant_excl",),
+            msg="write_data",
+            effects=("set_owner",),
+        ),
+        Transition("home", "busy", "read_req", actions=("enqueue",), note="FIFO; no starvation"),
+        Transition("home", "busy", "write_req", actions=("enqueue",), note="FIFO; no starvation"),
+        Transition(
+            "home",
+            "busy",
+            "inval_ack",
+            guard="acks_remaining",
+            actions=("collect_ack",),
+        ),
+        Transition(
+            "home",
+            "busy",
+            "inval_ack",
+            next="idle",
+            actions=("collect_ack", "serve_pending", "drain_queue"),
+        ),
+        Transition(
+            "home",
+            "busy",
+            "grant_ack",
+            next="idle",
+            actions=("record_sharer", "drain_queue"),
+            note="a supplied reader becomes a sharer here (forwarded grants)",
+        ),
+        Transition(
+            "home",
+            "idle",
+            "flush",
+            actions=("accept_flush",),
+            msg="flush_ack",
+            effects=("write_home", "drop_sharer", "clear_owner"),
+        ),
+    ),
+    costs={"create": 90, "map": 12, "miss": 25, "end_op": 4, "unmap": 6},
+    entry_costs={"start_read": 10, "start_write": 10},
+    optimizable=False,
+    null_hooks=frozenset(),
+    sync_model="access",
+    writer_model="copy",
+)
+
+
+@default_registry.register
+class OwnedProtocol(TableProtocol):
+    """MOESI-style owned-state invalidation with forwarding directory."""
+
+    table = OWNED_TABLE
+    spec = ProtocolSpec.from_table(OWNED_TABLE)
+
+    CREATE_COST = OWNED_TABLE.cost("create")
+    MAP_COST = OWNED_TABLE.cost("map")
+
+    def __init__(self, runtime, space):
+        super().__init__(runtime, space)
+        n = self.transport.n_procs
+        self._copies: list[dict[int, RegionCopy]] = [dict() for _ in range(n)]
+        # home-side directory: rid -> entry dict (owner / sharers / busy
+        # window / recall-or-forward pending / FIFO queue / the home
+        # task's own open accesses)
+        self._dir: dict[int, dict] = {}
+        # (nid, rid) -> recorded invalidation ack value; present only
+        # once the invalidation was *applied* (used to re-ack retries)
+        self._inval_ack: dict = {}
+        transport = self.transport
+        if transport.reliable:
+            self._kit = None
+            self._rpc = transport.rpc
+            self._reply = transport.reply
+            self._dedup_admit = lambda src, seq, fut: True
+        else:
+            from repro.dsm.faults import DedupTable, SeenOnce
+
+            self._kit = transport.kit
+            self._rpc = self._kit.rpc
+            self._dedup = DedupTable(transport, "proto.Owned")
+            self._reply = self._dedup.reply
+            self._dedup_admit = self._dedup.admit
+            self._seen = SeenOnce()
+
+    # -- lifecycle ---------------------------------------------------------
+    def init_space(self, nid: int):
+        """Adopt pre-existing regions: base state means current home data
+        and no cached copies, so the home seeds only its own alias."""
+        for rid in self.space.regions:
+            region = self.regions.get(rid)
+            if region.home != nid or rid in self._copies[nid]:
+                continue
+            self._install_home(nid, region)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def flush_node(self, nid: int):
+        """Ship dirty copies home and drop everything non-home."""
+        for rid in list(self._copies[nid]):
+            region = self.regions.get(rid)
+            if nid == region.home:
+                continue
+            copy = self._copies[nid].pop(rid)
+            if copy.state in ("excl", "owned"):
+                data = np.array(copy.data, copy=True)
+                copy.state = "invalid"
+                yield from self._rpc(
+                    nid,
+                    region.home,
+                    self._on_flush,
+                    rid,
+                    data,
+                    payload_words=region.size,
+                    category="proto.Owned.flush",
+                )
+            elif copy.state == "shared":
+                copy.state = "invalid"
+                yield from self._rpc(
+                    nid,
+                    region.home,
+                    self._on_flush,
+                    rid,
+                    None,
+                    payload_words=2,
+                    category="proto.Owned.flush",
+                )
+
+    # -- data management ---------------------------------------------------
+    def create(self, nid: int, size: int):
+        yield Delay(self.CREATE_COST)
+        region = self.regions.alloc(home=nid, size=size)
+        self._install_home(nid, region)
+        self._count("create")
+        return region.rid
+
+    def map(self, nid: int, rid: int):
+        yield Delay(self.MAP_COST)
+        copy = self._copies[nid].get(rid)
+        if copy is None:
+            region = self.regions.get(rid)
+            copy = RegionCopy(region, nid)
+            copy.meta["use"] = 0
+            copy.meta["deferred"] = []
+            self._copies[nid][rid] = copy
+        copy.mapped = True
+        return copy
+
+    def unmap(self, nid: int, handle):
+        yield Delay(self.table.cost("unmap"))
+        handle.mapped = False
+
+    def _install_home(self, nid: int, region) -> RegionCopy:
+        copy = RegionCopy(region, nid)
+        copy.data = region.home_data  # the alias IS canonical storage
+        copy.state = "home"
+        copy.meta["use"] = 0
+        copy.meta["deferred"] = []
+        self._copies[nid][region.rid] = copy
+        self._entry(region.rid)
+        return copy
+
+    def _entry(self, rid: int) -> dict:
+        ent = self._dir.get(rid)
+        if ent is None:
+            ent = self._dir[rid] = {
+                "owner": None,
+                "sharers": set(),
+                "busy": False,
+                "pending": None,
+                "queue": deque(),
+                "hr": 0,
+                "hw": False,
+            }
+        return ent
+
+    # -- guards (table-referenced) ------------------------------------------
+    def g_home_idle(self, nid: int, handle) -> bool:
+        ent = self._entry(handle.region.rid)
+        return ent["owner"] is None and not ent["busy"]
+
+    def g_home_sole(self, nid: int, handle) -> bool:
+        ent = self._entry(handle.region.rid)
+        return ent["owner"] is None and not ent["sharers"] and not ent["busy"]
+
+    # -- actions (table-referenced) -------------------------------------------
+    def act_hit(self, nid: int, handle):
+        handle.meta["use"] += 1
+        self._count("hit")
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def act_open_home_read(self, nid: int, handle):
+        # Runs in the same atomic step as the guard (hit rows charge no
+        # row cost), so guard-check and counter update cannot interleave
+        # with a remote admission.
+        self._entry(handle.region.rid)["hr"] += 1
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def act_open_home_write(self, nid: int, handle):
+        self._entry(handle.region.rid)["hw"] = True
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def act_close_home_read(self, nid: int, handle):
+        ent = self._entry(handle.region.rid)
+        ent["hr"] -= 1
+        self._drain(handle.region.rid)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def act_close_home_write(self, nid: int, handle):
+        ent = self._entry(handle.region.rid)
+        ent["hw"] = False
+        self._drain(handle.region.rid)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def act_fetch_read(self, nid: int, handle):
+        self._count("read_miss")
+        yield from self._fetch(nid, handle, "r")
+
+    def act_fetch_write(self, nid: int, handle):
+        self._count("write_miss")
+        yield from self._fetch(nid, handle, "w")
+
+    def act_fetch_read_home(self, nid: int, handle):
+        self._count("home_read_wait")
+        yield from self._fetch(nid, handle, "r")
+
+    def act_fetch_write_home(self, nid: int, handle):
+        self._count("home_write_wait")
+        yield from self._fetch(nid, handle, "w")
+
+    def _fetch(self, nid: int, handle, kind: str):
+        """Request access from the home; install whatever grant arrives."""
+        region = handle.region
+        handler = self._on_read_req if kind == "r" else self._on_write_req
+        if nid == region.home:
+            fut = Future(name=f"owned:{kind}req@{nid}")
+            handler(self.transport.nodes[nid], nid, fut, region.rid)
+            val = yield fut
+        else:
+            val = yield from self._rpc(
+                nid,
+                region.home,
+                handler,
+                region.rid,
+                payload_words=2,
+                category=f"proto.Owned.{'read' if kind == 'r' else 'write'}_req",
+            )
+        tag, data = val
+        if data is not None:
+            # read_data / write_data / supply; "upgrade" and "grant"
+            # carry no data (the requester's copy is already current)
+            np.copyto(handle.data, data)
+        if tag != "grant":
+            # Close the home's busy window; for forwarded reads this is
+            # also what records us as a sharer (record_sharer row).
+            self._post_acked(
+                nid,
+                region.home,
+                self._on_grant_ack,
+                region.rid,
+                payload_words=1,
+                category="proto.Owned.grant_ack",
+            )
+        handle.meta["use"] += 1
+
+    def act_release(self, nid: int, handle):
+        handle.meta["use"] -= 1
+        if handle.meta["use"] == 0 and handle.meta["deferred"]:
+            fire, handle.meta["deferred"] = handle.meta["deferred"], []
+            for item in fire:
+                if item[0] == "inval":
+                    self._apply_invalidate(nid, handle, item[1])
+                else:  # ("fwd", requester, rfut)
+                    self._supply(nid, handle, item[1], item[2])
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # -- reliable plumbing ---------------------------------------------------
+    def _post_acked(self, src, dst, handler, *args, payload_words=0, category="", on_ack=None):
+        """Ack'd one-way send: RetryKit post when lossy, plain post + an
+        explicit future when the fabric is reliable (same handler shape:
+        ``(node, src, fut, *args, seq=None)``)."""
+        if self._kit is not None:
+            return self._kit.post(
+                src, dst, handler, *args, payload_words=payload_words, category=category, on_ack=on_ack
+            )
+        fut = Future(name="owned:" + category)
+        if on_ack is not None:
+            from repro.dsm.faults import _ack_adapter
+
+            fut.add_callback(partial(_ack_adapter, on_ack))
+        self.transport.post(
+            src, dst, handler, fut, *args, payload_words=payload_words, category=category
+        )
+        return fut
+
+    def _first(self, src, seq) -> bool:
+        return True if self._kit is None else self._seen.first(src, seq)
+
+    # -- home side: admission (handler context) --------------------------------
+    def _on_read_req(self, node, src, fut, rid, seq=None):
+        if not self._dedup_admit(src, seq, fut):
+            return
+        self._admit(rid, "r", src, fut)
+
+    def _on_write_req(self, node, src, fut, rid, seq=None):
+        if not self._dedup_admit(src, seq, fut):
+            return
+        self._admit(rid, "w", src, fut)
+
+    def _admit(self, rid, kind, src, fut, queued=False) -> bool:
+        """Run the home admission rows; False = not admissible (requeue)."""
+        ent = self._entry(rid)
+        region = self.regions.get(rid)
+        home = region.home
+        if ent["busy"]:
+            if queued:
+                return False
+            ent["queue"].append((kind, src, fut))
+            return True
+        if kind == "r":
+            if ent["hw"] and src != home:  # guard: home_writing
+                if queued:
+                    return False
+                ent["queue"].append((kind, src, fut))
+                return True
+            owner = ent["owner"]
+            if owner is not None and owner != src:  # guard: owned_elsewhere
+                ent["busy"] = True
+                ent["pending"] = {"kind": "f", "src": src}
+                self._count("forward")
+                self._post_acked(
+                    home,
+                    owner,
+                    self._on_fwd_read,
+                    rid,
+                    src,
+                    fut,
+                    payload_words=2,
+                    category="proto.Owned.fwd_read",
+                )
+                return True
+            self._grant_read(rid, ent, src, fut)
+            return True
+        # kind == "w"
+        if (ent["hw"] or ent["hr"] > 0) and src != home:  # guard: home_open
+            if queued:
+                return False
+            ent["queue"].append((kind, src, fut))
+            return True
+        owner = ent["owner"]
+        targets = []
+        if owner is not None and owner != src:
+            targets.append(owner)
+        targets += sorted(x for x in ent["sharers"] if x != src and x not in targets)
+        if targets:  # guard: copies_elsewhere
+            ent["busy"] = True
+            ent["pending"] = {"kind": "w", "src": src, "fut": fut, "need": len(targets)}
+            for t in targets:
+                self._post_acked(
+                    home,
+                    t,
+                    self._on_invalidate,
+                    rid,
+                    payload_words=2,
+                    category="proto.Owned.invalidate",
+                    on_ack=partial(self._collect_ack, rid, t),
+                )
+            return True
+        self._grant_write(rid, ent, src, fut)
+        return True
+
+    def _grant_read(self, rid, ent, src, fut) -> None:
+        region = self.regions.get(rid)
+        if src == region.home:
+            # The home's own read: no install, no busy window — mark the
+            # open access and let the waiting task proceed.
+            ent["hr"] += 1
+            self._reply(fut, ("grant", None), payload_words=1, category="proto.Owned.home_grant")
+            return
+        ent["busy"] = True
+        ent["sharers"].add(src)
+        self._reply(
+            fut,
+            ("data", region.home_data.copy()),
+            payload_words=region.size,
+            category="proto.Owned.read_data",
+        )
+
+    def _grant_write(self, rid, ent, src, fut) -> None:
+        region = self.regions.get(rid)
+        if src == region.home:
+            ent["hw"] = True
+            self._reply(fut, ("grant", None), payload_words=1, category="proto.Owned.home_grant")
+            return
+        # An upgrading sharer — or an owner self-upgrading from owned —
+        # keeps its current data; home data would be a stale write base.
+        had = src == ent["owner"] or src in ent["sharers"]
+        ent["sharers"].discard(src)
+        ent["owner"] = src
+        ent["busy"] = True
+        if had:
+            self._reply(fut, ("upgrade", None), payload_words=1, category="proto.Owned.upgrade_ack")
+        else:
+            self._reply(
+                fut,
+                ("data", region.home_data.copy()),
+                payload_words=region.size,
+                category="proto.Owned.write_data",
+            )
+
+    def _collect_ack(self, rid, target, value) -> None:
+        """One invalidation target acknowledged (ack value = its dirty data)."""
+        ent = self._entry(rid)
+        if value is not None:
+            np.copyto(self.regions.get(rid).home_data, np.asarray(value))
+        if ent["owner"] == target:
+            ent["owner"] = None
+        ent["sharers"].discard(target)
+        pend = ent["pending"]
+        pend["need"] -= 1
+        if pend["need"] > 0:
+            return
+        ent["pending"] = None
+        ent["busy"] = False
+        self._grant_write(rid, ent, pend["src"], pend["fut"])
+        if not ent["busy"]:
+            self._drain(rid)
+
+    def _on_grant_ack(self, node, src, fut, rid, seq=None):
+        self.transport.reply(fut, None, payload_words=1, category="proto.Owned.grant_ack_ok")
+        if not self._first(src, seq):
+            return
+        ent = self._entry(rid)
+        if not ent["busy"]:
+            return
+        pend = ent["pending"]
+        if pend is not None and pend["kind"] == "f":
+            # record_sharer: the forwarded reader installed its supply
+            req = pend["src"]
+            if req == self.regions.get(rid).home:
+                ent["hr"] += 1  # the home's own forwarded read opened
+            else:
+                ent["sharers"].add(req)
+        ent["pending"] = None
+        ent["busy"] = False
+        self._drain(rid)
+
+    def _drain(self, rid) -> None:
+        ent = self._entry(rid)
+        while not ent["busy"] and ent["queue"]:
+            kind, src, fut = ent["queue"].popleft()
+            if not self._admit(rid, kind, src, fut, queued=True):
+                ent["queue"].appendleft((kind, src, fut))
+                return
+
+    def _on_flush(self, node, src, fut, rid, data, seq=None):
+        if not self._dedup_admit(src, seq, fut):
+            return
+        ent = self._entry(rid)
+        if ent["owner"] == src:
+            ent["owner"] = None
+        ent["sharers"].discard(src)
+        if data is not None:
+            np.copyto(self.regions.get(rid).home_data, np.asarray(data))
+        self._reply(fut, None, payload_words=1, category="proto.Owned.flush_ack")
+
+    # -- target side: recalls and forwards (handler context) --------------------
+    def _on_invalidate(self, node, src, fut, rid, seq=None):
+        nid = node.nid
+        key = (nid, rid)
+        if not self._first(src, seq):
+            # Retransmit: re-ack only if the invalidation was applied;
+            # while it is deferred the retry keeps the call alive and
+            # the eventual apply sends the one real ack.
+            if key in self._inval_ack:
+                self.transport.reply(
+                    fut, self._inval_ack[key], payload_words=1, category="proto.Owned.inval_ack"
+                )
+            return
+        copy = self._copies[nid].get(rid)
+        if copy is None or copy.state == "invalid":
+            self._inval_ack[key] = None
+            self.transport.reply(fut, None, payload_words=1, category="proto.Owned.inval_ack")
+            return
+        if copy.meta["use"] > 0:
+            self._inval_ack.pop(key, None)
+            copy.meta["deferred"].append(("inval", fut))
+            return
+        self._apply_invalidate(nid, copy, fut)
+
+    def _apply_invalidate(self, nid, copy, fut) -> None:
+        region = copy.region
+        dirty = copy.state in ("excl", "owned")
+        data = np.array(copy.data, copy=True) if dirty else None
+        copy.state = "invalid"
+        self._count("invalidated")
+        self._inval_ack[(nid, region.rid)] = data
+        self.transport.reply(
+            fut,
+            data,
+            payload_words=region.size if dirty else 1,
+            category="proto.Owned.inval_ack",
+        )
+
+    def _on_fwd_read(self, node, src, fut, rid, requester, rfut, seq=None):
+        # Delivery-ack immediately: the forward's outcome travels on the
+        # requester's own reply future, so a retransmit only needs
+        # re-acking (the effect below is applied exactly once).
+        self.transport.reply(fut, None, payload_words=1, category="proto.Owned.fwd_ack")
+        if not self._first(src, seq):
+            return
+        nid = node.nid
+        copy = self._copies[nid][rid]
+        if copy.meta["use"] > 0:
+            copy.meta["deferred"].append(("fwd", requester, rfut))
+            return
+        self._supply(nid, copy, requester, rfut)
+
+    def _supply(self, nid, copy, requester, rfut) -> None:
+        """Cache-to-cache transfer; excl owners downgrade to owned."""
+        region = copy.region
+        data = np.array(copy.data, copy=True)
+        if copy.state == "excl":
+            copy.state = "owned"
+        self._count("supply")
+        self._reply(
+            rfut, ("supply", data), payload_words=region.size, category="proto.Owned.supply"
+        )
+
+    # -- introspection (tests) ---------------------------------------------
+    def cached_copy(self, nid: int, rid: int) -> RegionCopy | None:
+        return self._copies[nid].get(rid)
+
+    def directory_entry(self, rid: int) -> dict:
+        return self._entry(rid)

@@ -28,25 +28,74 @@ from __future__ import annotations
 import numpy as np
 
 from repro.protocols.base import ProtocolSpec
-from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.caching import CachedTableProtocol
 from repro.protocols.registry import default_registry
-from repro.sim import Delay, Future
+from repro.sim import Future
+from repro.spec import ProtocolTable, Transition
+
+PIPELINED_WRITE_TABLE = ProtocolTable(
+    name="PipelinedWrite",
+    description="delta writes pipelined to home; drained at barriers",
+    node_states=("invalid", "valid", "home"),
+    home_states=("idle",),
+    base_state="invalid",
+    transitions=(
+        Transition(
+            "node",
+            "*",
+            "start_read",
+            guard="phase_stale_home",
+            cost=4,
+            actions=("home_refresh",),
+            note="home rereads canonical data once per phase",
+        ),
+        Transition(
+            "node",
+            "*",
+            "start_read",
+            guard="phase_stale_remote",
+            cost=4,
+            actions=("refetch",),
+            msg="refetch",
+            effects=("copy_current",),
+        ),
+        Transition("node", "*", "start_write", cost=6, actions=("open_write",)),
+        Transition(
+            "node",
+            "*",
+            "end_write",
+            cost=12,
+            actions=("close_write",),
+            msg="delta",
+            effects=("delta_to_home",),
+        ),
+        Transition(
+            "node",
+            "*",
+            "barrier",
+            actions=("drain", "rendezvous", "advance_phase"),
+            effects=("drain_outstanding", "epoch_advance"),
+        ),
+        Transition("home", "idle", "delta", actions=("merge_delta",), msg="delta_ack"),
+    ),
+    costs={"snapshot": 6, "delta": 12, "refetch_check": 4},
+    optimizable=True,
+    null_hooks=frozenset({"end_read"}),
+    sync_model="barrier",
+    writer_model="none",
+)
 
 
 @default_registry.register
-class PipelinedWriteProtocol(CachedCopyProtocol):
+class PipelinedWriteProtocol(CachedTableProtocol):
     """Accumulating pipelined writes; per-phase read revalidation."""
 
-    spec = ProtocolSpec(
-        name="PipelinedWrite",
-        optimizable=True,
-        null_hooks=frozenset({"end_read"}),
-        description="delta writes pipelined to home; drained at barriers",
-    )
+    table = PIPELINED_WRITE_TABLE
+    spec = ProtocolSpec.from_table(PIPELINED_WRITE_TABLE)
 
     ALIAS_HOME = False  # home works on a private copy; deltas merge into truth
-    SNAPSHOT_COST = 6
-    DELTA_COST = 12
+    SNAPSHOT_COST = PIPELINED_WRITE_TABLE.cost("snapshot")
+    DELTA_COST = PIPELINED_WRITE_TABLE.cost("delta")
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
@@ -54,18 +103,22 @@ class PipelinedWriteProtocol(CachedCopyProtocol):
         self._outstanding = [0] * self.transport.n_procs
         self._drain_futs: list[Future | None] = [None] * self.transport.n_procs
 
+    # -- guards (table-referenced) ----------------------------------------
+    def g_phase_stale_home(self, nid: int, handle) -> bool:
+        return handle.region.home == nid and handle.meta.get("phase") != self._phase[nid]
+
+    def g_phase_stale_remote(self, nid: int, handle) -> bool:
+        return handle.region.home != nid and handle.meta.get("phase") != self._phase[nid]
+
     # -- reads: revalidate once per phase ---------------------------------
-    def start_read(self, nid: int, handle):
+    def act_home_refresh(self, nid: int, handle):
+        np.copyto(handle.data, handle.region.home_data)
+        handle.meta["phase"] = self._phase[nid]
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def act_refetch(self, nid: int, handle):
         region = handle.region
-        if region.home == nid:
-            if handle.meta.get("phase") != self._phase[nid]:
-                yield Delay(4)
-                np.copyto(handle.data, region.home_data)
-                handle.meta["phase"] = self._phase[nid]
-            return
-        if handle.meta.get("phase") == self._phase[nid]:
-            return
-        yield Delay(4)
         data = yield from self.transport.rpc(
             nid,
             region.home,
@@ -91,7 +144,7 @@ class PipelinedWriteProtocol(CachedCopyProtocol):
         copy.meta["phase"] = self._phase[nid]
 
     # -- writes: snapshot, delta, pipeline ----------------------------------
-    def start_write(self, nid: int, handle):
+    def act_open_write(self, nid: int, handle):
         """Snapshot on the outermost start_write only.
 
         Write sections may nest or overlap (the compiler's hoisting and
@@ -99,7 +152,6 @@ class PipelinedWriteProtocol(CachedCopyProtocol):
         *optimizable*, so it must tolerate it): a depth counter keeps a
         single snapshot per outermost section.
         """
-        yield Delay(self.SNAPSHOT_COST)
         depth = handle.meta.get("wdepth", 0)
         handle.meta["wdepth"] = depth + 1
         if depth > 0:
@@ -110,8 +162,7 @@ class PipelinedWriteProtocol(CachedCopyProtocol):
             yield from self.start_read(nid, handle)
         handle.meta["snapshot"] = np.array(handle.data, copy=True)
 
-    def end_write(self, nid: int, handle):
-        yield Delay(self.DELTA_COST)
+    def act_close_write(self, nid: int, handle):
         depth = handle.meta.get("wdepth", 0) - 1
         handle.meta["wdepth"] = max(depth, 0)
         if depth > 0:
@@ -161,15 +212,17 @@ class PipelinedWriteProtocol(CachedCopyProtocol):
             fut.resolve(None)
 
     # -- synchronization -------------------------------------------------------
-    def barrier(self, nid: int):
-        """Drain outstanding deltas, rendezvous, advance the phase."""
+    def act_drain(self, nid: int):
         yield from self._drain(nid)
-        yield from self.runtime.rendezvous(nid)
+
+    def act_advance_phase(self, nid: int):
         self._phase[nid] += 1
         # Home copies must pick up deltas merged by other writers.
         for copy in self._copies[nid].values():
             if copy.region.home == nid:
                 np.copyto(copy.data, copy.region.home_data)
+        return
+        yield  # pragma: no cover - makes this a generator
 
     def _drain(self, nid: int):
         if self._outstanding[nid] > 0:

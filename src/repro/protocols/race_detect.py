@@ -18,6 +18,10 @@ synchronization points.  This protocol implements that idea for Ace:
 The race report is available as ``protocol.races`` — a sorted list of
 ``(epoch, rid, readers, writers)`` tuples — and via
 :meth:`AceRuntime.space_protocol` lookups in tests and tools.
+
+Every hook is live instrumentation, so the table registers no null
+hooks and the protocol is non-optimizable: the rows ARE the recording
+discipline (note the barrier row's five-step epoch-close pipeline).
 """
 
 from __future__ import annotations
@@ -25,23 +29,56 @@ from __future__ import annotations
 import numpy as np
 
 from repro.protocols.base import ProtocolSpec
-from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.caching import CachedTableProtocol
 from repro.protocols.registry import default_registry
 from repro.sim import Delay, Future
+from repro.spec import ProtocolTable, Transition
+
+RACE_DETECT_TABLE = ProtocolTable(
+    name="RaceDetect",
+    description="records readers/writers per barrier epoch; reports conflicts",
+    node_states=("invalid", "valid", "home"),
+    home_states=("idle",),
+    base_state="invalid",
+    transitions=(
+        Transition(
+            "node",
+            "*",
+            "start_read",
+            guard="epoch_stale_remote",
+            cost=4,
+            actions=("refetch", "mark_epoch", "touch_read"),
+            msg="refetch",
+        ),
+        Transition("node", "*", "start_read", actions=("mark_epoch", "touch_read")),
+        Transition("node", "*", "end_read", cost=2),
+        Transition("node", "*", "start_write", actions=("mark_epoch", "touch_write")),
+        Transition("node", "*", "end_write", cost=2),
+        Transition(
+            "node",
+            "*",
+            "barrier",
+            actions=("ship_summaries", "rendezvous", "close_races", "rendezvous", "advance_epoch"),
+            msg="summary",
+            effects=("summaries_to_home", "race_check", "push_sharers", "epoch_advance"),
+        ),
+    ),
+    costs={"record": 6, "end_op": 2, "refetch_check": 4},
+    optimizable=False,  # hooks are the instrumentation: must all run
+    null_hooks=frozenset(),
+    sync_model="barrier",
+    writer_model="none",
+)
 
 
 @default_registry.register
-class RaceDetectProtocol(CachedCopyProtocol):
+class RaceDetectProtocol(CachedTableProtocol):
     """Epoch-based happens-before race checker with update semantics."""
 
-    spec = ProtocolSpec(
-        name="RaceDetect",
-        optimizable=False,  # hooks are the instrumentation: must all run
-        null_hooks=frozenset(),
-        description="records readers/writers per barrier epoch; reports conflicts",
-    )
+    table = RACE_DETECT_TABLE
+    spec = ProtocolSpec.from_table(RACE_DETECT_TABLE)
 
-    RECORD_COST = 6
+    RECORD_COST = RACE_DETECT_TABLE.cost("record")
     SUMMARY_WORDS = 4
 
     def __init__(self, runtime, space):
@@ -58,37 +95,37 @@ class RaceDetectProtocol(CachedCopyProtocol):
         #: confirmed races: (epoch, rid, readers, writers)
         self.races: list = []
 
-    # -- instrumentation hooks ------------------------------------------
+    # -- guards / instrumentation actions ---------------------------------
+    def g_epoch_stale_remote(self, nid: int, handle) -> bool:
+        return handle.meta.get("epoch") != self._epoch[nid] and handle.region.home != nid
+
     def _touch(self, nid: int, handle, kind: str):
         yield Delay(self.RECORD_COST)
         rec = self._touched[nid].setdefault(handle.region.rid, {"r": False, "w": False})
         rec[kind] = True
 
-    def start_read(self, nid: int, handle):
-        # revalidate once per epoch (data pushed at the previous barrier)
-        if handle.meta.get("epoch") != self._epoch[nid] and handle.region.home != nid:
-            yield Delay(4)
-            data = yield from self.transport.rpc(
-                nid,
-                handle.region.home,
-                self._on_refetch,
-                handle.region.rid,
-                payload_words=2,
-                category="proto.RaceDetect.refetch",
-            )
-            np.copyto(handle.data, data)
+    def act_mark_epoch(self, nid: int, handle):
         handle.meta["epoch"] = self._epoch[nid]
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def act_touch_read(self, nid: int, handle):
         yield from self._touch(nid, handle, "r")
 
-    def end_read(self, nid: int, handle):
-        yield Delay(2)
-
-    def start_write(self, nid: int, handle):
-        handle.meta["epoch"] = self._epoch[nid]
+    def act_touch_write(self, nid: int, handle):
         yield from self._touch(nid, handle, "w")
 
-    def end_write(self, nid: int, handle):
-        yield Delay(2)
+    def act_refetch(self, nid: int, handle):
+        """Revalidate once per epoch (data pushed at the previous barrier)."""
+        data = yield from self.transport.rpc(
+            nid,
+            handle.region.home,
+            self._on_refetch,
+            handle.region.rid,
+            payload_words=2,
+            category="proto.RaceDetect.refetch",
+        )
+        np.copyto(handle.data, data)
 
     def _on_refetch(self, node, src, fut, rid):
         region = self.regions.get(rid)
@@ -99,9 +136,8 @@ class RaceDetectProtocol(CachedCopyProtocol):
             category="proto.RaceDetect.refetch_data",
         )
 
-    # -- epoch close ------------------------------------------------------
-    def barrier(self, nid: int):
-        """Ship summaries, rendezvous, aggregate, push updates, advance."""
+    # -- epoch close (the barrier row's action pipeline) ------------------
+    def act_ship_summaries(self, nid: int):
         epoch = self._epoch[nid]
         touched = self._touched[nid]
         self._touched[nid] = {}
@@ -138,11 +174,15 @@ class RaceDetectProtocol(CachedCopyProtocol):
                     category="proto.RaceDetect.summary",
                 )
         yield done
-        yield from self.runtime.rendezvous(nid)
-        # homes: detect races and push updates for regions written this epoch
-        yield from self._close_epoch(nid, epoch)
-        yield from self.runtime.rendezvous(nid)
+
+    def act_close_races(self, nid: int):
+        """Homes: detect races, push updates for regions written this epoch."""
+        yield from self._close_epoch(nid, self._epoch[nid])
+
+    def act_advance_epoch(self, nid: int):
         self._epoch[nid] += 1
+        return
+        yield  # pragma: no cover - makes this a generator
 
     def _on_summary(self, node, src, rid, epoch, read, wrote, data, state):
         agg = self._agg.setdefault((rid, epoch), {"readers": set(), "writers": set()})

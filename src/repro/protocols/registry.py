@@ -46,6 +46,12 @@ class ProtocolRegistry:
     def spec(self, name: str) -> ProtocolSpec:
         return self.get(name).spec
 
+    def table_of(self, name: str):
+        """The protocol's declarative :class:`~repro.spec.table.ProtocolTable`,
+        or ``None`` for protocols that predate the table layer.  This is
+        what the model checker and the doc generator consume."""
+        return getattr(self.get(name), "table", None)
+
     def create(self, name: str, runtime, space) -> Protocol:
         """Instantiate a fresh protocol instance for ``space``."""
         return self.get(name)(runtime, space)
@@ -55,16 +61,28 @@ class ProtocolRegistry:
 
         Maps protocol name to its optimizability, the set of null
         hooks, and the derived handler routine names (e.g.
-        ``Update_StartRead``).
+        ``Update_StartRead``).  Table-driven protocols additionally
+        export their declarative metadata (base state, sync/writer
+        models, home-writer flag) straight from the table, so the
+        configuration file and the verified artifact cannot drift.
         """
         table = {}
         for name, cls in sorted(self._protocols.items()):
             spec = cls.spec
-            table[name] = {
+            entry = {
                 "optimizable": spec.optimizable,
                 "null_hooks": sorted(spec.null_hooks),
                 "routines": {h: spec.routine_name(h) for h in HOOK_NAMES},
             }
+            pt = getattr(cls, "table", None)
+            if pt is not None:
+                entry.update(
+                    base_state=pt.base_state,
+                    sync_model=pt.sync_model,
+                    writer_model=pt.writer_model,
+                    home_writer=pt.home_writer,
+                )
+            table[name] = entry
         return table
 
 

@@ -11,10 +11,18 @@ Registered as **not optimizable**: sequential consistency forbids the
 compiler from moving or merging accesses (§4.2, citing Midkiff &
 Padua), so only direct-dispatch may touch SC calls — and none of its
 hooks are null.
+
+The protocol's state machine is :data:`~repro.dsm.msi.MSI_TABLE` — the
+same artifact the engine's three layers derive their constants from
+and the model checker verifies.  The class binds the engine's hook
+generators directly (the table is interpreted *by the engine*, not by
+:class:`~repro.protocols.base.TableProtocol` dispatch), so declaring
+it here costs nothing on the access path.
 """
 
 from __future__ import annotations
 
+from repro.dsm.msi import MSI_TABLE
 from repro.protocols.base import Protocol, ProtocolSpec
 from repro.protocols.registry import default_registry
 
@@ -23,12 +31,8 @@ from repro.protocols.registry import default_registry
 class SCProtocol(Protocol):
     """Sequentially consistent invalidation protocol (the Ace default)."""
 
-    spec = ProtocolSpec(
-        name="SC",
-        optimizable=False,
-        null_hooks=frozenset(),
-        description="home-based MSI invalidation; sequentially consistent",
-    )
+    table = MSI_TABLE
+    spec = ProtocolSpec.from_table(MSI_TABLE)
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)

@@ -23,6 +23,10 @@ Consequently:
   to that region's sharers and waits for their acknowledgements
   before entering the global rendezvous, so all consumers see fresh
   values after the barrier.
+
+The table's two ``end_write`` rows are the protocol's assertion made
+machine-readable: the guarded row marks the region dirty when the
+writer is the home; the fall-through row rejects everything else.
 """
 
 from __future__ import annotations
@@ -32,25 +36,69 @@ from functools import partial
 import numpy as np
 
 from repro.protocols.base import ProtocolMisuse, ProtocolSpec
-from repro.protocols.caching import CachedCopyProtocol
+from repro.protocols.caching import CachedTableProtocol
 from repro.protocols.registry import default_registry
 from repro.sim import Delay, Future
+from repro.spec import ProtocolTable, Transition
+
+STATIC_UPDATE_TABLE = ProtocolTable(
+    name="StaticUpdate",
+    description="sharer lists built at first map; homes push updates at barriers",
+    node_states=("invalid", "valid", "home"),
+    home_states=("idle",),
+    base_state="invalid",
+    transitions=(
+        Transition(
+            "node",
+            "*",
+            "end_write",
+            guard="home_writer",
+            cost=8,
+            actions=("mark_dirty",),
+            effects=("mark_dirty",),
+        ),
+        Transition(
+            "node",
+            "*",
+            "end_write",
+            actions=("reject_remote_write",),
+            note="producers own their regions; remote writes are misuse",
+        ),
+        Transition(
+            "node",
+            "*",
+            "barrier",
+            actions=("push_dirty", "rendezvous"),
+            msg="push",
+            effects=("push_sharers", "epoch_advance"),
+        ),
+        Transition(
+            "node",
+            "valid",
+            "push",
+            actions=("apply_push",),
+            msg="push_ack",
+            effects=("copy_current",),
+        ),
+    ),
+    costs={"end_write": 8, "push_setup": 12},
+    optimizable=True,
+    null_hooks=frozenset({"start_read", "end_read", "start_write"}),
+    home_writer=True,
+    sync_model="barrier",
+    writer_model="home",
+)
 
 
 @default_registry.register
-class StaticUpdateProtocol(CachedCopyProtocol):
+class StaticUpdateProtocol(CachedTableProtocol):
     """Falsafi-style static update: home pushes dirty regions at barriers."""
 
-    spec = ProtocolSpec(
-        name="StaticUpdate",
-        optimizable=True,
-        null_hooks=frozenset({"start_read", "end_read", "start_write"}),
-        description="sharer lists built at first map; homes push updates at barriers",
-        home_writer=True,
-    )
+    table = STATIC_UPDATE_TABLE
+    spec = ProtocolSpec.from_table(STATIC_UPDATE_TABLE)
 
-    END_WRITE_COST = 8
-    PUSH_SETUP_COST = 12
+    END_WRITE_COST = STATIC_UPDATE_TABLE.cost("end_write")
+    PUSH_SETUP_COST = STATIC_UPDATE_TABLE.cost("push_setup")
 
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
@@ -61,18 +109,25 @@ class StaticUpdateProtocol(CachedCopyProtocol):
         self._sharers.setdefault(rid, set()).add(src)
         return None
 
-    def end_write(self, nid: int, handle):
-        region = handle.region
-        if region.home != nid:
-            raise ProtocolMisuse(
-                f"StaticUpdate: node {nid} wrote region {region.rid} homed at "
-                f"{region.home}; this protocol asserts producers own their regions"
-            )
-        yield Delay(self.END_WRITE_COST)
-        self._dirty[nid].add(region.rid)
+    # -- guards / actions (table-referenced) ------------------------------
+    def g_home_writer(self, nid: int, handle) -> bool:
+        return handle.region.home == nid
 
-    def barrier(self, nid: int):
-        """Push dirty home regions to sharers, then the global rendezvous."""
+    def act_mark_dirty(self, nid: int, handle):
+        self._dirty[nid].add(handle.region.rid)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def act_reject_remote_write(self, nid: int, handle):
+        region = handle.region
+        raise ProtocolMisuse(
+            f"StaticUpdate: node {nid} wrote region {region.rid} homed at "
+            f"{region.home}; this protocol asserts producers own their regions"
+        )
+        yield  # pragma: no cover - makes this a generator
+
+    def act_push_dirty(self, nid: int):
+        """Push dirty home regions to sharers (the barrier's first leg)."""
         dirty = sorted(self._dirty[nid])
         self._dirty[nid].clear()
         pushes = []
@@ -113,7 +168,6 @@ class StaticUpdateProtocol(CachedCopyProtocol):
                             category="proto.StaticUpdate.push",
                         )
             yield done
-        yield from self.runtime.rendezvous(nid)
 
     # -- sharer side (handler context) -----------------------------------
     def _on_push(self, node, src, rid, data, state):

@@ -1,15 +1,37 @@
-"""Protocol verification by schedule fuzzing.
+"""Protocol verification: schedule fuzzing and small-scope model checking.
 
 §6 of the paper asks for "a theoretical framework of correctness" for
 mixed protocols and notes that tools like Teapot ease protocol
-development.  This package is the pragmatic complement we can give a
-simulated system: every :class:`~repro.sim.kernel.Simulator` schedule
-is deterministic *per seed*, so sweeping seeds explores many legal
-interleavings of the same program, and an invariant checked after each
-run turns the sweep into a lightweight model-checking pass for
-protocol implementations.
+development.  This package gives a simulated system both pragmatic
+answers:
+
+* :mod:`repro.verify.fuzz` — every
+  :class:`~repro.sim.kernel.Simulator` schedule is deterministic *per
+  seed*, so sweeping seeds explores many legal interleavings of the
+  same program, an invariant checked after each run turning the sweep
+  into a lightweight checking pass for protocol *implementations*;
+* :mod:`repro.verify.modelcheck` — an exhaustive small-scope
+  enumeration of every message interleaving of a protocol *table*
+  (Teapot's role), producing minimal counterexample traces and
+  fingerprint-pinned certificates under ``repro/verify/certs/``.
 """
 
 from repro.verify.fuzz import FuzzReport, Violation, fuzz_schedules
+from repro.verify.modelcheck import (
+    CheckResult,
+    Scope,
+    check_table,
+    model_for,
+    seeded_mutations,
+)
 
-__all__ = ["FuzzReport", "Violation", "fuzz_schedules"]
+__all__ = [
+    "CheckResult",
+    "FuzzReport",
+    "Scope",
+    "Violation",
+    "check_table",
+    "fuzz_schedules",
+    "model_for",
+    "seeded_mutations",
+]

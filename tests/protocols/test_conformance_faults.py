@@ -9,7 +9,14 @@ reliable variants differ, under the small canonical drop+retry plan:
 
 * ``SC`` — request retry with home-side dedup (directory/regioncache);
 * ``DynamicUpdate`` — ack'd update + multicast push with per-seq dedup;
-* ``StaticUpdate`` — ack'd barrier pushes with per-seq dedup.
+* ``StaticUpdate`` — ack'd barrier pushes with per-seq dedup;
+
+plus the two table-native additions, whose handshakes are the widest:
+
+* ``SelfInvalidate`` — synchronous write-back with epoch-keyed dedup
+  (a replayed old-epoch write-back must not clobber newer data);
+* ``Owned`` — forwarded reads and recall fan-outs where the *ack* is
+  the payload, so retries must replay recorded grants, not re-run them.
 
 Region contents must survive both switches bit-exactly and the run
 must actually have injected faults (otherwise the test proves
@@ -33,6 +40,8 @@ CASES = [
     ("SC", "StaticUpdate", 1),
     ("DynamicUpdate", "SC", 1),
     ("StaticUpdate", "SC", 0),
+    ("SelfInvalidate", "SC", 1),
+    ("Owned", "SC", 1),
 ]
 
 

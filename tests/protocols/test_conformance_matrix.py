@@ -51,7 +51,7 @@ def test_registry_covers_every_shipped_protocol():
     """The matrix below runs once per registered protocol; guard that
     the registry itself is not quietly shrinking."""
     names = default_registry.names()
-    assert len(names) >= 11, names
+    assert len(names) >= 13, names
     # The paper's core trio must always be present.
     assert {"SC", "StaticUpdate", "DynamicUpdate"} <= set(names)
 

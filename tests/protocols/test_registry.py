@@ -15,9 +15,11 @@ def test_default_registry_has_all_shipped_protocols():
         "HwSC",
         "Migratory",
         "Null",
+        "Owned",
         "PipelinedWrite",
         "RaceDetect",
         "SC",
+        "SelfInvalidate",
         "StaticUpdate",
     ]
 
@@ -32,7 +34,10 @@ def test_sc_is_not_optimizable_updates_are():
 def test_config_table_shape():
     table = default_registry.config_table()
     for name, entry in table.items():
-        assert set(entry) == {"optimizable", "null_hooks", "routines"}
+        # The legacy Figure 1 fields, plus the table-derived metadata
+        # every table-driven protocol exports.
+        assert {"optimizable", "null_hooks", "routines"} <= set(entry)
+        assert {"base_state", "sync_model", "writer_model", "home_writer"} <= set(entry)
         assert set(entry["routines"]) == set(HOOK_NAMES)
     # Figure 1's derived-name convention: Protocol_ExecutionPoint
     assert table["StaticUpdate"]["routines"]["start_read"] == "StaticUpdate_StartRead"

@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Small-scope model checker driver for table-driven protocols.
+
+Exhaustively enumerates every message interleaving of a protocol's
+:class:`~repro.spec.table.ProtocolTable` at a bounded scope (the
+Teapot role the paper's §6 points at) and reports per-invariant
+verdicts with minimal counterexample traces.
+
+Modes:
+
+* default — check the named protocols (or every table-driven protocol
+  in the registry) at the given scope; nonzero exit on any violation.
+* ``--seeded`` — ALSO run every seeded mutation of each table and
+  require the checker to *refute* each one, printing its minimal
+  counterexample.  A mutation the checker misses is a nonzero exit:
+  this is the checker's own regression test.
+* ``--write-certs`` — record each clean result as a JSON certificate
+  under ``src/repro/verify/certs/<name>.json``, keyed by the table's
+  content fingerprint (editing any row invalidates the certificate).
+* ``--check`` — verify committed certificates still match the tables
+  as they exist today (fingerprint + ok); nonzero exit on drift.
+  This is the CI mode: cheap, no state enumeration for unchanged
+  tables unless ``--recheck`` forces one.
+
+Usage::
+
+    PYTHONPATH=src python tools/modelcheck.py                      # all tables
+    PYTHONPATH=src python tools/modelcheck.py SC SelfInvalidate
+    PYTHONPATH=src python tools/modelcheck.py SC --nodes 3 --ops 2
+    PYTHONPATH=src python tools/modelcheck.py --seeded
+    PYTHONPATH=src python tools/modelcheck.py --write-certs
+    PYTHONPATH=src python tools/modelcheck.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro.protocols  # noqa: E402,F401  (registration side effects)
+from repro.protocols.registry import default_registry  # noqa: E402
+from repro.verify.modelcheck import (  # noqa: E402
+    Scope,
+    check_table,
+    model_for,
+    seeded_mutations,
+)
+
+CERT_DIR = Path(__file__).resolve().parent.parent / "src" / "repro" / "verify" / "certs"
+
+
+def _checkable(names: list[str]) -> list[str]:
+    """Protocols that both ship a table and map onto a checker model."""
+    out = []
+    for name in names:
+        table = default_registry.table_of(name)
+        if table is None:
+            continue
+        try:
+            model_for(table, Scope())
+        except Exception:
+            continue
+        out.append(name)
+    return out
+
+
+def _run_one(name, scope, max_states, verbose) -> bool:
+    table = default_registry.table_of(name)
+    result = check_table(table, scope, max_states=max_states)
+    status = "ok" if result.ok else "VIOLATED"
+    print(
+        f"{name:16s} {result.family:12s} "
+        f"scope={scope.nodes}x{scope.regions}x{scope.ops} "
+        f"states={result.states:>7} transitions={result.transitions:>8}  {status}"
+    )
+    if verbose or not result.ok:
+        for v in result.violations:
+            print(_indent(v.render()))
+    return result.ok
+
+
+def _run_seeded(name, scope, max_states) -> bool:
+    table = default_registry.table_of(name)
+    mutations = seeded_mutations(table)
+    if not mutations:
+        print(f"{name:16s} (no seeded mutations for this family)")
+        return True
+    all_caught = True
+    for label, broken in mutations:
+        result = check_table(broken, scope, max_states=max_states)
+        caught = not result.ok
+        all_caught &= caught
+        verdict = "caught" if caught else "MISSED"
+        print(f"{name:16s} mutation {label!r}: {verdict}")
+        if caught:
+            print(_indent(result.violations[0].render()))
+        else:
+            print(_indent("the checker certified a known-broken table — it has no teeth"))
+    return all_caught
+
+
+def _write_cert(name, scope, max_states) -> bool:
+    table = default_registry.table_of(name)
+    result = check_table(table, scope, max_states=max_states)
+    if not result.ok:
+        print(f"{name}: refusing to certify a violated table")
+        for v in result.violations:
+            print(_indent(v.render()))
+        return False
+    CERT_DIR.mkdir(parents=True, exist_ok=True)
+    path = CERT_DIR / f"{name}.json"
+    path.write_text(json.dumps(result.certificate(), indent=2, sort_keys=True) + "\n")
+    print(f"{name:16s} certificate written: {path.relative_to(Path.cwd())}")
+    return True
+
+
+def _check_cert(name, recheck, scope, max_states) -> bool:
+    table = default_registry.table_of(name)
+    path = CERT_DIR / f"{name}.json"
+    if not path.exists():
+        print(f"{name:16s} NO CERTIFICATE ({path}); run --write-certs")
+        return False
+    cert = json.loads(path.read_text())
+    if cert.get("table_fingerprint") != table.fingerprint():
+        print(
+            f"{name:16s} STALE certificate: table fingerprint "
+            f"{table.fingerprint()} != certified {cert.get('table_fingerprint')}"
+        )
+        return False
+    if not cert.get("ok"):
+        print(f"{name:16s} certificate records violations; that is not a certificate")
+        return False
+    if recheck:
+        cs = cert["scope"]
+        result = check_table(
+            table,
+            Scope(cs["nodes"], cs["regions"], cs["ops"], cs["epochs"]),
+            max_states=max_states,
+        )
+        if not result.ok:
+            print(f"{name:16s} RECHECK FAILED")
+            for v in result.violations:
+                print(_indent(v.render()))
+            return False
+        print(f"{name:16s} certificate valid (rechecked: {result.states} states)")
+    else:
+        print(f"{name:16s} certificate valid (fingerprint {cert['table_fingerprint']})")
+    return True
+
+
+def _indent(text: str) -> str:
+    return "\n".join("    " + line for line in text.splitlines())
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("protocols", nargs="*", help="protocol names (default: every table-driven one)")
+    ap.add_argument("--nodes", type=int, default=2)
+    ap.add_argument("--regions", type=int, default=1)
+    ap.add_argument("--ops", type=int, default=2)
+    ap.add_argument("--epochs", type=int, default=2)
+    ap.add_argument("--max-states", type=int, default=400_000)
+    ap.add_argument("--seeded", action="store_true", help="also refute every seeded mutation")
+    ap.add_argument("--write-certs", action="store_true", help="record clean results as certificates")
+    ap.add_argument("--check", action="store_true", help="verify committed certificates (CI mode)")
+    ap.add_argument("--recheck", action="store_true", help="with --check: re-enumerate, not just fingerprints")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    scope = Scope(args.nodes, args.regions, args.ops, args.epochs)
+    names = args.protocols or _checkable(default_registry.names())
+    for name in names:
+        if default_registry.table_of(name) is None:
+            ap.error(f"protocol {name!r} has no declarative table")
+
+    ok = True
+    for name in names:
+        if args.check:
+            ok &= _check_cert(name, args.recheck, scope, args.max_states)
+            continue
+        ok &= _run_one(name, scope, args.max_states, args.verbose)
+        if args.seeded:
+            ok &= _run_seeded(name, scope, args.max_states)
+        if args.write_certs:
+            ok &= _write_cert(name, scope, args.max_states)
+    print("model check:", "ok" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
