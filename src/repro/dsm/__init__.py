@@ -32,6 +32,7 @@ from repro.dsm.faults import (
     StallReport,
 )
 from repro.dsm.msi import HW_SC_TABLE, MSI_TABLE, EngineView, engine_view
+from repro.dsm.recovery import Crashed, RecoveryManager
 from repro.dsm.directory import DirEntry, DirectoryService
 from repro.dsm.regioncache import RegionCache
 from repro.dsm.hooks import ProtocolHooks
@@ -44,6 +45,7 @@ __all__ = [
     "BarrierService",
     "CRL_COSTS",
     "CoherenceEngine",
+    "Crashed",
     "DSMCosts",
     "DirEntry",
     "DirectoryEngine",
@@ -58,6 +60,7 @@ __all__ = [
     "OneShot",
     "ProtocolError",
     "ProtocolHooks",
+    "RecoveryManager",
     "RegionCache",
     "RetryPolicy",
     "SimTransport",

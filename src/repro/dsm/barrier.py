@@ -59,7 +59,16 @@ class BarrierService:
         """
         from repro.dsm.faults import SeenOnce
 
-        self._notify_seen = SeenOnce()
+        if transport.recovery is not None and self.algorithm == "dissemination":
+            # Crash recovery shrinks barrier membership through the
+            # manager's crash-aware hw rendezvous; the dissemination
+            # rounds have no membership to shrink (round structure is a
+            # function of n), so the combination cannot survive a death.
+            raise ValueError(
+                "on_crash recovery requires the 'hw' barrier algorithm "
+                "(dissemination rounds cannot shrink membership)"
+            )
+        self._notify_seen = SeenOnce(transport)
         self._reply = transport.reply
         self._request = transport.kit.rpc
         self._on_notify = self._on_notify_r

@@ -142,6 +142,13 @@ class CoherenceEngine:
             checker=checker,
             table=self.table,
         )
+        # Crash recovery, when the fabric carries it: the manager prunes
+        # and re-homes this engine's directory/cache state at each death
+        # declaration (repro.dsm.recovery).  None on every other fabric,
+        # so the registration — like the rest of the recovery machinery —
+        # costs nothing when off.
+        if transport.recovery is not None:
+            transport.recovery.register_engine(self)
         # Public API: the hook generators, bound through (callers drive
         # the hooks frame directly; no adapter generator in between).
         self.create = hooks.create

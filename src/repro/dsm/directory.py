@@ -39,7 +39,16 @@ from repro.sim import Future
 class DirEntry:
     """Home-side directory state for one region."""
 
-    __slots__ = ("owner", "sharers", "home_readers", "home_writing", "busy", "queue", "pending")
+    __slots__ = (
+        "owner",
+        "sharers",
+        "home_readers",
+        "home_writing",
+        "busy",
+        "queue",
+        "pending",
+        "grantee",
+    )
 
     def __init__(self):
         self.owner: int | None = None
@@ -49,10 +58,22 @@ class DirEntry:
         self.busy = False
         self.queue: deque = deque()
         self.pending: dict | None = None
+        #: Node a grant is in flight to while ``busy`` (who we are
+        #: waiting on for the grant-ack) — lets the recovery manager
+        #: clear a window whose grantee died.
+        self.grantee: int | None = None
 
 
 class DirectoryService:
     """Home-side region directory for one (transport, cost table) pair."""
+
+    #: Crash-recovery manager; set by :meth:`enable_recovery`.
+    _recovery = None
+    #: Futures that must be served remote-style even though their source
+    #: is the region's home (see :meth:`enable_recovery`).  The class
+    #: default is an immutable empty set: without recovery nothing is
+    #: ever marked and the membership probes below are constant-false.
+    _remote_self: frozenset = frozenset()
 
     def __init__(
         self,
@@ -122,7 +143,7 @@ class DirectoryService:
         self._dedup = DedupTable(transport, self.prefix)
         self._reply_raw = transport.reply
         self._reply = self._dedup.reply
-        self._ga_seen = SeenOnce()
+        self._ga_seen = SeenOnce(transport)
         self._cat_ga_ack = intern_key(self.prefix, "grant_ack_ack")
         self._h_map_lookup = self._on_map_lookup_r
         self._h_read_req = self._on_read_req_r
@@ -131,6 +152,37 @@ class DirectoryService:
         self._h_flush = self._on_flush_r
         self._begin_recall = self._begin_recall_r
         transport.watchdog.register_directory(self)
+
+    def enable_recovery(self, manager) -> None:
+        """Join crash recovery (called via the composing engine when the
+        transport carries a :class:`~repro.dsm.recovery.RecoveryManager`).
+
+        Classifies this directory's message categories for the manager's
+        in-flight sweep and swaps in the recovery-tolerant invalidation
+        ack collector: after a death, acks from recalls the manager
+        canceled or orphaned are absorbed instead of raising.  The swap
+        happens at construction time, before any recall runs, so every
+        ``on_ack`` partial captures the tolerant bound method.
+        """
+        p = self.prefix
+        manager.register_home_categories(
+            tuple(intern_key(p, op) for op in ("map_lookup", "read_req", "write_req", "flush")),
+            self.regions,
+        )
+        manager.register_push_categories((self._cat_inval,))
+        manager.register_ack_categories((intern_key(p, "grant_ack"),))
+        self._recovery = manager
+        self._apply_inval_ack = self._apply_inval_ack_t
+        # Re-homing can leave a survivor's *remote* miss addressed to
+        # itself: its request to the dead home is retargeted (or was
+        # queued there and re-admitted) after the survivor became the
+        # region's new home.  The requester's continuation is suspended
+        # in the remote-miss epilogue, so the serve path must grant
+        # remote-style (data reply + busy window) — a home-style grant
+        # would open home_readers/home_writing that no continuation ever
+        # closes, wedging the entry.  Such futures are marked here and
+        # consumed by _serve_read/_serve_write.
+        self._remote_self = set()
 
     def wire_cache(self, cache) -> None:
         """Bind the node-side invalidation handler recalls are sent to."""
@@ -210,30 +262,42 @@ class DirectoryService:
 
     def _serve_read(self, region: Region, ent: DirEntry, src: int, fut: Future) -> None:
         if src == region.home:
-            ent.home_readers += 1
-            fut.resolve(None)
-        else:
-            ent.sharers.add(src)
-            # The entry stays busy until the grantee acknowledges install:
-            # otherwise a queued write's invalidation could overtake the
-            # grant data in the network (grant-in-flight race).
-            ent.busy = True
-            self._reply(
-                fut,
-                region.home_data.copy(),
-                payload_words=region.size,
-                category=self._cat_read_data,
-            )
+            if fut in self._remote_self:
+                self._remote_self.discard(fut)  # re-homed self-request
+            else:
+                ent.home_readers += 1
+                fut.resolve(None)
+                return
+        ent.sharers.add(src)
+        # The entry stays busy until the grantee acknowledges install:
+        # otherwise a queued write's invalidation could overtake the
+        # grant data in the network (grant-in-flight race).
+        ent.busy = True
+        ent.grantee = src
+        self._reply(
+            fut,
+            region.home_data.copy(),
+            payload_words=region.size,
+            category=self._cat_read_data,
+        )
 
     def _serve_write(self, region: Region, ent: DirEntry, src: int, fut: Future) -> None:
         if src == region.home:
-            ent.home_writing = True
-            fut.resolve(None)
-            return
+            if fut in self._remote_self:
+                self._remote_self.discard(fut)  # re-homed self-request
+            else:
+                ent.home_writing = True
+                # A re-homed node can hold a sharer-state copy of its own
+                # region; the local grant epilogue reverts it to the home
+                # alias (see hooks), so it stops being a sharer here.
+                ent.sharers.discard(src)
+                fut.resolve(None)
+                return
         had_copy = src in ent.sharers
         ent.sharers.discard(src)
         ent.owner = src
         ent.busy = True  # until grant-ack; see _serve_read
+        ent.grantee = src
         if had_copy:  # upgrade: requester's shared data is current
             self._reply(fut, None, payload_words=1, category=self._cat_upgrade_ack)
         else:
@@ -248,6 +312,7 @@ class DirectoryService:
         region = self.regions.get(rid)
         ent = self.entry(rid)
         ent.busy = False
+        ent.grantee = None
         self._drain(region, ent)
 
     # ------------------------------------------------------------------
@@ -261,10 +326,17 @@ class DirectoryService:
 
     def _on_read_req_r(self, node, src, fut, rid, seq=None):
         if self._dedup.admit(src, seq, fut):
+            # A *fabric* request (seq-numbered; the home's local misses
+            # pass seq=None) from the region's own home only exists
+            # after re-homing: grant it remote-style.  See enable_recovery.
+            if seq is not None and self._recovery is not None and src == self.regions.get(rid).home:
+                self._remote_self.add(fut)
             self._on_read_req(node, src, fut, rid)
 
     def _on_write_req_r(self, node, src, fut, rid, seq=None):
         if self._dedup.admit(src, seq, fut):
+            if seq is not None and self._recovery is not None and src == self.regions.get(rid).home:
+                self._remote_self.add(fut)
             self._on_write_req(node, src, fut, rid)
 
     def _on_flush_r(self, node, src, fut, rid, data, seq=None):
@@ -281,6 +353,7 @@ class DirectoryService:
             region = self.regions.get(rid)
             ent = self.entry(rid)
             ent.busy = False
+            ent.grantee = None
             self._drain(region, ent)
         self._reply_raw(fut, None, payload_words=1, category=self._cat_ga_ack)
 
@@ -346,6 +419,45 @@ class DirectoryService:
             self._serve_read(region, ent, pending["src"], pending["fut"])
         else:
             self._serve_write(region, ent, pending["src"], pending["fut"])
+        self._drain(region, ent)
+
+    def _apply_inval_ack_t(self, rid, target, mode, data):
+        """Recovery-tolerant ack collector (see :meth:`enable_recovery`).
+
+        Two departures from the strict version: an ack with no pending
+        recall is counted and dropped instead of raising (the manager
+        canceled the recall when its home died — every surviving ack is
+        then structurally stray), and a recall whose requester died
+        (``orphan`` mark) completes without serving anyone.
+        """
+        region = self.regions.get(rid)
+        ent = self.entry(rid)
+        pending = ent.pending
+        if pending is None:
+            self._recovery.count_stray_ack()
+            return
+        if data is not None:
+            np.copyto(region.home_data, data)
+        if ent.owner == target:
+            ent.owner = None
+        ent.sharers.discard(target)
+        if mode in self._sharer_modes and target != region.home:
+            # A recalled copy *on the home node itself* (a re-homed
+            # survivor that was granted remote-style) reverts to the
+            # home alias, not to a sharer copy — the hr/hw admission
+            # gate is the home's coherence mechanism, so it must not
+            # be re-listed as a sharer.  See regioncache._apply_inval.
+            ent.sharers.add(target)
+        pending["need"] -= 1
+        if pending["need"] > 0:
+            return
+        ent.busy = False
+        ent.pending = None
+        if not pending.get("orphan"):
+            if pending["kind"] == "read":
+                self._serve_read(region, ent, pending["src"], pending["fut"])
+            else:
+                self._serve_write(region, ent, pending["src"], pending["fut"])
         self._drain(region, ent)
 
     # ------------------------------------------------------------------

@@ -144,6 +144,16 @@ class FaultPlan:
         """A permanently silent link from cycle ``at`` on (stall test)."""
         return cls(seed=seed, link_down={(src, dst): at})
 
+    @classmethod
+    def crash(cls, node: int, at: int, seed: int = 0,
+              faults: LinkFaults | None = None) -> "FaultPlan":
+        """Crash-stop ``node`` at cycle ``at`` (recovery scenarios).
+
+        ``faults`` optionally layers lossy-link behavior on top, so one
+        plan can exercise retry/dedup *and* crash recovery together.
+        """
+        return cls(seed=seed, default=faults or LinkFaults(), crashes={node: at})
+
     # -- serialization (chaos artifacts) --------------------------------
     def to_dict(self) -> dict:
         return {
@@ -212,9 +222,16 @@ class StallReport:
     tasks: list  # [{"task": name, "waiting_on": future name}, ...]
     in_flight: list  # [{"category", "src", "dst", "region", "attempts", ...}, ...]
     directory: list  # non-quiescent DirEntry dumps
+    #: Nodes most likely responsible for the stall: destinations of
+    #: repeatedly-retried in-flight calls (the silent ends of the stuck
+    #: links), the tripping call's destination — or the failure
+    #: detector's declared-dead node — first.
+    suspects: list = field(default_factory=list)
 
     def summary(self) -> str:
         lines = [f"stall at cycle {self.now}: {self.reason}"]
+        if self.suspects:
+            lines.append("suspects: " + ", ".join(f"node {n}" for n in self.suspects))
         if self.tasks:
             lines.append(
                 "blocked: "
@@ -239,6 +256,7 @@ class StallReport:
         return {
             "now": self.now,
             "reason": self.reason,
+            "suspects": self.suspects,
             "tasks": self.tasks,
             "in_flight": self.in_flight,
             "directory": self.directory,
@@ -297,9 +315,15 @@ class LivenessWatchdog:
             for t in blocked
         ]
         in_flight = []
+        suspects: list = []
         if self.kit is not None:
             for pend in sorted(self.kit.pending.values(), key=lambda p: p.seq):
                 in_flight.append(self._describe(pend))
+                # A destination that has eaten retries without acking is
+                # the silent end of a stuck link: a prime suspect.
+                if pend.attempts >= 2 and pend.dst not in suspects:
+                    suspects.append(pend.dst)
+        suspects.sort()
         directory = []
         for d in self._directories:
             directory.extend(d.dump_state())
@@ -310,6 +334,7 @@ class LivenessWatchdog:
             tasks=tasks,
             in_flight=in_flight,
             directory=directory,
+            suspects=suspects,
         )
 
     def _describe(self, pend: "_PendingCall") -> dict:
@@ -341,7 +366,10 @@ class LivenessWatchdog:
             f"{desc['category']}{region} from node {desc['src']} to node {desc['dst']} "
             f"unacknowledged after {pend.attempts} attempts"
         )
-        raise StallError(self.report(reason))
+        report = self.report(reason)
+        # The tripping call's destination leads the suspect list.
+        report.suspects = [pend.dst] + [s for s in report.suspects if s != pend.dst]
+        raise StallError(report)
 
 
 def _short(value):
@@ -357,6 +385,18 @@ def _short(value):
 # ---------------------------------------------------------------------------
 # home-side dedup
 # ---------------------------------------------------------------------------
+#: Dedup-table GC: a settled entry may be purged once its seq is below
+#: the retry kit's low watermark (no in-flight call could still produce
+#: a duplicate of it at the sender) AND it has aged past the longest
+#: delay any in-the-wire duplicate could still carry.  Both conditions
+#: are required — a watermark alone misses a fault-delayed duplicate of
+#: an already-settled call, which must hit the recorded-reply path, not
+#: re-execute the handler.
+_GC_LAG = 250_000
+#: Amortization: scan for purgeable entries every this many recordings.
+_GC_EVERY = 1024
+
+
 class DedupTable:
     """Exactly-once admission for sequence-numbered reliable requests.
 
@@ -367,9 +407,23 @@ class DedupTable:
     re-transmitted without re-executing the handler.  Local calls
     (``seq is None`` — same-node requests never retransmit) bypass the
     table entirely.
+
+    Recorded replies are garbage-collected (see ``_GC_LAG``) so the
+    table plateaus instead of growing for the whole run.
     """
 
-    __slots__ = ("_reply", "_counts", "_k_dup", "_k_replay", "_inflight", "_fut_keys", "_sent")
+    __slots__ = (
+        "_reply",
+        "_counts",
+        "_k_dup",
+        "_k_replay",
+        "_inflight",
+        "_fut_keys",
+        "_sent",
+        "_sim",
+        "_kit",
+        "_since_gc",
+    )
 
     def __init__(self, transport: Transport, prefix: str):
         self._reply = transport.reply
@@ -378,7 +432,10 @@ class DedupTable:
         self._k_replay = intern_key(prefix, "replayed_reply")
         self._inflight: set = set()
         self._fut_keys: dict = {}  # fut -> (src, seq), popped at reply
-        self._sent: dict = {}  # (src, seq) -> (value, payload_words, category)
+        self._sent: dict = {}  # (src, seq) -> (value, payload_words, category, cycle)
+        self._sim = transport.sim
+        self._kit = transport.kit
+        self._since_gc = 0
 
     def admit(self, src: int, seq: int | None, fut: Future) -> bool:
         """True exactly once per logical request; replays recorded replies."""
@@ -387,7 +444,7 @@ class DedupTable:
         key = (src, seq)
         sent = self._sent.get(key)
         if sent is not None:
-            value, payload_words, category = sent
+            value, payload_words, category, _stamp = sent
             self._counts[self._k_replay] += 1
             self._reply(fut, value, payload_words=payload_words, category=category)
             return False
@@ -403,17 +460,43 @@ class DedupTable:
         key = self._fut_keys.pop(fut, None)
         if key is not None:
             self._inflight.discard(key)
-            self._sent[key] = (value, payload_words, category)
+            self._sent[key] = (value, payload_words, category, self._sim.now)
+            self._since_gc += 1
+            if self._since_gc >= _GC_EVERY:
+                self._gc()
         self._reply(fut, value, payload_words=payload_words, category=category)
+
+    def _gc(self) -> None:
+        self._since_gc = 0
+        watermark = _kit_watermark(self._kit)
+        horizon = self._sim.now - _GC_LAG
+        sent = self._sent
+        for key in [k for k, v in sent.items() if k[1] < watermark and v[3] < horizon]:
+            del sent[key]
+
+
+def _kit_watermark(kit) -> int:
+    """Lowest seq a sender could still retransmit (no pending → next seq)."""
+    if kit.pending:
+        return min(kit.pending)
+    return kit._seq
 
 
 class SeenOnce:
-    """Dedup for one-way ack'd notifications keyed ``(src, seq)``."""
+    """Dedup for one-way ack'd notifications keyed ``(src, seq)``.
 
-    __slots__ = ("_seen",)
+    Pass the (fault) transport to enable the same watermark+age GC as
+    :class:`DedupTable`; without it the set grows for the whole run
+    (the original, unbounded behavior).
+    """
 
-    def __init__(self):
-        self._seen: set = set()
+    __slots__ = ("_seen", "_sim", "_kit", "_since_gc")
+
+    def __init__(self, transport: Transport | None = None):
+        self._seen: dict = {}  # (src, seq) -> cycle recorded
+        self._sim = transport.sim if transport is not None else None
+        self._kit = transport.kit if transport is not None else None
+        self._since_gc = 0
 
     def first(self, src: int, seq: int | None) -> bool:
         if seq is None:
@@ -421,8 +504,22 @@ class SeenOnce:
         key = (src, seq)
         if key in self._seen:
             return False
-        self._seen.add(key)
+        if self._sim is not None:
+            self._seen[key] = self._sim.now
+            self._since_gc += 1
+            if self._since_gc >= _GC_EVERY:
+                self._gc()
+        else:
+            self._seen[key] = 0
         return True
+
+    def _gc(self) -> None:
+        self._since_gc = 0
+        watermark = _kit_watermark(self._kit)
+        horizon = self._sim.now - _GC_LAG
+        seen = self._seen
+        for key in [k for k, stamp in seen.items() if k[1] < watermark and stamp < horizon]:
+            del seen[key]
 
 
 # ---------------------------------------------------------------------------
@@ -440,8 +537,19 @@ class FaultTransport(Transport):
     """
 
     reliable = False
+    #: Cluster generation: bumped by the recovery manager at each death
+    #: declaration.  Reliable calls are stamped with the epoch they were
+    #: issued in (:attr:`_PendingCall.epoch`); the fabric fence installed
+    #: at a death discards traffic from/to dead incarnations.
+    epoch = 0
 
-    def __init__(self, fabric, plan: FaultPlan, retry_policy: RetryPolicy | None = None):
+    def __init__(
+        self,
+        fabric,
+        plan: FaultPlan,
+        retry_policy: RetryPolicy | None = None,
+        on_crash: str | None = None,
+    ):
         base = as_transport(fabric)
         machine = base.machine
         if machine is None:
@@ -475,6 +583,16 @@ class FaultTransport(Transport):
         self.watchdog = LivenessWatchdog(self)
         self.retry_policy = retry_policy or RetryPolicy()
         self.kit = RetryKit(self, self.retry_policy, self.watchdog)
+        if on_crash is not None:
+            # Constructed last so the manager can wrap fully-initialized
+            # transport surfaces (hw_barrier, _verdict).  Services built
+            # on top of this transport find it as ``self.recovery`` and
+            # register themselves — with on_crash unset this attribute
+            # stays the Transport class default (None) and no recovery
+            # code exists anywhere in the run.
+            from repro.dsm.recovery import RecoveryManager
+
+            self.recovery = RecoveryManager(self, on_crash)
 
     # -- Transport operations -------------------------------------------
     def request(self, src, dst, handler, *args, payload_words: int = 0, category: str = "am.request"):
@@ -640,9 +758,10 @@ class _PendingCall:
         "category",
         "attempts",
         "born",
+        "epoch",
     )
 
-    def __init__(self, seq, fut, src, dst, handler, args, call_args, payload_words, category, born):
+    def __init__(self, seq, fut, src, dst, handler, args, call_args, payload_words, category, born, epoch):
         self.seq = seq
         self.fut = fut
         self.src = src
@@ -654,6 +773,7 @@ class _PendingCall:
         self.category = category
         self.attempts = 0
         self.born = born
+        self.epoch = epoch  # cluster generation the call was issued in
 
 
 class RetryKit:
@@ -703,6 +823,7 @@ class RetryKit:
             payload_words,
             category,
             self._transport.sim.now,
+            self._transport.epoch,
         )
         self.pending[seq] = pend
         self._counts[self._k_calls] += 1
@@ -744,6 +865,12 @@ class RetryKit:
         return fut
 
     def _check(self, pend: _PendingCall) -> None:
+        if self.pending.get(pend.seq) is not pend:
+            # Completed (rpc pops on return) or canceled — the crash
+            # recovery sweep removes abandoned calls from the table, and
+            # their orphaned retry timers must go quiet instead of
+            # retrying into the fence until the watchdog trips.
+            return
         fut = pend.fut
         if fut._value is not _UNSET or fut._exc is not None:
             self.pending.pop(pend.seq, None)

@@ -256,6 +256,13 @@ class ProtocolHooks:
         if nid == region.home:
             self._h_read_req(self._nodes[nid], nid, fut, region.rid)
             yield fut
+            if copy.state != self._home_state:
+                # Post-recovery only: a re-homed node's copy can sit in
+                # a remote state.  A home-style grant (home_readers now
+                # open) makes it the home view again — end_read closes
+                # the access through the home path.
+                copy.data = region.home_data
+                copy.state = self._home_state
         else:
             data = yield from self._rpc(
                 nid,
@@ -318,6 +325,10 @@ class ProtocolHooks:
         if nid == region.home:
             self._h_write_req(self._nodes[nid], nid, fut, region.rid)
             yield fut
+            if copy.state != self._home_state:
+                # Post-recovery only; see start_read's local branch.
+                copy.data = region.home_data
+                copy.state = self._home_state
         else:
             data = yield from self._rpc(
                 nid,

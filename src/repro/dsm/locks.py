@@ -92,13 +92,15 @@ class LockService:
         self._dedup = DedupTable(transport, self.prefix)
         self._reply_raw = transport.reply
         self._reply = self._dedup.reply
-        self._rel_seen = SeenOnce()
+        self._rel_seen = SeenOnce(transport)
         self._cat_rel_ack = intern_key(self.prefix, "rel_ack")
         self._rpc = self._kit.rpc
         self._h_acquire = self._on_acquire_r
         self._h_release = self._on_release_r
         self.release = self._release_r
         transport.watchdog.register_rid_categories((self._cat_req, self._cat_rel))
+        if transport.recovery is not None:
+            transport.recovery.register_locks(self)
 
     def _state(self, region) -> _LockState:
         st = region.meta.get(self._key)
@@ -190,6 +192,37 @@ class LockService:
         if self._rel_seen.first(src, seq):
             self._on_release(node, src, rid)
         self._reply_raw(fut, None, payload_words=1, category=self._cat_rel_ack)
+
+    def break_dead(self, dead: int, manager) -> int:
+        """Crash recovery: break locks the dead node holds, prune its waits.
+
+        A lock held by a crashed node would block its FIFO queue forever
+        (the release can never arrive) — the manager calls this at each
+        death declaration to re-grant to the next *live* waiter.  Dead
+        waiters are dropped (their acquire calls were already abandoned
+        by the in-flight sweep).  Returns the number of broken holds.
+        """
+        broken = 0
+        for region in self.regions.all_regions():
+            st = region.meta.get(self._key)
+            if st is None:
+                continue
+            if any(src == dead for src, _ in st.waiters):
+                st.waiters = deque(item for item in st.waiters if item[0] != dead)
+            if st.holder != dead:
+                continue
+            broken += 1
+            if self._obs is not None:
+                self._obs.emit(
+                    self._sim.now, "lock.broken", node=dead, data={"rid": region.rid}
+                )
+            if st.waiters:
+                nxt, fut = st.waiters.popleft()
+                st.holder = nxt
+                self._grant(nxt, fut, region.rid)
+            else:
+                st.holder = None
+        return broken
 
     def _grant(self, dst: int, fut, rid) -> None:
         if self._obs is not None:

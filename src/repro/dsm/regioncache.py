@@ -31,6 +31,10 @@ from repro.memory import Region, RegionCopy, RegionDirectory
 class RegionCache:
     """Per-node cached-copy tables and the invalidation receive side."""
 
+    #: writeback log, a dict only on recovery-enabled fabrics (see
+    #: _install_reliable) — class default keeps the probe one attr read.
+    _wb_log = None
+
     def __init__(
         self,
         transport: Transport,
@@ -122,6 +126,17 @@ class RegionCache:
         self._reply = transport.reply
         self._h_inval_req = self._on_inval_req_r
         self._fire_deferred = self._fire_deferred_r
+        if transport.recovery is not None:
+            # Crash recovery can re-issue a recall this node already
+            # applied (the re-homed successor cannot know which of the
+            # old home's invalidations landed) — tolerate instead of
+            # treating a missing copy as a protocol bug.
+            self._h_inval_req = self._on_inval_req_rt
+            # (nid, rid) -> data of this node's last applied dirty
+            # writeback: if the ack carrying it dies with the home, the
+            # re-homed rebuild adopts it from here instead of losing a
+            # surviving node's writes.
+            self._wb_log: dict = {}
 
     def wire_directory(self, directory) -> None:
         """Bind the home-side handler invalidation acks are sent to."""
@@ -176,6 +191,15 @@ class RegionCache:
         # The table's next-state map for this recall mode; states it
         # does not cover (already invalid, home alias) keep their state.
         copy.state = self._inval_next[mode].get(st, st)
+        if copy.node == region.home and copy.state != self._home_state:
+            # Only possible after crash recovery: the re-homed successor
+            # held a remote-state copy of its own region (it was granted
+            # remote-style mid-re-home).  A recall returns it to the home
+            # alias — its writeback (captured above) rides the ack and
+            # lands in home_data like any owner's, and from here on the
+            # hr/hw admission gate keeps the home's accesses coherent.
+            copy.data = region.home_data
+            copy.state = self._home_state
         if self._obs is not None:
             self._trace_state(copy.node, region.rid, copy.state)
         payload = region.size if dirty else self.costs.meta_words
@@ -225,6 +249,8 @@ class RegionCache:
         st = copy.state
         dirty = st in self._dirty_states
         data = copy.data.copy() if dirty else None
+        if dirty and self._wb_log is not None:
+            self._wb_log[(copy.node, region.rid)] = data
         copy.state = self._inval_next[mode].get(st, st)
         if self._obs is not None:
             self._trace_state(copy.node, region.rid, copy.state)
@@ -241,3 +267,18 @@ class RegionCache:
         while deferred:
             mode, fut, seq = deferred.pop(0)
             self._apply_inval_r(copy, mode, fut, seq)
+
+    def _on_inval_req_rt(self, node, src_home, fut, rid, mode, seq=None):
+        """Recovery-tolerant invalidation receive (see _install_reliable):
+        an invalidation for a copy this node no longer holds is already
+        satisfied — ack it idempotently."""
+        if self.tables[node.nid].get(rid) is None and self._inval_done.get(seq) is None:
+            payload = self.costs.meta_words
+            if seq is not None:
+                self._inval_done[seq] = (None, payload)
+            self._after(
+                self.costs.inval_handler,
+                partial(self._reply, fut, None, payload_words=payload, category=self._cat_inval_ack),
+            )
+            return
+        self._on_inval_req_r(node, src_home, fut, rid, mode, seq)

@@ -67,6 +67,13 @@ class Transport:
 
     machine: object | None = None
     reliable: bool = True
+    #: Crash-recovery manager (:class:`repro.dsm.recovery.RecoveryManager`)
+    #: or ``None``.  Only :class:`~repro.dsm.faults.FaultTransport`
+    #: constructed with ``on_crash=`` ever sets it; every layer that can
+    #: participate in recovery (directory, locks, protocols, collectors)
+    #: checks this attribute at construction and registers itself when
+    #: present — the same swap-at-construction idiom as ``reliable``.
+    recovery = None
 
     def request(self, src: int, dst: int, handler: Callable, *args, **kw):
         raise NotImplementedError

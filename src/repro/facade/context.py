@@ -229,6 +229,7 @@ def run_spmd(
     tracer=None,
     fault_plan=None,
     retry_policy=None,
+    on_crash: str | None = None,
     check: bool = False,
     **backend_kwargs,
 ) -> RunResult:
@@ -248,6 +249,16 @@ def run_spmd(
     timeout/backoff schedule.  With ``fault_plan=None`` no fault
     machinery is constructed and cycles are bit-identical to earlier
     releases.
+
+    ``on_crash`` (``"recover"`` or ``"abort"``; requires a
+    ``fault_plan``) arms crash recovery (DESIGN.md §15): a
+    :class:`~repro.dsm.recovery.RecoveryManager` heartbeats the nodes,
+    and a crash-stop fault is *handled* — under ``"recover"`` the dead
+    node's task retires with a :class:`~repro.dsm.recovery.Crashed`
+    result marker, its regions re-home, and the survivors continue;
+    under ``"abort"`` the run raises a prompt, suspect-attributed
+    :class:`~repro.dsm.faults.StallError` at detection instead of
+    stalling to retry exhaustion.
 
     ``check=True`` runs the dynamic sanitizer (Ace backend only): a
     :class:`~repro.sanitize.dynamic.DynamicChecker` observes every
@@ -271,15 +282,27 @@ def run_spmd(
         cfg = cfg.with_(n_procs=n_procs)
     machine = Machine(sim, cfg, tracer=tracer)
     fabric = machine
+    if on_crash is not None and fault_plan is None:
+        raise ValueError("on_crash requires a fault_plan (crashes are plan faults)")
     if fault_plan is not None:
         from repro.dsm.faults import FaultTransport
 
-        fabric = FaultTransport(machine, fault_plan, retry_policy=retry_policy)
+        fabric = FaultTransport(machine, fault_plan, retry_policy=retry_policy, on_crash=on_crash)
     be = factory(fabric, **backend_kwargs)
     ctxs = [NodeContext(be, i) for i in range(n_procs)]
-    results = sim.run_all((program(ctx) for ctx in ctxs), prefix="proc")
+    if on_crash is None:
+        results = sim.run_all((program(ctx) for ctx in ctxs), prefix="proc")
+    else:
+        # The recovery manager needs the task handles (to retire a dead
+        # node's task with a Crashed result), so spawn explicitly.
+        tasks = [sim.spawn(program(ctx), name=f"proc{i}") for i, ctx in enumerate(ctxs)]
+        fabric.recovery.start(tasks)
+        sim.run()
+        results = [t.done.result() for t in tasks]
     # A leftover push_phase would misattribute everything counted after
     # it; surface the imbalance at the run boundary with the open stack
     # (machine.stats.PhaseScopeError) instead of silently mis-scoping.
-    machine.stats.require_balanced()
+    # A crashed node 0 dies mid-phase by design — skip the check then.
+    if on_crash is None or not fabric.recovery.dead:
+        machine.stats.require_balanced()
     return RunResult(time=sim.now, results=results, machine=machine, backend=be)

@@ -1,0 +1,97 @@
+"""Shared ring-write workload for crash-recovery scenarios.
+
+The chaos harness's ``--crash`` matrix, the tier-1 recovery smokes,
+and the tier-2 hypothesis sweep all drive the same program: node *i*
+allocates one region (homed at *i*) and repeatedly writes the region
+homed at its ring successor ``(i + 1) % n`` across barrier-separated
+rounds, then reads its written region back and returns the snapshot.
+
+Each round, node *i* also reads the region homed at ``(i + 2) % n``
+(the one node ``i + 1`` writes), so every node touches the fabric every
+round — the writer's invalidations/updates keep hitting the reader's
+copy.  Without that, a writer that held its region exclusively would go
+quiet on the network and a mid-run crash would be *unobservable*.
+
+The shape is chosen so recovery outcomes are checkable:
+
+* every region has exactly **one writer** (node ``home - 1``), so the
+  workload is legal under single-writer protocols (DynamicUpdate) and
+  under invalidation protocols alike;
+* a survivor's return value depends **only on its own writes**, so
+  after a crash the survivors' results must equal the crash-free
+  baseline's results for the same nodes, bit for bit (the cross reads
+  are traffic, not part of the returned value);
+* the crashed node's region is written by a *survivor* and read by
+  another, so re-homing sits on the hot path: both keep hitting the
+  region straight through the epoch transition.
+
+``n_procs`` must be at least 3 so the written and read regions are
+distinct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ring_program", "expected_result", "locked_counter_program"]
+
+
+def round_values(nid: int, rnd: int, size: int) -> np.ndarray:
+    """Deterministic payload for node ``nid``'s write in round ``rnd``."""
+    return np.arange(size, dtype=np.float64) + 1000.0 * (rnd + 1) + nid
+
+
+def expected_result(nid: int, rounds: int, size: int) -> np.ndarray:
+    """What node ``nid`` returns when it survives all ``rounds``."""
+    return round_values(nid, rounds - 1, size)
+
+
+def ring_program(protocol: str = "SC", rounds: int = 4, size: int = 8):
+    """Build the SPMD ring-write program (fresh shared state per call)."""
+    shared: dict = {}
+
+    def prog(ctx):
+        n = ctx.n_procs
+        sid = yield from ctx.new_space(protocol)
+        rid = yield from ctx.gmalloc(sid, size)
+        shared[ctx.nid] = rid
+        yield from ctx.barrier()
+        handle = yield from ctx.map(shared[(ctx.nid + 1) % n])
+        watch = yield from ctx.map(shared[(ctx.nid + 2) % n])
+        for rnd in range(rounds):
+            yield from ctx.write_region(handle, round_values(ctx.nid, rnd, size))
+            yield from ctx.read_region(watch)
+            yield from ctx.barrier()
+            yield from ctx.compute(500)
+        data = yield from ctx.read_region(handle)
+        yield from ctx.barrier()
+        return data
+
+    return prog
+
+
+def locked_counter_program(increments: int = 3):
+    """Lock-protected shared counter: every node adds ``increments``
+    under the region lock.  Used to show a dead lock holder's lock is
+    broken and re-granted (the counter keeps advancing)."""
+    shared: dict = {}
+
+    def prog(ctx):
+        sid = yield from ctx.new_space("SC")
+        if ctx.nid == 0:
+            shared["rid"] = yield from ctx.gmalloc(sid, 1)
+        yield from ctx.barrier()
+        rid = shared["rid"]
+        handle = yield from ctx.map(rid)
+        for _ in range(increments):
+            yield from ctx.lock(rid)
+            yield from ctx.start_write(handle)
+            handle.data[0] += 1.0
+            yield from ctx.end_write(handle)
+            yield from ctx.unlock(rid)
+            yield from ctx.compute(200)
+        yield from ctx.barrier()
+        value = yield from ctx.read_region(handle)
+        return float(value[0])
+
+    return prog

@@ -45,6 +45,16 @@ class AckCollector:
         self.machine = transport.machine
         self._post = transport.post
         self.name = name
+        # Crash recovery (None on every other fabric): open fan-outs
+        # track their unacked target set so the manager can shrink a
+        # collective whose member died instead of waiting forever.
+        self._recovery = transport.recovery
+        self._open: list = []
+        if self._recovery is not None:
+            self._recovery.register_collector(self)
+            # Acks keep the pending set exact (instance-attribute swap,
+            # so reliable/non-recovery fabrics run the original path).
+            self._on_ack = self._on_ack_tracked
 
     def fan_out(self, src: int, targets, handler, *args, payload_words=0, category=None):
         """Post ``handler(node, src, *args, collector_state)`` to each
@@ -55,6 +65,10 @@ class AckCollector:
             done.resolve(None)
             return done
         state = {"need": len(targets), "done": done}
+        if self._recovery is not None:
+            state["pending"] = set(targets)
+            self._open.append(state)
+            done.add_callback(lambda _fut, _s=state: self._open.remove(_s))
         for t in targets:
             self._post(
                 src,
@@ -73,6 +87,24 @@ class AckCollector:
         if state["need"] == 0:
             state["done"].resolve(None)
 
+    def on_node_dead(self, dead: int, manager) -> None:
+        """Crash recovery: ack open fan-outs on the dead member's behalf.
+
+        Handlers that ack through :meth:`_on_ack` keep the pending set
+        exact (``need == len(pending)``); direct :meth:`ack` calls leave
+        it an over-approximation, in which case the dead member may
+        already have acked — the guard below shrinks only when the set
+        is provably exact, so a death can never double-count an ack
+        (the worst case is waiting out a retry that will not come,
+        which is what the non-recovery fabric would do anyway)."""
+        for state in list(self._open):
+            pending = state["pending"]
+            if dead not in pending:
+                continue
+            pending.discard(dead)
+            if state["need"] > len(pending):
+                self.ack(state)
+
     def post_ack(self, src: int, dst: int, state, category=None) -> None:
         """Send the ack message back to the fan-out's origin."""
         self._post(
@@ -85,6 +117,10 @@ class AckCollector:
         )
 
     def _on_ack(self, node, src, state):
+        self.ack(state)
+
+    def _on_ack_tracked(self, node, src, state):
+        state["pending"].discard(src)
         self.ack(state)
 
 

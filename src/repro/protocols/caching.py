@@ -52,7 +52,7 @@ class CachedCopyProtocol(Protocol):
             self._kit = transport.kit
             self._rpc = self._kit.rpc
             self._dedup = DedupTable(transport, f"proto.{self.spec.name}")
-            self._push_seen = SeenOnce()
+            self._push_seen = SeenOnce(transport)
 
     # -- data management ----------------------------------------------
     def create(self, nid: int, size: int):
@@ -81,9 +81,13 @@ class CachedCopyProtocol(Protocol):
                 payload_words=2,  # request is metadata-only; the reply carries data
                 category=f"proto.{self.spec.name}.fetch",
             )
-            np.copyto(copy.data, data)
-            copy.state = "valid"
-            self._after_fetch(nid, copy, extra)
+            if nid != region.home:
+                np.copyto(copy.data, data)
+                copy.state = "valid"
+                self._after_fetch(nid, copy, extra)
+            # else: the home died mid-fetch and this node is the re-homed
+            # successor — on_node_dead already made this copy the home
+            # alias; the retargeted reply must not demote it to "valid".
         self._count("map_cold")
         copy.mapped = True
         return copy
@@ -129,6 +133,28 @@ class CachedCopyProtocol(Protocol):
 
     def _after_fetch(self, nid: int, copy: RegionCopy, extra) -> None:
         """Requester-side hook after a fetched copy is installed."""
+
+    # -- crash recovery ---------------------------------------------------
+    def _register_recovery(self, manager) -> None:
+        super()._register_recovery(manager)
+        # A fetch whose home died is retargeted to the region's new home
+        # (the handler is idempotent, so a duplicate delivery is safe).
+        manager.register_home_categories((f"proto.{self.spec.name}.fetch",), self.regions)
+
+    def on_node_dead(self, dead: int, manager, rehomed: dict) -> None:
+        """Base shrink for cached-copy protocols: the dead node's copies
+        are gone, and the successor's copy of a re-homed region becomes
+        the home copy (home data is the surviving authority for this
+        protocol family — homes apply state synchronously)."""
+        self._copies[dead].clear()
+        for rid, region in rehomed.items():
+            copy = self._copies[region.home].get(rid)
+            if copy is not None and copy.state != "home":
+                if self.ALIAS_HOME:
+                    copy.data = region.home_data
+                else:
+                    np.copyto(copy.data, region.home_data)
+                copy.state = "home"
 
     # -- lifecycle -------------------------------------------------------
     def flush_node(self, nid: int):

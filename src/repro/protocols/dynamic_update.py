@@ -92,6 +92,10 @@ class DynamicUpdateProtocol(CachedTableProtocol):
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
         self._sharers: dict[int, set[int]] = {}
+        #: recovery-active only: (src, seq) -> {"rid", "data", "state"}
+        #: for updates whose fan-out has not fully acked (a dead home
+        #: strands these; on_node_dead re-issues from the new home).
+        self._open_updates: dict = {}
 
     def _fetch_extra(self, rid: int, src: int):
         self._sharers.setdefault(rid, set()).add(src)
@@ -133,18 +137,32 @@ class DynamicUpdateProtocol(CachedTableProtocol):
         done.add_callback(
             lambda _: reply(fut, None, payload_words=1, category="proto.DynamicUpdate.update_ack")
         )
-        self._fan_out(region, data, exclude=src, done=done)
+        state = self._fan_out(region, data, exclude=src, done=done)
+        if self._recovery is not None and state is not None and seq is not None:
+            # If the home dies mid-fan-out the writer would stall on the
+            # update ack forever; record enough to re-issue the pushes
+            # from the successor home.
+            key = (src, seq)
+            self._open_updates[key] = {"rid": rid, "data": data, "state": state}
+            done.add_callback(lambda _fut, _k=key: self._open_updates.pop(_k, None))
 
-    def _fan_out(self, region, data, exclude: int, done: Future) -> None:
+    def _fan_out(self, region, data, exclude: int, done: Future):
         """Multicast ``data`` to every sharer except ``exclude``; resolve
-        ``done`` when all have acknowledged."""
+        ``done`` when all have acknowledged.  Returns the fan-out state
+        dict (None when there was nothing to send)."""
         targets = sorted(self._sharers.get(region.rid, set()) - {exclude, region.home})
         if not targets:
             done.resolve(None)
-            return
+            return None
         state = {"need": len(targets), "done": done}
         if self._kit is not None:
+            track = self._recovery is not None
+            if track:
+                state["pending"] = set(targets)
             for t in targets:
+                on_ack = (
+                    partial(self._ack_target, state, t) if track else partial(self._ack_state, state)
+                )
                 self._kit.post(
                     region.home,
                     t,
@@ -153,9 +171,9 @@ class DynamicUpdateProtocol(CachedTableProtocol):
                     data,
                     payload_words=region.size,
                     category="proto.DynamicUpdate.push",
-                    on_ack=partial(self._ack_state, state),
+                    on_ack=on_ack,
                 )
-            return
+            return state
         for t in targets:
             self.transport.post(
                 region.home,
@@ -167,6 +185,7 @@ class DynamicUpdateProtocol(CachedTableProtocol):
                 payload_words=region.size,
                 category="proto.DynamicUpdate.push",
             )
+        return state
 
     def _on_apply(self, node, src, rid, data, state):
         copy = self._copies[node.nid].get(rid)
@@ -197,3 +216,46 @@ class DynamicUpdateProtocol(CachedTableProtocol):
         state["need"] -= 1
         if state["need"] == 0:
             state["done"].resolve(None)
+
+    # -- crash recovery ---------------------------------------------------
+    def _ack_target(self, state: dict, target: int, _value=None) -> None:
+        state["pending"].discard(target)
+        self._ack_state(state)
+
+    def _register_recovery(self, manager) -> None:
+        super()._register_recovery(manager)
+        manager.register_home_categories(("proto.DynamicUpdate.update",), self.regions)
+        manager.register_push_categories(("proto.DynamicUpdate.push",))
+
+    def on_node_dead(self, dead: int, manager, rehomed: dict) -> None:
+        """Shrink the sharer sets and finish fan-outs a dead home stranded.
+
+        Pushes *to* a dead sharer were fake-acked by the manager's sweep
+        (their ``_ack_target`` already ran); pushes *from* a dead home
+        were abandoned, so the writer's update would never complete.
+        The successor home re-issues those pushes — ``home_data`` (which
+        the old home applied before dying and the successor adopted)
+        carries exactly the in-flight update's contents.
+        """
+        super().on_node_dead(dead, manager, rehomed)
+        for sharers in self._sharers.values():
+            sharers.discard(dead)
+        for _key, entry in sorted(self._open_updates.items()):
+            pending = entry["state"].get("pending")
+            if not pending or entry["rid"] not in rehomed:
+                continue
+            region = rehomed[entry["rid"]]
+            for t in sorted(pending):
+                if t in manager.dead:
+                    self._ack_target(entry["state"], t)
+                else:
+                    self._kit.post(
+                        region.home,
+                        t,
+                        self._on_apply_r,
+                        region.rid,
+                        entry["data"],
+                        payload_words=region.size,
+                        category="proto.DynamicUpdate.push",
+                        on_ack=partial(self._ack_target, entry["state"], t),
+                    )

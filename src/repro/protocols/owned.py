@@ -254,6 +254,15 @@ class OwnedProtocol(TableProtocol):
     CREATE_COST = OWNED_TABLE.cost("create")
     MAP_COST = OWNED_TABLE.cost("map")
 
+    #: Futures that must be granted remote-style even though their
+    #: source is the region's home: after re-homing, a survivor can be
+    #: suspended in the *remote* fetch epilogue of a request now
+    #: addressed to itself (retargeted, re-admitted, or issued from a
+    #: remote-state copy of its own region).  A home-style grant would
+    #: open hr/hw that the table's remote rows never close.  Immutable
+    #: empty default: nothing is ever marked without recovery.
+    _remote_self: frozenset = frozenset()
+
     def __init__(self, runtime, space):
         super().__init__(runtime, space)
         n = self.transport.n_procs
@@ -279,7 +288,7 @@ class OwnedProtocol(TableProtocol):
             self._dedup = DedupTable(transport, "proto.Owned")
             self._reply = self._dedup.reply
             self._dedup_admit = self._dedup.admit
-            self._seen = SeenOnce()
+            self._seen = SeenOnce(transport)
 
     # -- lifecycle ---------------------------------------------------------
     def init_space(self, nid: int):
@@ -369,6 +378,10 @@ class OwnedProtocol(TableProtocol):
                 "queue": deque(),
                 "hr": 0,
                 "hw": False,
+                # Who a grant window (busy, pending None) is waiting on
+                # for its grant_ack — crash recovery clears the window
+                # when the grantee dies.
+                "grantee": None,
             }
         return ent
 
@@ -437,6 +450,12 @@ class OwnedProtocol(TableProtocol):
         handler = self._on_read_req if kind == "r" else self._on_write_req
         if nid == region.home:
             fut = Future(name=f"owned:{kind}req@{nid}")
+            if handle.state != "home" and self._recovery is not None:
+                # Post-recovery only: a re-homed node fetching from a
+                # remote-state copy of its own region.  The table's next
+                # state is a remote state, so the grant must be
+                # remote-style (data + busy window), not hr/hw.
+                self._remote_self.add(fut)
             handler(self.transport.nodes[nid], nid, fut, region.rid)
             val = yield fut
         else:
@@ -504,11 +523,17 @@ class OwnedProtocol(TableProtocol):
     def _on_read_req(self, node, src, fut, rid, seq=None):
         if not self._dedup_admit(src, seq, fut):
             return
+        # A fabric request (seq-numbered) from the region's own home only
+        # exists after re-homing: grant it remote-style (_remote_self).
+        if seq is not None and self._recovery is not None and src == self.regions.get(rid).home:
+            self._remote_self.add(fut)
         self._admit(rid, "r", src, fut)
 
     def _on_write_req(self, node, src, fut, rid, seq=None):
         if not self._dedup_admit(src, seq, fut):
             return
+        if seq is not None and self._recovery is not None and src == self.regions.get(rid).home:
+            self._remote_self.add(fut)
         self._admit(rid, "w", src, fut)
 
     def _admit(self, rid, kind, src, fut, queued=False) -> bool:
@@ -530,7 +555,7 @@ class OwnedProtocol(TableProtocol):
             owner = ent["owner"]
             if owner is not None and owner != src:  # guard: owned_elsewhere
                 ent["busy"] = True
-                ent["pending"] = {"kind": "f", "src": src}
+                ent["pending"] = {"kind": "f", "src": src, "fut": fut}
                 self._count("forward")
                 self._post_acked(
                     home,
@@ -575,13 +600,16 @@ class OwnedProtocol(TableProtocol):
 
     def _grant_read(self, rid, ent, src, fut) -> None:
         region = self.regions.get(rid)
-        if src == region.home:
+        if src == region.home and fut not in self._remote_self:
             # The home's own read: no install, no busy window — mark the
             # open access and let the waiting task proceed.
             ent["hr"] += 1
             self._reply(fut, ("grant", None), payload_words=1, category="proto.Owned.home_grant")
             return
+        if src == region.home:
+            self._remote_self.discard(fut)  # re-homed self-request
         ent["busy"] = True
+        ent["grantee"] = src
         ent["sharers"].add(src)
         self._reply(
             fut,
@@ -593,15 +621,20 @@ class OwnedProtocol(TableProtocol):
     def _grant_write(self, rid, ent, src, fut) -> None:
         region = self.regions.get(rid)
         if src == region.home:
-            ent["hw"] = True
-            self._reply(fut, ("grant", None), payload_words=1, category="proto.Owned.home_grant")
-            return
+            if fut not in self._remote_self:
+                ent["hw"] = True
+                self._reply(
+                    fut, ("grant", None), payload_words=1, category="proto.Owned.home_grant"
+                )
+                return
+            self._remote_self.discard(fut)  # re-homed self-request
         # An upgrading sharer — or an owner self-upgrading from owned —
         # keeps its current data; home data would be a stale write base.
         had = src == ent["owner"] or src in ent["sharers"]
         ent["sharers"].discard(src)
         ent["owner"] = src
         ent["busy"] = True
+        ent["grantee"] = src
         if had:
             self._reply(fut, ("upgrade", None), payload_words=1, category="proto.Owned.upgrade_ack")
         else:
@@ -615,18 +648,25 @@ class OwnedProtocol(TableProtocol):
     def _collect_ack(self, rid, target, value) -> None:
         """One invalidation target acknowledged (ack value = its dirty data)."""
         ent = self._entry(rid)
+        pend = ent["pending"]
+        if pend is None:
+            # Crash recovery canceled this recall (the window was rebuilt
+            # at a successor home); absorb the late ack.
+            if self._recovery is not None:
+                self._recovery.count_stray_ack()
+            return
         if value is not None:
             np.copyto(self.regions.get(rid).home_data, np.asarray(value))
         if ent["owner"] == target:
             ent["owner"] = None
         ent["sharers"].discard(target)
-        pend = ent["pending"]
         pend["need"] -= 1
         if pend["need"] > 0:
             return
         ent["pending"] = None
         ent["busy"] = False
-        self._grant_write(rid, ent, pend["src"], pend["fut"])
+        if not pend.get("orphan"):
+            self._grant_write(rid, ent, pend["src"], pend["fut"])
         if not ent["busy"]:
             self._drain(rid)
 
@@ -642,11 +682,16 @@ class OwnedProtocol(TableProtocol):
             # record_sharer: the forwarded reader installed its supply
             req = pend["src"]
             if req == self.regions.get(rid).home:
-                ent["hr"] += 1  # the home's own forwarded read opened
+                if pend["fut"] in self._remote_self:
+                    self._remote_self.discard(pend["fut"])  # re-homed self-read
+                    ent["sharers"].add(req)
+                else:
+                    ent["hr"] += 1  # the home's own forwarded read opened
             else:
                 ent["sharers"].add(req)
         ent["pending"] = None
         ent["busy"] = False
+        ent["grantee"] = None
         self._drain(rid)
 
     def _drain(self, rid) -> None:
@@ -697,6 +742,13 @@ class OwnedProtocol(TableProtocol):
         dirty = copy.state in ("excl", "owned")
         data = np.array(copy.data, copy=True) if dirty else None
         copy.state = "invalid"
+        if nid == region.home:
+            # Post-recovery only: a recall of the re-homed successor's
+            # remote-style copy of its own region returns it to the home
+            # alias (its writeback rides the ack like any owner's); the
+            # hr/hw admission gate governs the home's accesses from here.
+            copy.data = region.home_data
+            copy.state = "home"
         self._count("invalidated")
         self._inval_ack[(nid, region.rid)] = data
         self.transport.reply(
@@ -730,6 +782,152 @@ class OwnedProtocol(TableProtocol):
         self._reply(
             rfut, ("supply", data), payload_words=region.size, category="proto.Owned.supply"
         )
+
+    # -- crash recovery ---------------------------------------------------
+    def _register_recovery(self, manager) -> None:
+        super()._register_recovery(manager)
+        self._remote_self = set()
+        manager.register_home_categories(
+            ("proto.Owned.read_req", "proto.Owned.write_req", "proto.Owned.flush"),
+            self.regions,
+        )
+        manager.register_push_categories(("proto.Owned.invalidate",))
+        manager.register_ack_categories(("proto.Owned.grant_ack",))
+        manager.register_pending_handler("proto.Owned.fwd_read", "_recover_fwd_read")
+
+    def _recover_fwd_read(self, manager, pend, dead: int) -> None:
+        """Sweep handler for an in-flight forward touching the dead node.
+
+        Home died (``src``): neutralize; the re-homed rebuild re-admits
+        the requester at the successor.  Owner died (``dst``): the
+        supply will never come — prune the dead owner and re-admit the
+        requester, who is granted from home data (the owner's dirty
+        copy is lost; fail-stop)."""
+        kit = self.transport.kit
+        kit.pending.pop(pend.seq, None)
+        pend.fut._callbacks.clear()
+        if pend.src == dead:
+            manager.count("abandoned")
+            return
+        rid, requester, rfut = pend.call_args
+        ent = self._entry(rid)
+        if ent["owner"] == dead:
+            ent["owner"] = None
+        ent["sharers"].discard(dead)
+        ent["pending"] = None
+        ent["busy"] = False
+        if requester in manager.dead:
+            manager.count("abandoned")
+            self._drain(rid)
+            return
+        manager.count("retargeted")
+        self._admit(rid, "r", requester, rfut)
+
+    def on_node_dead(self, dead: int, manager, rehomed: dict) -> None:
+        """Directory shrink + re-homed entry reconstruction.
+
+        Runs after the manager's pending sweep, so calls from the dead
+        node are neutralized, pushes *to* it are fake-acked (their
+        ``_collect_ack`` chains already pruned it from fan-outs), and
+        requests parked at a dead home have been retargeted — the
+        receiver-side dedup table turns those re-deliveries into no-ops
+        whenever the original was admitted, in which case the re-homed
+        rebuild below re-admits the original continuation instead.
+        """
+        for copy in self._copies[dead].values():
+            if copy.state in ("excl", "owned"):
+                manager.count("lost_dirty")
+        self._copies[dead].clear()
+        for rid, ent in self._dir.items():
+            if ent["queue"]:
+                ent["queue"] = deque(item for item in ent["queue"] if item[1] != dead)
+            pend = ent["pending"]
+            if pend is not None and pend["src"] == dead:
+                if pend["kind"] == "w":
+                    # Live recall for a dead requester: let the surviving
+                    # targets' acks finish the fan-out (writebacks still
+                    # land), but skip granting to the dead node.
+                    pend["orphan"] = True
+                else:
+                    # Forwarded read for a dead requester: its grant_ack
+                    # will never come; any late supply hits a dead future.
+                    ent["pending"] = None
+                    ent["busy"] = False
+            if ent["busy"] and ent["pending"] is None and ent["grantee"] == dead:
+                ent["busy"] = False
+                ent["grantee"] = None
+            if ent["owner"] == dead:
+                ent["owner"] = None
+            ent["sharers"].discard(dead)
+            if rid in rehomed:
+                self._rebuild_rehomed_entry(rehomed[rid], ent, dead)
+            if not ent["busy"]:
+                self._drain(rid)
+
+    def _rebuild_rehomed_entry(self, region, ent, dead: int) -> None:
+        """Reconstruct one entry at the successor home (mirrors the
+        coherence engine's rebuild; see repro.dsm.recovery)."""
+        from repro.sim.future import _UNSET
+
+        succ = region.home
+        rid = region.rid
+        # Freshest-writer adoption: a surviving owner's dirty copy is
+        # the authoritative version of the region.  An owner still
+        # listed whose copy is already invalid applied a recall whose
+        # writeback ack died with the home — the recorded inval ack
+        # still holds that data.
+        if ent["owner"] is not None:
+            ocopy = self._copies[ent["owner"]].get(rid)
+            if ocopy is not None and ocopy.state in ("excl", "owned"):
+                np.copyto(region.home_data, ocopy.data)
+            else:
+                rec = self._inval_ack.get((ent["owner"], rid))
+                if rec is not None:
+                    np.copyto(region.home_data, rec)
+        # The successor's own copy becomes the home alias.
+        scopy = self._copies[succ].get(rid)
+        if scopy is None:
+            self._install_home(succ, region)
+        else:
+            if scopy.state in ("excl", "owned"):
+                np.copyto(region.home_data, scopy.data)
+                if ent["owner"] == succ:
+                    ent["owner"] = None
+            scopy.data = region.home_data
+            scopy.state = "home"
+            ent["sharers"].discard(succ)
+        # The dead home's own open accesses died with it.
+        ent["hr"] = 0
+        ent["hw"] = False
+        # Live in-flight work at the old home: re-admit requests whose
+        # futures are still waiting.  A forward whose supply already
+        # landed (fut resolved, grant_ack lost with the old home) only
+        # needs its sharer recorded; recall fan-outs from the dead home
+        # were fully neutralized by the sweep, so cancel + re-admit is
+        # safe.  Grant windows need nothing — owner/sharer state was
+        # recorded at grant time.
+        reqs = []
+        pend = ent["pending"]
+        if pend is not None and pend["src"] != dead and not pend.get("orphan"):
+            fut = pend.get("fut")
+            if fut is not None and fut._value is _UNSET and fut._exc is None:
+                reqs.append(("r" if pend["kind"] == "f" else pend["kind"], pend["src"], fut))
+            elif pend["kind"] == "f":
+                ent["sharers"].add(pend["src"])
+        ent["pending"] = None
+        ent["busy"] = False
+        ent["grantee"] = None
+        # Work from the successor itself — re-admitted here or parked on
+        # the queue at the old home — must now be granted remote-style:
+        # the requester is suspended in the remote fetch epilogue.
+        for kind, src, fut in reqs:
+            if src == succ:
+                self._remote_self.add(fut)
+        for item in ent["queue"]:
+            if item[1] == succ:
+                self._remote_self.add(item[2])
+        for kind, src, fut in reqs:
+            self._admit(rid, kind, src, fut)
 
     # -- introspection (tests) ---------------------------------------------
     def cached_copy(self, nid: int, rid: int) -> RegionCopy | None:

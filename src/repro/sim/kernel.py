@@ -127,6 +127,20 @@ _DELAY_POOL = _build_delay_pool(_DELAY_POOL_SIZE)
 _TRAMPOLINE_MAX = 64
 
 
+def _retired_step(_value=None):
+    """Stand-in ``gen.send`` for a retired task (see :meth:`Simulator.retire`).
+
+    Returns a fresh, never-resolved future: a stray queued resume
+    parks the task on it forever instead of advancing a closed
+    generator."""
+    return Future(name="retired")
+
+
+def _retired_throw(*_args):
+    """Stand-in ``gen.throw`` for a retired task."""
+    return Future(name="retired")
+
+
 class Task:
     """A generator being driven by the simulator.
 
@@ -496,6 +510,46 @@ class Simulator:
             self._obs.emit(self.now, "task.spawn", data=name)
         self.schedule(0, task._resume)
         return task
+
+    def retire(self, task: Task, result=None) -> None:
+        """Force-terminate ``task`` from outside, resolving ``done`` with ``result``.
+
+        Used by the crash-recovery layer (:mod:`repro.dsm.recovery`)
+        when a node is declared dead: its task cannot finish on its own
+        (the fabric drops everything it sends), so the recovery manager
+        retires it in place of a normal ``StopIteration``.
+
+        The task may have resume events already queued (a pre-crash
+        reply "in the wire", a delay it yielded before dying).  Those
+        events reference the task's pre-bound ``_resume`` thunk and
+        cannot be unscheduled, so instead the generator entry points are
+        swapped for a stub that parks the task on a fresh, never-
+        resolved future — a stray wake becomes a harmless no-op.  The
+        task is removed from the deadlock scan so that parked state
+        never reads as a stall.
+        """
+        if task.done._value is not _UNSET or task.done._exc is not None:
+            return  # already finished on its own
+        fut = task.blocked_on
+        if fut is not None:
+            try:
+                fut._callbacks.remove(task._wake)
+            except ValueError:
+                pass
+            task.blocked_on = None
+        task._wait_fut = None
+        task._send = _retired_step
+        task._throw = _retired_throw
+        try:
+            self._tasks.remove(task)
+        except ValueError:
+            pass
+        task.gen.close()
+        if self._obs is not None:
+            self._obs.emit(self.now, "task.retire", data=task.name)
+        if self._trace:
+            self._trace(self.now, f"{task.name} retired")
+        task.done.resolve(result)
 
     def _note_failure(self, exc: BaseException) -> None:
         # Fail fast: the first task crash aborts the run by raising

@@ -1,0 +1,256 @@
+"""Crash recovery: a crash-stop is a handled event, not a stall.
+
+DESIGN.md §15's contract, tested end to end on the shared ring
+workload (``repro.harness.recovery_workload``):
+
+* **recover** — the victim's task retires with a ``Crashed`` marker,
+  its regions re-home to the rank-order successor, and every survivor
+  finishes with results bit-identical to the crash-free run;
+* **abort** — the run raises a prompt StallError at failure-detector
+  declaration, naming the crashed node first in ``report.suspects``;
+* **no false positives** — a lossy-but-crash-free fabric under an
+  armed recovery manager never declares anyone dead;
+* **zero cost when off** — without ``on_crash`` no recovery machinery
+  is even constructed;
+* the dedup tables the fabric leans on are **bounded** (watermark+age
+  GC) rather than growing for the whole run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsm import Crashed, FaultPlan, StallError
+from repro.dsm.faults import DedupTable, LinkFaults, SeenOnce, _GC_EVERY, _GC_LAG
+from repro.facade import run_spmd
+from repro.harness.recovery_workload import (
+    expected_result,
+    locked_counter_program,
+    ring_program,
+)
+from repro.obs import TraceBuffer
+
+N_PROCS = 4
+ROUNDS = 4
+SIZE = 8
+PROTOCOLS = ("SC", "Owned", "DynamicUpdate")
+
+
+def run_ring(protocol, plan=None, on_crash=None, **kwargs):
+    return run_spmd(
+        ring_program(protocol, rounds=ROUNDS, size=SIZE),
+        n_procs=N_PROCS,
+        fault_plan=plan,
+        on_crash=on_crash,
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# recover: survivors finish bit-identical to the crash-free baseline
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_recover_smoke(protocol):
+    victim = 1
+    plan = FaultPlan.crash(victim, at=1500, seed=3)
+    res = run_ring(protocol, plan, on_crash="recover")
+    for nid in range(N_PROCS):
+        if nid == victim:
+            assert isinstance(res.results[nid], Crashed)
+            assert res.results[nid].nid == victim
+        else:
+            np.testing.assert_array_equal(
+                res.results[nid], expected_result(nid, ROUNDS, SIZE)
+            )
+    summary = res.backend.transport.recovery.summary()
+    assert summary["mode"] == "recover"
+    assert summary["epoch"] == 1
+    assert summary["dead"] == [victim]
+    assert summary["live"] == [0, 2, 3]
+    (event,) = summary["events"]
+    assert event["crash_at"] == 1500
+    assert event["rehomed_regions"] == 1  # the region homed at the victim
+
+
+def test_recover_is_deterministic():
+    plan = FaultPlan.crash(2, at=2200, seed=7)
+    a = run_ring("SC", plan, on_crash="recover")
+    b = run_ring("SC", plan, on_crash="recover")
+    assert a.time == b.time
+    for ra, rb in zip(a.results, b.results):
+        if isinstance(ra, Crashed):
+            assert ra == rb
+        else:
+            np.testing.assert_array_equal(ra, rb)
+
+
+def test_recover_emits_trace_events():
+    buf = TraceBuffer()
+    plan = FaultPlan.crash(1, at=1500, seed=3)
+    run_ring("SC", plan, on_crash="recover", tracer=buf)
+    kinds = {ev.kind for ev in buf.events() if ev.kind.startswith("recovery.")}
+    assert {"recovery.dead", "recovery.epoch", "recovery.rehome", "recovery.complete"} <= kinds
+    dead = [ev for ev in buf.events() if ev.kind == "recovery.dead"]
+    assert dead[0].node == 1
+    assert dead[0].data["epoch"] == 1
+
+
+# ---------------------------------------------------------------------------
+# abort: prompt, suspect-attributed failure
+# ---------------------------------------------------------------------------
+
+
+def test_abort_names_the_crashed_node():
+    victim = 2
+    plan = FaultPlan.crash(victim, at=1500, seed=3)
+    with pytest.raises(StallError) as exc:
+        run_ring("SC", plan, on_crash="abort")
+    report = exc.value.report
+    assert report.suspects[0] == victim
+    assert "failure detector" in report.reason
+    # Prompt: declared one detection window after the crash, an order
+    # of magnitude before retry exhaustion (~10^5-cycle watchdog trips).
+    assert "crash-stop at cycle 1500" in report.reason
+
+
+# ---------------------------------------------------------------------------
+# lock recovery: a dead holder's lock is broken, not leaked
+# ---------------------------------------------------------------------------
+
+
+def test_dead_lock_holder_is_broken():
+    victim, increments = 1, 3
+    plan = FaultPlan.crash(victim, at=900, seed=5)
+    res = run_spmd(
+        locked_counter_program(increments),
+        n_procs=N_PROCS,
+        fault_plan=plan,
+        on_crash="recover",
+    )
+    survivors = [res.results[n] for n in range(N_PROCS) if n != victim]
+    assert isinstance(res.results[victim], Crashed)
+    # Every survivor completes all its increments and agrees on the sum.
+    assert len(set(survivors)) == 1
+    assert survivors[0] >= increments * (N_PROCS - 1)
+    summary = res.backend.transport.recovery.summary()
+    (event,) = summary["events"]
+    assert event["broken_locks"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# no false positives / zero cost when off
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_armed_recovery_has_no_false_positives(protocol):
+    plan = FaultPlan.canonical(0)  # lossy fabric, nobody crashes
+    res = run_ring(protocol, plan, on_crash="recover")
+    rec = res.backend.transport.recovery
+    assert rec.epoch == 0
+    assert not rec.dead
+    for nid in range(N_PROCS):
+        np.testing.assert_array_equal(
+            res.results[nid], expected_result(nid, ROUNDS, SIZE)
+        )
+
+
+def test_no_recovery_machinery_without_on_crash():
+    res = run_ring("SC")
+    assert res.backend.transport.recovery is None
+    res = run_ring("SC", FaultPlan.canonical(1))
+    assert res.backend.transport.recovery is None
+
+
+def test_on_crash_requires_a_fault_plan():
+    with pytest.raises(ValueError):
+        run_ring("SC", on_crash="recover")
+
+
+# ---------------------------------------------------------------------------
+# dedup tables stay bounded (watermark + age GC)
+# ---------------------------------------------------------------------------
+
+
+class _StubTransport:
+    """The slice of Transport the dedup structures touch."""
+
+    class _Sim:
+        now = 0
+
+    class _Kit:
+        def __init__(self):
+            self.pending: dict = {}
+            self._seq = 0
+
+    class _Stats:
+        @staticmethod
+        def counter_ref():
+            from collections import defaultdict
+
+            return defaultdict(int)
+
+    def __init__(self):
+        self.sim = self._Sim()
+        self.kit = self._Kit()
+        self.stats = self._Stats()
+
+    def reply(self, fut, value=None, payload_words=0, category="am.reply"):
+        pass
+
+
+def test_dedup_table_plateaus():
+    tr = _StubTransport()
+    table = DedupTable(tr, "test")
+    step = 200  # cycles between settled requests
+
+    def drive(n):
+        for _ in range(n):
+            seq = tr.kit._seq
+            fut = object()
+            assert table.admit(0, seq, fut)
+            tr.kit._seq = seq + 1  # settled: nothing pending below _seq
+            table.reply(fut, None)
+            tr.sim.now += step
+
+    warm = _GC_LAG // step + _GC_EVERY  # entries young enough to keep + GC slack
+    drive(4 * warm)
+    size_a = len(table._sent)
+    drive(4 * warm)
+    size_b = len(table._sent)
+    assert size_a <= warm + 1
+    assert size_b <= warm + 1  # plateau: doubling the run does not grow it
+    # Correctness survives GC: a recent settled duplicate still replays.
+    assert not table.admit(0, tr.kit._seq - 1, object())
+
+
+def test_seen_once_plateaus():
+    tr = _StubTransport()
+    seen = SeenOnce(tr)
+    step = 200
+
+    def drive(n):
+        for _ in range(n):
+            seq = tr.kit._seq
+            assert seen.first(0, seq)
+            assert not seen.first(0, seq)  # immediate duplicate is caught
+            tr.kit._seq = seq + 1
+            tr.sim.now += step
+
+    warm = _GC_LAG // step + _GC_EVERY
+    drive(4 * warm)
+    size_a = len(seen._seen)
+    drive(4 * warm)
+    assert size_a <= warm + 1
+    assert len(seen._seen) <= warm + 1
+
+
+def test_seen_once_without_transport_is_unbounded_but_works():
+    seen = SeenOnce()
+    assert seen.first(0, 0)
+    assert not seen.first(0, 0)
+    assert seen.first(0, None)  # local calls bypass
+    assert seen.first(0, None)

@@ -1,0 +1,106 @@
+"""Property-based crash-recovery sweeps (tier-2).
+
+Hypothesis drives the crash space the way ``test_chaos_properties``
+drives the fault space: random victims, crash cycles, and lossy-link
+rates over the shared ring workload (``repro.harness.recovery_workload``),
+asserting after every mid-run crash under ``on_crash="recover"`` that
+
+* every survivor's result is **bit-identical** to the crash-free
+  expectation (no stale reads survive re-homing: re-granted copies,
+  adopted writebacks, and generation fencing must compose with drops,
+  duplicates, and delays);
+* the victim's task retired with a :class:`Crashed` marker and exactly
+  one epoch transition was taken;
+* the whole run is **deterministic per seed** — replaying the same plan
+  reproduces the same cycle count and the same results.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsm import Crashed, FaultPlan
+from repro.dsm.faults import LinkFaults
+from repro.facade import run_spmd
+from repro.harness.recovery_workload import expected_result, ring_program
+
+pytestmark = pytest.mark.slow  # hypothesis sweeps: tier-2
+
+N_PROCS = 4
+ROUNDS = 3
+SIZE = 8
+PROTOCOLS = ("SC", "Owned", "DynamicUpdate")
+
+
+def run_crashed(protocol, plan):
+    return run_spmd(
+        ring_program(protocol, rounds=ROUNDS, size=SIZE),
+        n_procs=N_PROCS,
+        fault_plan=plan,
+        on_crash="recover",
+    )
+
+
+def check_survivors(res, victim):
+    for nid in range(N_PROCS):
+        if nid == victim:
+            assert isinstance(res.results[nid], Crashed)
+            assert res.results[nid].nid == victim
+        else:
+            np.testing.assert_array_equal(
+                res.results[nid], expected_result(nid, ROUNDS, SIZE)
+            )
+    rec = res.backend.transport.recovery
+    assert rec.epoch == 1
+    assert set(rec.dead) == {victim}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    protocol=st.sampled_from(PROTOCOLS),
+    victim=st.integers(min_value=0, max_value=N_PROCS - 1),
+    at=st.integers(min_value=200, max_value=4000),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_crash_under_recover_never_goes_stale(protocol, victim, at, seed):
+    plan = FaultPlan.crash(victim, at=at, seed=seed)
+    res = run_crashed(protocol, plan)
+    check_survivors(res, victim)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    protocol=st.sampled_from(PROTOCOLS),
+    victim=st.integers(min_value=0, max_value=N_PROCS - 1),
+    at=st.integers(min_value=200, max_value=3000),
+    seed=st.integers(min_value=0, max_value=2**16),
+    drop=st.floats(min_value=0.0, max_value=0.05),
+    dup=st.floats(min_value=0.0, max_value=0.05),
+    delay=st.floats(min_value=0.0, max_value=0.10),
+)
+def test_crash_composes_with_lossy_links(protocol, victim, at, seed, drop, dup, delay):
+    faults = LinkFaults(drop=drop, dup=dup, delay=delay, delay_cycles=400)
+    plan = FaultPlan.crash(victim, at=at, seed=seed, faults=faults)
+    res = run_crashed(protocol, plan)
+    check_survivors(res, victim)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    protocol=st.sampled_from(PROTOCOLS),
+    victim=st.integers(min_value=0, max_value=N_PROCS - 1),
+    at=st.integers(min_value=200, max_value=3000),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_recovery_is_deterministic_per_seed(protocol, victim, at, seed):
+    faults = LinkFaults(drop=0.02, dup=0.02, delay=0.05, delay_cycles=400)
+    plan = FaultPlan.crash(victim, at=at, seed=seed, faults=faults)
+    a = run_crashed(protocol, plan)
+    b = run_crashed(protocol, plan)
+    assert a.time == b.time
+    for ra, rb in zip(a.results, b.results):
+        if isinstance(ra, Crashed):
+            assert ra == rb
+        else:
+            np.testing.assert_array_equal(ra, rb)

@@ -10,8 +10,19 @@ is what makes that hold; this harness is its end-to-end proof.
 A second check (``--stall-check``, on by default) injects a
 permanently dead link and asserts the run terminates with a
 :class:`~repro.dsm.faults.StallError` whose report names the stuck
-region and home node — silent hangs are a bug even under faults the
-protocol cannot mask.
+region, the home node, and the unreachable node in ``suspects`` —
+silent hangs are a bug even under faults the protocol cannot mask.
+
+``--crash`` switches to the crash-stop matrix (DESIGN.md §15): for
+each protocol in (SC, Owned, DynamicUpdate) a crash-free baseline of
+the shared ring workload is compared against runs that crash-stop one
+node mid-run.  Under ``on_crash="recover"`` the survivors must finish
+with results bit-identical to the baseline and the victim's task must
+retire with a ``Crashed`` marker; under ``on_crash="abort"`` the run
+must raise a prompt StallError naming the crashed node first in
+``report.suspects``.  Every cell is re-run to prove determinism, and
+every cell writes a JSON artifact under ``--out`` recording the epoch
+transitions, re-homed region count, and recovery cycle cost.
 
 On any failure the offending fault plan (and stall report, if any) is
 written as JSON under ``--out`` so CI can upload it and the run can be
@@ -209,6 +220,113 @@ def from_sweep(args) -> int:
     return failures
 
 
+#: Protocols in the crash matrix: the default invalidation protocol,
+#: the paper's owned/migratory protocol, and the single-writer update
+#: protocol — three distinct re-homing/rebuild paths.
+CRASH_PROTOCOLS = ("SC", "Owned", "DynamicUpdate")
+
+
+def crash_cell(seed: int, procs: int) -> tuple[int, int]:
+    """Deterministic (victim, crash_cycle) for a matrix seed."""
+    return seed % procs, 800 + 700 * (seed % 5)
+
+
+def crash_matrix(args) -> int:
+    """Crash-stop one node per cell; recover or abort, deterministically."""
+    from repro.dsm.recovery import Crashed  # noqa: E402
+    from repro.harness.recovery_workload import ring_program  # noqa: E402
+
+    failures = 0
+    seeds = parse_seeds(args.seeds)
+    procs = args.procs
+    for proto in CRASH_PROTOCOLS:
+        t0 = time.time()
+        baseline = run_spmd(ring_program(proto), n_procs=procs)
+        print(
+            f"{proto:>14} crash-free: {baseline.time} cycles ({time.time() - t0:.2f}s)"
+        )
+        for seed in seeds:
+            victim, at = crash_cell(seed, procs)
+            plan = FaultPlan.crash(victim, at, seed=seed)
+            tag = f"crash-{proto}-seed{seed}"
+
+            # -- recover: survivors finish, bit-identical to baseline --
+            t0 = time.time()
+            problems = []
+            try:
+                res = run_spmd(
+                    ring_program(proto), n_procs=procs, fault_plan=plan, on_crash="recover"
+                )
+            except StallError as err:
+                failures += 1
+                print(f"{'':>14} seed {seed}: RECOVER STALLED — {err.report.reason}")
+                save_artifact(args.out, f"{tag}-plan.json", plan.to_json())
+                save_artifact(args.out, f"{tag}-stall.json", err.report.to_json())
+                continue
+            for nid in range(procs):
+                if nid == victim:
+                    if not isinstance(res.results[nid], Crashed):
+                        problems.append(f"victim {nid} did not retire as Crashed")
+                elif not equal(res.results[nid], baseline.results[nid]):
+                    problems.append(f"survivor {nid} differs from crash-free baseline")
+            rec = res.backend.transport.recovery
+            summary = rec.summary()
+            if summary["epoch"] != 1 or summary["dead"] != [victim]:
+                problems.append(f"unexpected membership: {summary['dead']} @ epoch {summary['epoch']}")
+            # Determinism: the whole faulted run is a pure function of
+            # (program, plan) — replay must match cycle for cycle.
+            replay = run_spmd(
+                ring_program(proto), n_procs=procs, fault_plan=plan, on_crash="recover"
+            )
+            if replay.time != res.time or not equal(replay.results, res.results):
+                problems.append(f"replay diverged ({replay.time} vs {res.time} cycles)")
+
+            # -- abort: a prompt, suspect-attributed stall ------------
+            abort_detail = None
+            try:
+                run_spmd(
+                    ring_program(proto), n_procs=procs, fault_plan=plan, on_crash="abort"
+                )
+                problems.append("abort mode completed instead of raising StallError")
+            except StallError as err:
+                suspects = err.report.suspects
+                if not suspects or suspects[0] != victim:
+                    problems.append(f"abort suspects {suspects} do not lead with victim {victim}")
+                abort_detail = {"suspects": suspects, "reason": err.report.reason}
+
+            artifact = {
+                "protocol": proto,
+                "seed": seed,
+                "victim": victim,
+                "crash_at": at,
+                "baseline_cycles": baseline.time,
+                "recover_cycles": res.time,
+                "recovery_cycle_cost": res.time - baseline.time,
+                "epoch_transitions": summary["epoch"],
+                "rehomed_regions": sum(e["rehomed_regions"] for e in summary["events"]),
+                "abort": abort_detail,
+                "recovery": summary,
+                "plan": json.loads(plan.to_json()),
+                "problems": problems,
+            }
+            save_artifact(
+                args.out, f"{tag}.json", json.dumps(artifact, indent=2, sort_keys=True)
+            )
+            detail = (
+                f"{res.time} cycles (+{res.time - baseline.time} over baseline), "
+                f"{artifact['rehomed_regions']} region(s) re-homed, "
+                f"epoch {summary['epoch']} ({time.time() - t0:.2f}s)"
+            )
+            if problems:
+                failures += 1
+                print(f"{'':>14} seed {seed}: FAIL — {'; '.join(problems)}")
+            else:
+                print(
+                    f"{'':>14} seed {seed}: ok — victim {victim} @ {at}, {detail}"
+                )
+    return failures
+
+
 def stall_check(args) -> int:
     """A permanently dead link must yield a StallReport, not a hang."""
     shared = {}
@@ -236,9 +354,16 @@ def stall_check(args) -> int:
             save_artifact(args.out, "stall-check-report.json", report.to_json())
             return 1
         call = calls[0]
+        # The dead link is 1->0: node 0 (the home) is unreachable, so
+        # the report's suspect list must name it.
+        if 0 not in report.suspects:
+            print(f"stall-check: FAIL — suspects {report.suspects} omit the dead home 0")
+            save_artifact(args.out, "stall-check-report.json", report.to_json())
+            return 1
         print(
             f"stall-check: ok — StallReport names region {call['region']} "
-            f"at home {call['dst']} after {call['attempts']} attempts"
+            f"at home {call['dst']} after {call['attempts']} attempts, "
+            f"suspects {report.suspects}"
         )
         return 0
     print("stall-check: FAIL — dead link did not raise StallError")
@@ -281,7 +406,22 @@ def main(argv=None) -> int:
         help="re-verify the faulted cells of a tools/sweep.py artifact "
              "instead of running the built-in matrix",
     )
+    parser.add_argument(
+        "--crash", action="store_true",
+        help="run the crash-stop recovery matrix (recover + abort over "
+             "SC/Owned/DynamicUpdate) instead of the lossy-fabric matrix",
+    )
     args = parser.parse_args(argv)
+
+    if args.crash:
+        failures = crash_matrix(args)
+        if not args.no_stall_check:
+            failures += stall_check(args)
+        if failures:
+            print(f"chaos: {failures} failure(s); artifacts in {args.out}/")
+            return 1
+        print(f"chaos: crash matrix passed; artifacts in {args.out}/")
+        return 0
 
     if args.from_sweep is not None:
         failures = from_sweep(args)
