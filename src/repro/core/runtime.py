@@ -39,6 +39,12 @@ class AceRuntime:
         Runtime-layer costs.
     barrier_algorithm:
         ``"hw"`` (CM-5 control network) or ``"dissemination"``.
+    n_dir_shards:
+        Directory shard count for the shared SC coherence engine (see
+        :class:`~repro.dsm.directory.DirectoryService`).  The default 1
+        is the flat directory every earlier release ran; serving-scale
+        workloads (:mod:`repro.serve`) raise it so home-side state is
+        split across independent per-shard tables.
     check:
         Enable the dynamic sanitizer: every annotation call is mirrored
         into a :class:`~repro.sanitize.dynamic.DynamicChecker` (races,
@@ -57,6 +63,7 @@ class AceRuntime:
         registry: ProtocolRegistry | None = None,
         config: AceConfig | None = None,
         barrier_algorithm: str = "hw",
+        n_dir_shards: int = 1,
         check: bool = False,
         checker=None,
     ):
@@ -89,7 +96,12 @@ class AceRuntime:
         # transport, so every layer sees the same fabric (and the same
         # traced message path when observability is on).
         self.sc_engine = CoherenceEngine(
-            transport, self.regions, ACE_SC_COSTS, stats_prefix="ace.sc", checker=checker
+            transport,
+            self.regions,
+            ACE_SC_COSTS,
+            stats_prefix="ace.sc",
+            n_dir_shards=n_dir_shards,
+            checker=checker,
         )
         self.locks = LockService(transport, self.regions, stats_prefix="ace.lock")
         self._barrier = BarrierService(transport, algorithm=barrier_algorithm)

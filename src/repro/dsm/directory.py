@@ -197,7 +197,7 @@ class DirectoryService:
 
     def entry(self, rid: int) -> DirEntry:
         """Get-or-create the directory entry for ``rid``."""
-        shard = self._shards[rid % self.n_shards]
+        shard = self._shards[self.shard_of(rid)]
         ent = shard.get(rid)
         if ent is None:
             ent = shard[rid] = DirEntry()
@@ -466,7 +466,12 @@ class DirectoryService:
     def _on_flush(self, node, src, fut, rid, data):
         region = self.regions.get(rid)
         ent = self.entry(rid)
-        if data is not None:
+        if data is not None and (ent.owner == src or src in ent.sharers):
+            # Apply the writeback only while the directory still lists
+            # the flusher: a recall that crossed this flush already
+            # delivered the same snapshot in its ack (and may have
+            # granted onward since), so a late flush payload from a
+            # de-listed node would clobber newer home data.
             np.copyto(region.home_data, data)
         if ent.owner == src:
             ent.owner = None

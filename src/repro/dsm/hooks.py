@@ -379,10 +379,14 @@ class ProtocolHooks:
         dirty = copy.state in self._dirty_states
         payload = region.size if dirty else self.costs.meta_words
         data = copy.data.copy() if dirty else None
-        copy.state = self._base_state
         if self._obs is not None:
-            self._trace_state(nid, rid, copy.state)
             self._obs.emit(self._sim.now, "dsm.miss", node=nid, data={"rid": rid, "op": "flush"})
+        # The copy keeps its state until the home has acked the flush:
+        # a recall that crosses the flush on the wire must still find
+        # the dirty data here and ship it in its ack, or the home would
+        # serve readers stale home_data while the writeback is in
+        # flight (the home drops the now-duplicate flush payload — see
+        # DirectoryService._on_flush).
         yield from self._rpc(
             nid,
             region.home,
@@ -392,6 +396,9 @@ class ProtocolHooks:
             payload_words=payload,
             category=self._cat_flush,
         )
+        copy.state = self._base_state
+        if self._obs is not None:
+            self._trace_state(nid, rid, copy.state)
         self._count("flush")
 
     def _send_grant_ack(self, nid: int, region) -> None:

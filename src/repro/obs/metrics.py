@@ -95,11 +95,18 @@ class MetricsWindow:
                 row["stall"] += data.get("lat", 0)
         elif kind == "task.block":
             row["blocks"] += 1
-        else:  # region.state
+        elif kind == "region.state":
             row["transitions"] += 1
             if isinstance(data, dict):
                 row["states"][data.get("state", "?")] += 1
                 row["rids"][data.get("rid", -1)] += 1
+        else:
+            # Every member of TRACKED_KINDS must have an explicit branch
+            # above: a kind that passes the frozenset gate but reaches
+            # here means someone extended TRACKED_KINDS without teaching
+            # the dispatch, and silently folding it into another bucket
+            # would corrupt the series.
+            raise ValueError(f"tracked event kind {kind!r} has no dispatch branch")
 
     # -- reading ---------------------------------------------------------
     def rows(self) -> list[dict]:
@@ -128,7 +135,9 @@ class MetricsWindow:
 
         ``stall_fraction`` is total RPC stall cycles over total node-cycles
         (``total_cycles * n_nodes``) — the fraction of aggregate capacity
-        spent blocked on round trips.
+        spent blocked on round trips.  A degenerate shape (zero cycles or
+        zero nodes — an empty run) reports ``stall_fraction: None`` rather
+        than dividing by zero or silently omitting the key.
         """
         totals = Counter()
         mix: Counter = Counter()
@@ -146,8 +155,9 @@ class MetricsWindow:
             "mix": dict(sorted(mix.items(), key=lambda kv: -kv[1])),
             "states": dict(sorted(states.items())),
         }
-        if total_cycles and n_nodes:
-            out["stall_fraction"] = round(totals["stall"] / (total_cycles * n_nodes), 4)
+        if total_cycles is not None and n_nodes is not None:
+            capacity = total_cycles * n_nodes
+            out["stall_fraction"] = round(totals["stall"] / capacity, 4) if capacity else None
         return out
 
     # -- exports ---------------------------------------------------------

@@ -448,7 +448,13 @@ class OwnedProtocol(TableProtocol):
         """Request access from the home; install whatever grant arrives."""
         region = handle.region
         handler = self._on_read_req if kind == "r" else self._on_write_req
-        if nid == region.home:
+        if nid == region.home and (self._kit is None or self._recovery is not None):
+            # Reliable fabric (and recovery runs, whose grant style the
+            # handlers steer via _remote_self): invoke the handler in
+            # place — no wire, no loss.  On a plain lossy fabric the
+            # home's own request rides the seq'd self-RPC instead, so a
+            # dropped grant/supply is retransmitted and dedup-replayed
+            # like any remote request; a bare local future would hang.
             fut = Future(name=f"owned:{kind}req@{nid}")
             if handle.state != "home" and self._recovery is not None:
                 # Post-recovery only: a re-homed node fetching from a
@@ -766,11 +772,45 @@ class OwnedProtocol(TableProtocol):
         if not self._first(src, seq):
             return
         nid = node.nid
-        copy = self._copies[nid][rid]
+        copy = self._copies[nid].get(rid)
+        if copy is None or copy.state == "invalid":
+            # Forward/flush race: the home forwarded to us as owner, but
+            # our flush (an Ace_ChangeProtocol in progress) already
+            # shipped the data home and dropped the copy.  We cannot
+            # supply; bounce the miss so the home re-admits the pending
+            # read — by then the flush has (or will have) cleared the
+            # owner, and admission grants from home data.
+            self._count("fwd_miss")
+            self._post_acked(
+                nid,
+                self.regions.get(rid).home,
+                self._on_fwd_miss,
+                rid,
+                requester,
+                rfut,
+                payload_words=2,
+                category="proto.Owned.fwd_miss",
+            )
+            return
         if copy.meta["use"] > 0:
             copy.meta["deferred"].append(("fwd", requester, rfut))
             return
         self._supply(nid, copy, requester, rfut)
+
+    def _on_fwd_miss(self, node, src, fut, rid, requester, rfut, seq=None):
+        """Home side of the forward/flush race: retry admission."""
+        self.transport.reply(fut, None, payload_words=1, category="proto.Owned.fwd_miss_ack")
+        if not self._first(src, seq):
+            return
+        ent = self._entry(rid)
+        pend = ent["pending"]
+        if pend is None or pend.get("kind") != "f" or pend.get("fut") is not rfut:
+            return  # window already torn down (e.g. crash recovery rebuilt it)
+        ent["pending"] = None
+        ent["busy"] = False
+        self._admit(rid, "r", requester, rfut)
+        if not ent["busy"]:
+            self._drain(rid)
 
     def _supply(self, nid, copy, requester, rfut) -> None:
         """Cache-to-cache transfer; excl owners downgrade to owned."""

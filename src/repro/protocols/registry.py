@@ -56,6 +56,33 @@ class ProtocolRegistry:
         """Instantiate a fresh protocol instance for ``space``."""
         return self.get(name)(runtime, space)
 
+    def serving_candidates(self) -> list[str]:
+        """Protocols legal for open request-serving traffic (:mod:`repro.serve`).
+
+        A serving shard sees concurrent writers on arbitrary nodes with
+        no barrier between requests, so a candidate must (a) not assume
+        the home is the only writer, (b) publish writes at access
+        granularity rather than at barriers (``sync_model`` in the
+        table metadata), and (c) not assert a single/epoch writer
+        discipline the open traffic cannot honor.  The filter is
+        derived from each protocol's declarative table — a new protocol
+        that declares multi-writer access-grained semantics becomes a
+        serving (and adaptive-controller) candidate with no list to
+        maintain by hand; table-less legacy protocols are excluded
+        because nothing machine-readable vouches for them.
+        """
+        out = []
+        for name in self.names():
+            pt = self.table_of(name)
+            if pt is None or pt.home_writer:
+                continue
+            if pt.sync_model not in ("access", "immediate"):
+                continue
+            if pt.writer_model not in ("copy", "none"):
+                continue
+            out.append(name)
+        return out
+
     def config_table(self) -> dict:
         """The "system configuration file" the Ace compiler reads (§3.2).
 

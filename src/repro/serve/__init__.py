@@ -1,0 +1,23 @@
+"""Serving-scale sharded KV service on spaces (DESIGN.md §16).
+
+The serving stack exercises the paper's customizable-protocol
+machinery under open request traffic instead of phased SPMD compute:
+each shard of the key space is a space, each shard's protocol is a
+live choice, and an :class:`AdaptiveController` can revisit that
+choice online via ``Ace_ChangeProtocol`` while requests are in flight.
+"""
+
+from repro.serve.controller import AdaptiveController, StaticController
+from repro.serve.service import run_serve, serve_program
+from repro.serve.workload import ServeWorkload, build_traffic, traffic_digest, zipf_weights
+
+__all__ = [
+    "AdaptiveController",
+    "ServeWorkload",
+    "StaticController",
+    "build_traffic",
+    "run_serve",
+    "serve_program",
+    "traffic_digest",
+    "zipf_weights",
+]

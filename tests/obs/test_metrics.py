@@ -117,3 +117,33 @@ def test_plain_buffer_has_no_metrics_block():
     res, buf = trace_run("TSP", "custom", n_procs=2)
     assert buf.metrics is None
     assert "metrics" not in run_summary(res, buf)
+
+
+def test_summary_zero_shape_reports_none_fraction():
+    # A degenerate run shape must not divide by zero: the fraction is
+    # reported as an explicit None, not omitted and not a crash.
+    m = MetricsWindow(width=100)
+    assert m.summary(total_cycles=0, n_nodes=4)["stall_fraction"] is None
+    assert m.summary(total_cycles=1000, n_nodes=0)["stall_fraction"] is None
+    # Empty-row runs with a real shape are a plain 0.0, not None.
+    assert m.summary(total_cycles=1000, n_nodes=4)["stall_fraction"] == 0.0
+    # No shape given: the key stays absent (callers without a run in
+    # hand get totals only, as before).
+    assert "stall_fraction" not in m.summary()
+
+
+def test_tracked_kind_without_dispatch_branch_raises():
+    # The TRACKED_KINDS gate and the observe() dispatch must stay in
+    # lockstep: a kind that passes the gate but has no branch is a
+    # programming error, surfaced loudly instead of miscounted as a
+    # region.state transition (the old bare-else behavior).
+    import repro.obs.metrics as metrics_mod
+
+    m = MetricsWindow(width=100)
+    orig = metrics_mod.TRACKED_KINDS
+    metrics_mod.TRACKED_KINDS = orig | {"serve.request"}
+    try:
+        with pytest.raises(ValueError, match="no dispatch branch"):
+            m.observe(10, "serve.request", {})
+    finally:
+        metrics_mod.TRACKED_KINDS = orig

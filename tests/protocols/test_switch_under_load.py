@@ -1,0 +1,154 @@
+"""Online ``Ace_ChangeProtocol`` with requests still in flight.
+
+The conformance matrix (``test_conformance_matrix``) pivots every
+protocol through a quiescent round trip: a barrier right before each
+switch, so no node has coherence work outstanding when the flush
+starts.  The serving stack (:mod:`repro.serve`) switches protocols
+*mid-traffic*: the controller's collective lands while other nodes are
+still streaming reads, so early arrivals flush and wait while
+stragglers keep issuing accesses under the old protocol.
+
+This matrix drives every registered protocol through that shape:
+
+* a legal writer publishes under ``P`` and the space barrier makes it
+  visible;
+* every node then streams reads with **staggered** depth (node ``n``
+  reads ``3 + 2n`` times), so the switch collective begins while the
+  deepest reader is mid-stream;
+* switch to the partner, re-map (old handles are stale by design),
+  read again, write fresh values under the partner;
+* switch *back* while readers are again staggered — the partner must
+  flush its dirty state to base mid-load — and verify the fresh values
+  under ``P``.
+
+Every read everywhere must see the values current at that point in the
+program; the tier-2 sweep replays the same shape over a lossy,
+duplicating fabric (protocol x seed x fault mix via hypothesis).
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.protocols
+from repro.dsm.faults import FaultPlan, LinkFaults
+from repro.facade import run_spmd
+from repro.protocols.registry import default_registry
+
+# Exhaustive-by-construction, same as the conformance matrix: import
+# every protocol module so registration side effects have all run.
+for _mod in pkgutil.iter_modules(repro.protocols.__path__):
+    importlib.import_module(f"repro.protocols.{_mod.name}")
+
+N_PROCS = 3
+VALUES = [4.0, 2.0]
+VALUES2 = [7.0, 9.0]
+
+
+def _writer(protocol: str) -> int:
+    return 0 if default_registry.spec(protocol).home_writer else 1
+
+
+def _partner(protocol: str) -> str:
+    return "SC" if protocol != "SC" else "StaticUpdate"
+
+
+def _switch_under_load_program(protocol: str, boxes: dict):
+    partner = _partner(protocol)
+    writer, partner_writer = _writer(protocol), _writer(partner)
+
+    def prog(ctx):
+        sid = yield from ctx.new_space(protocol)
+        if ctx.nid == 0:
+            boxes["rid"] = yield from ctx.gmalloc(sid, len(VALUES))
+        yield from ctx.barrier()
+        rid = boxes["rid"]
+        h = yield from ctx.map(rid)
+        if ctx.nid == writer:
+            yield from ctx.start_write(h)
+            h.data[:] = VALUES
+            yield from ctx.end_write(h)
+        yield from ctx.barrier(sid)
+
+        # Staggered read stream: node 0 reaches the switch first and
+        # starts flushing while node N-1 is still reading under P.
+        under_p = []
+        for _ in range(3 + 2 * ctx.nid):
+            under_p.append(list((yield from ctx.read_region(h))))
+
+        yield from ctx.change_protocol(sid, partner)
+        h2 = yield from ctx.map(rid)  # old handle is stale by design
+        mid = list((yield from ctx.read_region(h2)))
+        yield from ctx.barrier(sid)  # everyone sees VALUES before the overwrite
+        if ctx.nid == partner_writer:
+            yield from ctx.start_write(h2)
+            h2.data[:] = VALUES2
+            yield from ctx.end_write(h2)
+        yield from ctx.barrier(sid)
+
+        # Staggered again (reversed), so the switch *back* also lands
+        # mid-stream — this time with dirty partner state to flush.
+        under_partner = []
+        for _ in range(3 + 2 * (ctx.n_procs - 1 - ctx.nid)):
+            under_partner.append(list((yield from ctx.read_region(h2))))
+
+        yield from ctx.change_protocol(sid, protocol)
+        h3 = yield from ctx.map(rid)
+        back = list((yield from ctx.read_region(h3)))
+        return under_p, mid, under_partner, back
+
+    return prog
+
+
+def _check(res, protocol: str):
+    for nid, (under_p, mid, under_partner, back) in enumerate(res.results):
+        assert all(r == VALUES for r in under_p), (
+            f"node {nid} streamed {under_p} under {protocol} before the switch"
+        )
+        assert mid == VALUES, f"node {nid} read {mid} right after leaving {protocol}"
+        assert all(r == VALUES2 for r in under_partner), (
+            f"node {nid} streamed {under_partner} under the partner"
+        )
+        assert back == VALUES2, f"node {nid} read {back} back under {protocol}"
+
+
+@pytest.mark.parametrize("protocol", default_registry.names())
+def test_switch_lands_mid_stream(protocol):
+    boxes: dict = {}
+    res = run_spmd(_switch_under_load_program(protocol, boxes), backend="ace", n_procs=N_PROCS)
+    _check(res, protocol)
+    region = res.backend.runtime.regions.get(boxes["rid"])
+    assert list(region.home_data) == VALUES2
+
+
+# The lossy sweep draws from the drop-hardened protocols — the same
+# set test_conformance_faults covers: the remaining protocols ship
+# their collectives over raw (unacked, no-retry) posts by design, so a
+# dropped message is a legitimate deadlock there, not a switch bug.
+FAULT_HARDENED = ["SC", "DynamicUpdate", "StaticUpdate", "SelfInvalidate", "Owned"]
+
+
+@pytest.mark.slow
+@settings(max_examples=25, deadline=None)
+@given(
+    protocol=st.sampled_from(FAULT_HARDENED),
+    seed=st.integers(min_value=0, max_value=2**16),
+    drop=st.floats(min_value=0.0, max_value=0.3),
+    dup=st.floats(min_value=0.0, max_value=0.2),
+)
+def test_switch_mid_stream_survives_lossy_fabric(protocol, seed, drop, dup):
+    """The mid-stream switch composes with drop/dup fault injection:
+    retried requests may land during the flush window, and duplicated
+    acks may replay across the generation bump."""
+    boxes: dict = {}
+    plan = FaultPlan(seed=seed, default=LinkFaults(drop=drop, dup=dup))
+    res = run_spmd(
+        _switch_under_load_program(protocol, boxes),
+        backend="ace", n_procs=N_PROCS, fault_plan=plan,
+    )
+    _check(res, protocol)

@@ -1,0 +1,90 @@
+"""Serving harness: completion, determinism, reporting, fault composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsm.faults import FaultPlan
+from repro.serve import AdaptiveController, ServeWorkload, run_serve
+
+SMALL = ServeWorkload(
+    n_keys=16, n_shards=2, n_requests=192, batch=16, rate=60.0,
+    read_frac=0.9, shift_read_frac=None, think_cycles=5, seed=13,
+)
+
+
+def test_every_request_served_once():
+    _, report = run_serve(SMALL, protocol="SC", n_procs=3)
+    assert report["requests"] == SMALL.n_requests
+    assert report["latency"]["count"] == SMALL.n_requests
+    mix = report["shard_mix"]
+    total = sum(m["reads"] + m["writes"] for m in mix.values())
+    assert total == SMALL.n_requests
+
+
+def test_same_seed_identical_cycles():
+    _, a = run_serve(SMALL, protocol="SC", n_procs=3)
+    _, b = run_serve(SMALL, protocol="SC", n_procs=3)
+    assert a["cycles"] == b["cycles"]
+    assert a["events"] == b["events"]
+    assert a["msgs"] == b["msgs"]
+    assert a["traffic"] == b["traffic"]
+
+
+def test_per_shard_static_protocols():
+    _, report = run_serve(SMALL, protocols={0: "DynamicUpdate", 1: "Migratory"}, n_procs=3)
+    assert report["mode"] == "static"
+    assert report["switches"] == 0
+    assert report["protocols_initial"] == {0: "DynamicUpdate", 1: "Migratory"}
+    assert report["protocols_final"] == report["protocols_initial"]
+    assert report["requests"] == SMALL.n_requests
+
+
+def test_protocol_choice_mechanisms_are_exclusive():
+    with pytest.raises(ValueError):
+        run_serve(SMALL, protocol="SC", protocols={0: "SC", 1: "SC"}, n_procs=2)
+    with pytest.raises(ValueError):
+        run_serve(
+            SMALL,
+            protocol="SC",
+            controller=AdaptiveController({0: "SC", 1: "SC"}),
+            n_procs=2,
+        )
+    with pytest.raises(ValueError):
+        run_serve(SMALL, protocols={0: "SC"}, n_procs=2)  # shard 1 uncovered
+
+
+def test_directory_sharding_preserves_results():
+    _, one = run_serve(SMALL, protocol="SC", n_procs=3, n_dir_shards=1)
+    _, four = run_serve(SMALL, protocol="SC", n_procs=3, n_dir_shards=4)
+    assert four["requests"] == one["requests"]
+    assert four["shard_mix"] == one["shard_mix"]
+
+
+def test_adaptive_switches_on_mix_shift():
+    wl = ServeWorkload(
+        n_keys=16, n_shards=2, n_requests=384, batch=16, rate=60.0,
+        read_frac=0.95, shift_at=0.5, shift_read_frac=0.05,
+        think_cycles=5, seed=13,
+    )
+    controller = AdaptiveController({s: "DynamicUpdate" for s in range(wl.n_shards)})
+    _, report = run_serve(wl, controller=controller, n_procs=3)
+    assert report["mode"] == "adaptive"
+    assert report["requests"] == wl.n_requests
+    assert report["switches"] >= 1  # the write-heavy tail forces a switch
+    assert "Migratory" in report["protocols_final"].values()
+    switched = [d for d in report["decisions"] if d["switch_to"]]
+    assert switched and all(d["write_frac"] is not None for d in switched)
+    assert "metrics" in report  # adaptive runs attach the window by default
+
+
+def test_serve_composes_with_fault_plan():
+    wl = ServeWorkload(
+        n_keys=8, n_shards=2, n_requests=96, batch=16, rate=60.0,
+        read_frac=0.9, think_cycles=5, seed=13,
+    )
+    plan = FaultPlan.drop_retry(seed=5, drop=0.15)
+    _, report = run_serve(wl, protocol="SC", n_procs=2, fault_plan=plan)
+    assert report["requests"] == wl.n_requests
+    _, clean = run_serve(wl, protocol="SC", n_procs=2)
+    assert report["cycles"] > clean["cycles"]  # retries cost cycles

@@ -124,6 +124,34 @@ def suite_table4(n_procs: int, apps: list[str] | None = None) -> dict:
     return _result(rows, events, time.perf_counter() - t0)
 
 
+def suite_serve(n_procs: int, requests: int = 2048) -> dict:
+    """The serving stack (DESIGN.md §16): statics bracketing adaptive.
+
+    One seeded workload with the mid-run read/write-mix shift, run
+    under the two regime-best static protocols and the adaptive
+    controller.  Cycle rows are deterministic (seeded traffic +
+    deterministic controller), so the bench doubles as the serve
+    determinism gate.
+    """
+    from repro.serve import AdaptiveController, ServeWorkload, run_serve
+
+    wl = ServeWorkload(
+        n_keys=64, n_shards=4, n_requests=requests, batch=64,
+        read_frac=0.95, shift_at=0.5, shift_read_frac=0.1, seed=11,
+    )
+    rows, events = [], 0
+    t0 = time.perf_counter()
+    for config in ("DynamicUpdate", "Migratory", "adaptive"):
+        if config == "adaptive":
+            ctl = AdaptiveController({s: "DynamicUpdate" for s in range(wl.n_shards)})
+            _, rep = run_serve(wl, controller=ctl, n_procs=n_procs, n_dir_shards=2)
+        else:
+            _, rep = run_serve(wl, protocol=config, n_procs=n_procs, n_dir_shards=2)
+        rows.append(["serve", config, rep["cycles"]])
+        events = _acc(events, rep["events"])
+    return _result(rows, events, time.perf_counter() - t0)
+
+
 def _result(rows: list, events: int | None, wall: float) -> dict:
     return {
         "wall_s": round(wall, 4),
@@ -133,7 +161,7 @@ def _result(rows: list, events: int | None, wall: float) -> dict:
     }
 
 
-SUITES = {"fig7a": suite_fig7a, "fig7b": suite_fig7b, "table4": suite_table4}
+SUITES = {"fig7a": suite_fig7a, "fig7b": suite_fig7b, "serve": suite_serve, "table4": suite_table4}
 
 
 def _repeated(fn, repeat: int, **kw) -> dict:
@@ -191,6 +219,10 @@ def run_bench(suites: list[str], n_procs: int, smoke: bool = False, repeat: int 
         # four levels + hand, both the gate's cycles and a throughput
         # signal for the closure backend)
         report["suites"]["smoke_table4"] = _repeated(suite_table4, repeat, n_procs=2, apps=["TSP"])
+        # tiny serving run: proves the serve stack and its determinism
+        # without burning minutes (absent from old baselines, so the
+        # gate's compare() simply skips it there)
+        report["suites"]["smoke_serve"] = _repeated(suite_serve, repeat, n_procs=2, requests=256)
         return report
     for name in suites:
         print(f"running suite {name} ...", file=sys.stderr)

@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Serving-workload driver: workload spec in, throughput/latency report out.
+
+Runs the sharded KV service (:mod:`repro.serve`, DESIGN.md §16) on a
+workload described entirely by command-line flags, and prints a
+JSON-friendly report: simulated cycles, requests per kilocycle,
+bucketed completion-latency percentiles, per-shard read/write mix, and
+— in adaptive mode — the controller's full decision audit.
+
+Three modes::
+
+    PYTHONPATH=src python tools/serve.py --protocol SC        # one static run
+    PYTHONPATH=src python tools/serve.py --adaptive           # one adaptive run
+    PYTHONPATH=src python tools/serve.py --compare            # the experiment
+
+``--compare`` is the adaptive-vs-static experiment from the issue: it
+runs every serving-candidate protocol as a uniform static config plus
+the adaptive controller on the same seeded workload, prints the
+ranking, and records everything in one JSON artifact (``--out``; the
+committed ``SERVE_seed.json`` at the repo root is this tool's output
+on the default flags).  Exit status in compare mode is 0 only if
+adaptive beat every static config on simulated cycles.
+
+Identical flags (same seed) reproduce identical cycle counts — the
+report is a deterministic function of the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.protocols import default_registry
+from repro.serve import AdaptiveController, ServeWorkload, run_serve
+
+
+def workload_from_args(args) -> ServeWorkload:
+    return ServeWorkload(
+        n_keys=args.keys,
+        n_shards=args.shards,
+        n_requests=args.requests,
+        zipf_s=args.zipf,
+        read_frac=args.read_frac,
+        shift_at=args.shift_at,
+        shift_read_frac=args.shift_read_frac,
+        rate=args.rate,
+        batch=args.batch,
+        think_cycles=args.think,
+        seed=args.seed,
+    )
+
+
+def one_run(workload: ServeWorkload, args, *, protocol=None, controller=None) -> dict:
+    t0 = time.perf_counter()
+    _, report = run_serve(
+        workload,
+        protocol=protocol,
+        controller=controller,
+        n_procs=args.procs,
+        n_dir_shards=args.dir_shards,
+    )
+    report["wall_s"] = round(time.perf_counter() - t0, 4)
+    report["events_per_s"] = (
+        round(report["events"] / report["wall_s"]) if report["wall_s"] else None
+    )
+    return report
+
+
+def make_adaptive(workload: ServeWorkload) -> AdaptiveController:
+    return AdaptiveController(
+        {s: "DynamicUpdate" for s in range(workload.n_shards)}
+    )
+
+
+def run_compare(workload: ServeWorkload, args) -> tuple[dict, int]:
+    """Every static candidate plus adaptive on the same workload."""
+    entries = []
+    for name in default_registry.serving_candidates():
+        print(f"static {name} ...", file=sys.stderr)
+        rep = one_run(workload, args, protocol=name)
+        entries.append({"config": f"static:{name}", **rep})
+    print("adaptive ...", file=sys.stderr)
+    rep = one_run(workload, args, controller=make_adaptive(workload))
+    entries.append({"config": "adaptive", **rep})
+
+    entries.sort(key=lambda e: e["cycles"])
+    adaptive = next(e for e in entries if e["config"] == "adaptive")
+    best_static = min(
+        (e for e in entries if e["config"] != "adaptive"), key=lambda e: e["cycles"]
+    )
+    wins = adaptive["cycles"] < best_static["cycles"]
+    result = {
+        "stamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "workload": workload.to_dict(),
+        "n_procs": args.procs,
+        "n_dir_shards": args.dir_shards,
+        "entries": entries,
+        "adaptive_cycles": adaptive["cycles"],
+        "best_static": {"config": best_static["config"], "cycles": best_static["cycles"]},
+        "adaptive_wins": wins,
+        "adaptive_advantage": round(1 - adaptive["cycles"] / best_static["cycles"], 4),
+    }
+    return result, 0 if wins else 1
+
+
+def print_compare(result: dict) -> None:
+    print(f"{'config':24s} {'cycles':>10s} {'msgs':>8s} {'p99 lat':>10s} {'switches':>8s}")
+    for e in result["entries"]:
+        print(
+            f"{e['config']:24s} {e['cycles']:10d} {e['msgs']:8d} "
+            f"{e['latency']['p99']:10d} {e['switches'] if e['config'] == 'adaptive' else '-':>8}"
+        )
+    adv = result["adaptive_advantage"] * 100
+    verdict = "BEATS" if result["adaptive_wins"] else "DOES NOT BEAT"
+    print(
+        f"adaptive {verdict} best static ({result['best_static']['config']}): "
+        f"{result['adaptive_cycles']} vs {result['best_static']['cycles']} cycles ({adv:+.1f}%)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    g = parser.add_argument_group("workload")
+    g.add_argument("--keys", type=int, default=64, help="key universe size")
+    g.add_argument("--shards", type=int, default=4, help="shards (= spaces)")
+    g.add_argument("--requests", type=int, default=2048, help="total requests")
+    g.add_argument("--zipf", type=float, default=1.1, help="zipf skew exponent")
+    g.add_argument("--read-frac", type=float, default=0.95, help="initial read fraction")
+    g.add_argument("--shift-at", type=float, default=0.5,
+                   help="stream fraction where the mix shifts")
+    g.add_argument("--shift-read-frac", type=float, default=0.1,
+                   help="read fraction after the shift (use 'none' for no shift)")
+    g.add_argument("--rate", type=float, default=40.0, help="arrivals per kilocycle")
+    g.add_argument("--batch", type=int, default=64, help="requests per node per control epoch")
+    g.add_argument("--think", type=int, default=20, help="handler compute cycles per request")
+    g.add_argument("--seed", type=int, default=11, help="traffic seed")
+    m = parser.add_argument_group("machine / mode")
+    m.add_argument("--procs", type=int, default=4, help="simulated nodes")
+    m.add_argument("--dir-shards", type=int, default=2,
+                   help="directory-service shards (DirectoryService n_shards)")
+    m.add_argument("--protocol", default=None,
+                   help="uniform static protocol (see --list for candidates)")
+    m.add_argument("--adaptive", action="store_true", help="run the adaptive controller")
+    m.add_argument("--compare", action="store_true",
+                   help="all static candidates + adaptive; exit 0 iff adaptive wins")
+    m.add_argument("--list", action="store_true", help="print serving candidates and exit")
+    m.add_argument("--out", type=Path, default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(default_registry.serving_candidates()))
+        return 0
+    if isinstance(args.shift_read_frac, str):
+        args.shift_read_frac = None if args.shift_read_frac == "none" else float(args.shift_read_frac)
+    workload = workload_from_args(args)
+
+    if args.compare:
+        result, status = run_compare(workload, args)
+        print_compare(result)
+    elif args.adaptive:
+        result = one_run(workload, args, controller=make_adaptive(workload))
+        status = 0
+        print(json.dumps({k: v for k, v in result.items() if k != "decisions"}, indent=2))
+        print(f"switches: {result['switches']}  final: {result['protocols_final']}")
+    else:
+        result = one_run(workload, args, protocol=args.protocol or "SC")
+        status = 0
+        print(json.dumps(result, indent=2))
+
+    if args.out:
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
